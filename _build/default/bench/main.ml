@@ -1,0 +1,235 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§4), plus Bechamel micro-benchmarks of the hot
+   paths.
+
+   Usage:
+     dune exec bench/main.exe              # everything, full ranges
+     dune exec bench/main.exe -- --quick   # everything, reduced ranges
+     dune exec bench/main.exe -- fig6a table1 ...   # a subset
+     dune exec bench/main.exe -- --csv-dir out fig6a  # also write CSVs
+
+   Experiment ids: fig5a fig5b fig6a fig6b fig6c fig6d table1 fig7a fig7b
+   table2 micro. Simulated measurements are deterministic (fixed seeds);
+   only `micro` measures host wall-clock. *)
+
+let quick = ref false
+
+let fig5a () =
+  let results =
+    if !quick then
+      Tensor.Exp_fig5a.run ~packet_sizes:[ 100; 500; 2000 ]
+        ~delays_ms:[ 0.; 2.; 5.; 20.; 50. ]
+        ~measure_span:(Sim.Time.ms 200) ()
+    else Tensor.Exp_fig5a.run ()
+  in
+  Tensor.Exp_fig5a.print results
+
+let fig5b () =
+  let counts = if !quick then [ 1; 10; 70; 1_000; 10_000 ] else
+      [ 1; 10; 70; 100; 500; 1_000; 5_000; 10_000 ] in
+  Tensor.Exp_fig5b.print (Tensor.Exp_fig5b.run ~counts ())
+
+let fig6a () =
+  let counts =
+    if !quick then [ 100; 10_000; 100_000 ]
+    else [ 100; 1_000; 10_000; 100_000; 500_000 ]
+  in
+  Tensor.Exp_fig6.print_receive (Tensor.Exp_fig6.run_receive ~counts ())
+
+let fig6b () =
+  let counts =
+    if !quick then [ 100; 10_000; 100_000 ]
+    else [ 100; 1_000; 10_000; 100_000; 500_000 ]
+  in
+  Tensor.Exp_fig6.print_send (Tensor.Exp_fig6.run_send ~counts ())
+
+let fig6c () =
+  let peer_counts =
+    if !quick then [ 50; 200; 700 ] else [ 50; 100; 200; 300; 400; 500; 600; 700 ]
+  in
+  Tensor.Exp_fig6.print_multi_peer
+    (Tensor.Exp_fig6.run_multi_peer ~peer_counts ())
+
+let fig6d () =
+  Tensor.Exp_fig6.print_scale (Tensor.Exp_fig6.run_scale ())
+
+let table1 () = Tensor.Exp_table1.print (Tensor.Exp_table1.run ())
+
+let multias () =
+  let ases = if !quick then 10 else 50 in
+  Tensor.Exp_parallel.print (Tensor.Exp_parallel.run ~ases ())
+
+let scale () =
+  let r =
+    if !quick then Tensor.Exp_scale.run ~hosts:5 ~services:20 ()
+    else
+      Tensor.Exp_scale.run ~hosts:40 ~services:400 ~routes_per_service:100 ()
+  in
+  Tensor.Exp_scale.print r
+
+let ablations () =
+  Tensor.Exp_ablations.print_preheat (Tensor.Exp_ablations.run_preheat ());
+  Tensor.Exp_ablations.print_replication_modes
+    (Tensor.Exp_ablations.run_replication_modes ());
+  Tensor.Exp_ablations.print_hook_overhead
+    (Tensor.Exp_ablations.run_hook_overhead ())
+let fig7a () = Tensor.Exp_fig7.print_cdf (Tensor.Exp_fig7.run_cdf ())
+let fig7b () = Tensor.Exp_fig7.print_timeline (Tensor.Exp_fig7.run_timeline ())
+let table2 () = Tensor.Exp_table2.print ()
+
+(* --- Bechamel micro-benchmarks of hot paths -------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Tensor.Report.section "Micro-benchmarks (host wall-clock, Bechamel)";
+  let update =
+    Bgp.Msg.Update
+      {
+        withdrawn = [];
+        attrs =
+          Some
+            (Bgp.Attrs.make
+               ~as_path:[ Bgp.Attrs.Seq [ 64900; 65010; 7018 ] ]
+               ~med:10
+               ~next_hop:(Netsim.Addr.of_string "10.0.0.1")
+               ());
+        nlri =
+          List.init 100 (fun i ->
+              Netsim.Addr.prefix (Netsim.Addr.of_octets 100 0 i 0) 24);
+      }
+  in
+  let encoded = Bgp.Msg.encode update in
+  let rib = Bgp.Rib.create () in
+  let source =
+    {
+      Bgp.Rib.key = "bench";
+      peer_asn = 65010;
+      peer_addr = Netsim.Addr.of_string "10.0.0.2";
+      router_id = Netsim.Addr.of_string "9.9.9.9";
+      ebgp = true;
+    }
+  in
+  let attrs = Bgp.Attrs.make ~next_hop:(Netsim.Addr.of_string "10.0.0.2") () in
+  let counter = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"bgp_update_encode_100nlri"
+        (Staged.stage (fun () -> ignore (Bgp.Msg.encode update)));
+      Test.make ~name:"bgp_update_decode_100nlri"
+        (Staged.stage (fun () -> ignore (Bgp.Msg.decode encoded)));
+      Test.make ~name:"rib_update_insert"
+        (Staged.stage (fun () ->
+             incr counter;
+             let p =
+               Netsim.Addr.prefix
+                 (Netsim.Addr.of_int ((!counter * 2557) land 0xFFFFFF00))
+                 24
+             in
+             ignore (Bgp.Rib.update rib source p (Some attrs))));
+      Test.make ~name:"event_heap_schedule_cancel"
+        (let eng = Sim.Engine.create () in
+         Staged.stage (fun () ->
+             let h = Sim.Engine.schedule_after eng 1_000_000 (fun () -> ()) in
+             Sim.Engine.cancel h));
+      Test.make ~name:"sim_tcp_1000seg_transfer"
+        (Staged.stage (fun () ->
+             let eng = Sim.Engine.create () in
+             let net = Netsim.Network.create eng in
+             let a = Netsim.Network.add_node net "a" in
+             let b = Netsim.Network.add_node net "b" in
+             let _, _, dst = Netsim.Network.connect net a b in
+             let sa = Tcp.create_stack a and sb = Tcp.create_stack b in
+             Tcp.listen sb ~port:80 (fun c -> Tcp.on_data c (fun _ -> ()));
+             let c = Tcp.connect sa ~dst ~dst_port:80 () in
+             Tcp.on_established c (fun () ->
+                 Tcp.write c (String.make 1_460_000 'x'));
+             Sim.Engine.run_for eng (Sim.Time.sec 30)));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let instance = Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let stats = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols acc ->
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.sprintf "%.0f ns" est
+              | _ -> "-"
+            in
+            [ name; ns ] :: acc)
+          stats [])
+      tests
+    |> List.concat
+    |> List.sort compare
+  in
+  Tensor.Report.table ~header:[ "operation"; "time/run" ] rows
+
+(* --- Dispatch ----------------------------------------------------------------- *)
+
+let all_ids =
+  [
+    ("fig5a", fig5a);
+    ("fig5b", fig5b);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("fig6c", fig6c);
+    ("fig6d", fig6d);
+    ("table1", table1);
+    ("multias", multias);
+    ("scale", scale);
+    ("ablations", ablations);
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("table2", table2);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        strip_flags acc rest
+    | "--csv-dir" :: dir :: rest ->
+        Tensor.Report.set_csv_dir (Some dir);
+        strip_flags acc rest
+    | a :: rest -> strip_flags (a :: acc) rest
+  in
+  let args = strip_flags [] args in
+  let selected =
+    match args with
+    | [] -> all_ids
+    | ids ->
+        List.map
+          (fun id ->
+            match List.assoc_opt id all_ids with
+            | Some f -> (id, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" id
+                  (String.concat " " (List.map fst all_ids));
+                exit 2)
+          ids
+  in
+  Format.printf
+    "TENSOR reproduction — benchmark harness (%s mode)@."
+    (if !quick then "quick" else "full");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (id, f) ->
+      let t = Unix.gettimeofday () in
+      f ();
+      Format.printf "@.[%s done in %.1fs wall]@." id (Unix.gettimeofday () -. t))
+    selected;
+  Format.printf "@.All selected experiments done in %.1fs wall.@."
+    (Unix.gettimeofday () -. t0)

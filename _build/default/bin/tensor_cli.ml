@@ -1,0 +1,142 @@
+(* tensor-cli: drive the TENSOR reproduction from the command line.
+
+     tensor-cli experiment fig6a table1 ...   # regenerate paper artifacts
+     tensor-cli failover --kind host          # one failure scenario, verbose
+     tensor-cli cdf --links 6000              # Figure 7(a) population
+     tensor-cli list                          # experiment ids *)
+
+open Cmdliner
+
+let experiment_ids =
+  [ "fig5a"; "fig5b"; "fig6a"; "fig6b"; "fig6c"; "fig6d"; "table1"; "multias";
+    "scale"; "ablations"; "fig7a"; "fig7b"; "table2" ]
+
+let run_experiment ~quick id =
+  match id with
+  | "fig5a" ->
+      Tensor.Exp_fig5a.print
+        (if quick then
+           Tensor.Exp_fig5a.run ~packet_sizes:[ 100; 500; 2000 ]
+             ~delays_ms:[ 0.; 2.; 5.; 20.; 50. ]
+             ~measure_span:(Sim.Time.ms 200) ()
+         else Tensor.Exp_fig5a.run ())
+  | "fig5b" -> Tensor.Exp_fig5b.print (Tensor.Exp_fig5b.run ())
+  | "fig6a" ->
+      Tensor.Exp_fig6.print_receive
+        (Tensor.Exp_fig6.run_receive
+           ~counts:(if quick then [ 100; 10_000 ] else [ 100; 1_000; 10_000; 100_000; 500_000 ])
+           ())
+  | "fig6b" ->
+      Tensor.Exp_fig6.print_send
+        (Tensor.Exp_fig6.run_send
+           ~counts:(if quick then [ 100; 10_000 ] else [ 100; 1_000; 10_000; 100_000; 500_000 ])
+           ())
+  | "fig6c" ->
+      Tensor.Exp_fig6.print_multi_peer
+        (Tensor.Exp_fig6.run_multi_peer
+           ~peer_counts:(if quick then [ 50; 700 ] else [ 50; 100; 200; 300; 400; 500; 600; 700 ])
+           ())
+  | "fig6d" -> Tensor.Exp_fig6.print_scale (Tensor.Exp_fig6.run_scale ())
+  | "table1" -> Tensor.Exp_table1.print (Tensor.Exp_table1.run ())
+  | "multias" ->
+      Tensor.Exp_parallel.print
+        (Tensor.Exp_parallel.run ~ases:(if quick then 10 else 50) ())
+  | "scale" ->
+      Tensor.Exp_scale.print
+        (if quick then Tensor.Exp_scale.run ~hosts:5 ~services:20 ()
+         else Tensor.Exp_scale.run ())
+  | "ablations" ->
+      Tensor.Exp_ablations.print_preheat (Tensor.Exp_ablations.run_preheat ());
+      Tensor.Exp_ablations.print_replication_modes
+        (Tensor.Exp_ablations.run_replication_modes ());
+      Tensor.Exp_ablations.print_hook_overhead
+        (Tensor.Exp_ablations.run_hook_overhead ())
+  | "fig7a" -> Tensor.Exp_fig7.print_cdf (Tensor.Exp_fig7.run_cdf ())
+  | "fig7b" ->
+      Tensor.Exp_fig7.print_timeline (Tensor.Exp_fig7.run_timeline ())
+  | "table2" -> Tensor.Exp_table2.print ()
+  | other -> Printf.eprintf "unknown experiment %S\n" other
+
+(* --- experiment command ------------------------------------------------- *)
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced parameter ranges.")
+
+let ids_arg =
+  Arg.(
+    value
+    & pos_all string experiment_ids
+    & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+
+let experiment_cmd =
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(
+      const (fun quick ids -> List.iter (run_experiment ~quick) ids)
+      $ quick_flag $ ids_arg)
+
+(* --- failover command --------------------------------------------------- *)
+
+let failure_kind_conv =
+  let parse = function
+    | "app" | "application" -> Ok Orch.Controller.App_failure
+    | "container" -> Ok Orch.Controller.Container_failure
+    | "host" | "host-machine" -> Ok Orch.Controller.Host_failure
+    | "host-network" | "network" -> Ok Orch.Controller.Host_network_failure
+    | s -> Error (`Msg (Printf.sprintf "unknown failure kind %S" s))
+  in
+  Arg.conv (parse, Orch.Controller.pp_failure_kind)
+
+let failover_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt failure_kind_conv Orch.Controller.Container_failure
+      & info [ "kind"; "k" ] ~docv:"KIND"
+          ~doc:"app | container | host | host-network")
+  in
+  let run kind =
+    let rows = Tensor.Exp_table1.run ~kinds:[ kind ] () in
+    Tensor.Exp_table1.print rows;
+    List.iter
+      (fun (r : Tensor.Exp_table1.timeline) ->
+        if r.peer_session_drops > 0 || r.peer_routes_lost > 0 then begin
+          Printf.eprintf "NSR FAILED: peer observed the outage\n";
+          exit 1
+        end)
+      rows;
+    print_endline "\nNSR verified: the remote AS observed zero downtime."
+  in
+  Cmd.v
+    (Cmd.info "failover" ~doc:"Run one failure scenario and verify NSR.")
+    Term.(const run $ kind)
+
+(* --- cdf command ----------------------------------------------------------- *)
+
+let cdf_cmd =
+  let links =
+    Arg.(value & opt int 6000 & info [ "links" ] ~doc:"Population size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "cdf" ~doc:"Sample the Figure 7(a) traffic population.")
+    Term.(
+      const (fun links seed ->
+          Tensor.Exp_fig7.print_cdf (Tensor.Exp_fig7.run_cdf ~links ~seed ()))
+      $ links $ seed)
+
+(* --- list command ------------------------------------------------------------ *)
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List experiment ids.")
+    Term.(const (fun () -> List.iter print_endline experiment_ids) $ const ())
+
+let () =
+  let doc = "TENSOR (SIGCOMM '23) reproduction toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "tensor-cli" ~version:"1.0.0" ~doc)
+          [ experiment_cmd; failover_cmd; cdf_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/datacenter.ml: Addr Array Bgp Engine Format List Netsim Orch Printf Sim Tensor Time Workload

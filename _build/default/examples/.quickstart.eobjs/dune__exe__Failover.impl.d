@@ -1,0 +1,1 @@
+examples/failover.ml: Addr Bgp Engine Format Netsim Orch Sim Tensor Time Trace Workload

@@ -1,0 +1,1 @@
+examples/planned_upgrade.mli:

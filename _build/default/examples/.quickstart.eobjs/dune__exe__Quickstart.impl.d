@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Bgp Engine Format List Netsim Sim Store Tensor Time Workload

@@ -1,0 +1,1 @@
+examples/split_brain.ml: Addr Array Bgp Engine Format Link List Netsim Network Orch Packet Sim String Tensor Time Trace Workload

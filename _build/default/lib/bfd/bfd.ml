@@ -1,0 +1,254 @@
+open Sim
+open Netsim
+
+type state = Admin_down | Down | Init | Up
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Admin_down -> "AdminDown"
+    | Down -> "Down"
+    | Init -> "Init"
+    | Up -> "Up")
+
+type control = {
+  vrf : string;
+  my_disc : int;
+  your_disc : int;
+  state : state;
+  detect_mult : int;
+  tx_interval : Time.span;
+}
+
+type Packet.payload += Bfd of control
+
+let control_wire_size = 66 (* IP + UDP + 24-byte BFD control *)
+
+type session = {
+  ep : endpoint;
+  svrf : string;
+  slocal : Addr.t;
+  sremote : Addr.t;
+  disc : int;
+  mutable peer_disc : int;
+  tx_interval : Time.span;
+  detect_mult : int;
+  mutable st : state;
+  mutable tx_timer : Engine.timer option;
+  mutable detect_handle : Engine.handle option;
+  mutable change_cb : old:state -> state -> unit;
+  mutable n_in : int;
+  mutable n_out : int;
+  mutable last_rx_at : Time.t option;
+}
+
+and endpoint = {
+  node : Node.t;
+  eng : Engine.t;
+  sessions : (string, session) Hashtbl.t; (* key: remote|vrf *)
+  mutable next_disc : int;
+}
+
+let registry : (string, endpoint) Hashtbl.t = Hashtbl.create 32
+let disc_counter = ref 0
+
+let session_key remote vrf = Addr.to_string remote ^ "|" ^ vrf
+
+let session_state s = s.st
+let on_state_change s f = s.change_cb <- f
+let my_disc s = s.disc
+let your_disc s = s.peer_disc
+let vrf s = s.svrf
+let remote s = s.sremote
+let local s = s.slocal
+let packets_in s = s.n_in
+let packets_out s = s.n_out
+let last_rx s = s.last_rx_at
+
+let transition s new_state =
+  if s.st <> new_state then begin
+    let old = s.st in
+    s.st <- new_state;
+    s.change_cb ~old new_state
+  end
+
+let send_control ep s =
+  if Node.is_up ep.node then begin
+    s.n_out <- s.n_out + 1;
+    let ctl =
+      {
+        vrf = s.svrf;
+        my_disc = s.disc;
+        your_disc = s.peer_disc;
+        state = s.st;
+        detect_mult = s.detect_mult;
+        tx_interval = s.tx_interval;
+      }
+    in
+    Node.send ep.node
+      (Packet.make ~src:s.slocal ~dst:s.sremote ~size:control_wire_size
+         (Bfd ctl))
+  end
+
+let cancel_detect s =
+  match s.detect_handle with
+  | Some h ->
+      Engine.cancel h;
+      s.detect_handle <- None
+  | None -> ()
+
+let arm_detect ep s ~remote_interval =
+  cancel_detect s;
+  let window = s.detect_mult * max remote_interval (Time.ms 1) in
+  s.detect_handle <-
+    Some
+      (Engine.schedule_after ep.eng window (fun () ->
+           s.detect_handle <- None;
+           if s.st = Up || s.st = Init then begin
+             s.peer_disc <- 0;
+             transition s Down
+           end))
+
+let handle_control ep s (ctl : control) =
+  if s.st <> Admin_down then begin
+    s.n_in <- s.n_in + 1;
+    s.last_rx_at <- Some (Engine.now ep.eng);
+    if ctl.my_disc <> 0 then s.peer_disc <- ctl.my_disc;
+    arm_detect ep s ~remote_interval:ctl.tx_interval;
+    match (s.st, ctl.state) with
+    | Down, Down -> transition s Init
+    | Down, Init -> transition s Up
+    | Init, (Init | Up) -> transition s Up
+    | Up, Down ->
+        (* Peer restarted its session. *)
+        transition s Down
+    | Up, (Init | Up) -> ()
+    | _, Admin_down -> transition s Down
+    | (Init | Down), _ -> ()
+    | Admin_down, _ -> ()
+  end
+
+let handle_packet ep (pkt : Packet.t) =
+  match pkt.payload with
+  | Bfd ctl -> (
+      let key = session_key pkt.src ctl.vrf in
+      match Hashtbl.find_opt ep.sessions key with
+      | Some s -> (
+          handle_control ep s ctl;
+          true)
+      | None -> true (* unknown session: absorbed, as a UDP port would *))
+  | _ -> false
+
+let endpoint node =
+  let key = Node.name node in
+  match Hashtbl.find_opt registry key with
+  | Some ep when ep.node == node -> ep
+  | Some _ | None ->
+      let ep =
+        {
+          node;
+          eng = Node.engine node;
+          sessions = Hashtbl.create 8;
+          next_disc = 0;
+        }
+      in
+      Node.add_handler node (handle_packet ep);
+      Hashtbl.replace registry key ep;
+      ep
+
+let stop_session s =
+  (match s.tx_timer with
+  | Some t ->
+      Engine.stop_timer t;
+      s.tx_timer <- None
+  | None -> ());
+  cancel_detect s;
+  transition s Admin_down;
+  Hashtbl.remove s.ep.sessions (session_key s.sremote s.svrf)
+
+let create_session ep ?(tx_interval = Time.ms 100) ?(detect_mult = 3) ?local
+    ?resume ~vrf ~remote () =
+  let slocal =
+    match local with
+    | Some a -> a
+    | None -> (
+        match Node.addresses ep.node with
+        | a :: _ -> a
+        | [] -> invalid_arg "Bfd.create_session: node has no address")
+  in
+  incr disc_counter;
+  let disc, peer_disc, st =
+    match resume with
+    | Some (my_disc, your_disc) -> (my_disc, your_disc, Up)
+    | None -> (!disc_counter, 0, Down)
+  in
+  let s =
+    {
+      ep;
+      svrf = vrf;
+      slocal;
+      sremote = remote;
+      disc;
+      peer_disc;
+      tx_interval;
+      detect_mult;
+      st;
+      tx_timer = None;
+      detect_handle = None;
+      change_cb = (fun ~old:_ _ -> ());
+      n_in = 0;
+      n_out = 0;
+      last_rx_at = None;
+    }
+  in
+  Hashtbl.replace ep.sessions (session_key remote vrf) s;
+  send_control ep s;
+  s.tx_timer <-
+    Some
+      (Engine.every ep.eng ~jitter:0.1 tx_interval (fun () ->
+           if s.st <> Admin_down then send_control ep s));
+  (* A resumed (Up) session must still detect a dead peer. *)
+  if resume <> None then arm_detect ep s ~remote_interval:tx_interval;
+  s
+
+module Relay = struct
+  type t = {
+    rnode : Node.t;
+    mutable timer : Engine.timer option;
+    mutable sent : int;
+  }
+
+  let start node ?(tx_interval = Time.ms 100) ~src ~dst ~vrf ~my_disc
+      ~your_disc () =
+    let t = { rnode = node; timer = None; sent = 0 } in
+    let ctl =
+      {
+        vrf;
+        my_disc;
+        your_disc;
+        state = Up;
+        detect_mult = 3;
+        tx_interval;
+      }
+    in
+    let send () =
+      if Node.is_up node then begin
+        t.sent <- t.sent + 1;
+        Node.send node
+          (Packet.make ~src ~dst ~size:control_wire_size (Bfd ctl))
+      end
+    in
+    send ();
+    t.timer <-
+      Some (Engine.every (Node.engine node) ~jitter:0.05 tx_interval send);
+    t
+
+  let stop t =
+    match t.timer with
+    | Some timer ->
+        Engine.stop_timer timer;
+        t.timer <- None
+    | None -> ()
+
+  let packets_sent t = t.sent
+end

@@ -1,0 +1,1 @@
+lib/bgp/attrs.ml: Format Hashtbl List Netsim Stdlib

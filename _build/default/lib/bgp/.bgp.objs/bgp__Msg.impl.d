@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Attrs Buffer Char Format List Netsim Printf String

@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: Attrs Format Netsim

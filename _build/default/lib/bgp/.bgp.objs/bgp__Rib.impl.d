@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Attrs Hashtbl Int List Netsim String

@@ -1,0 +1,1 @@
+lib/bgp/session.ml: Engine Format List Msg Netsim Sim String Tcp Time

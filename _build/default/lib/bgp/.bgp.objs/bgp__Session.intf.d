@@ -1,0 +1,1 @@
+lib/bgp/session.mli: Format Msg Netsim Sim Tcp

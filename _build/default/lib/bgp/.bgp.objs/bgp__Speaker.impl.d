@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: Attrs Engine Hashtbl List Msg Netsim Policy Rib Session Sim String Tcp Time

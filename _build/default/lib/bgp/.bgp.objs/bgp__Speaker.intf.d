@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Attrs Msg Netsim Policy Rib Session Sim Tcp

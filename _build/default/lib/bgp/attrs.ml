@@ -1,0 +1,87 @@
+type origin = Igp | Egp | Incomplete
+
+type segment = Seq of int list | Set of int list
+
+type community = int * int
+
+type t = {
+  origin : origin;
+  as_path : segment list;
+  next_hop : Netsim.Addr.t;
+  med : int option;
+  local_pref : int option;
+  atomic_aggregate : bool;
+  communities : community list;
+}
+
+let make ?(origin = Igp) ?(as_path = []) ?med ?local_pref
+    ?(atomic_aggregate = false) ?(communities = []) ~next_hop () =
+  { origin; as_path; next_hop; med; local_pref; atomic_aggregate; communities }
+
+let as_path_length t =
+  List.fold_left
+    (fun acc -> function Seq asns -> acc + List.length asns | Set _ -> acc + 1)
+    0 t.as_path
+
+let path_contains t asn =
+  List.exists
+    (function Seq asns | Set asns -> List.mem asn asns)
+    t.as_path
+
+let prepend t asn =
+  let as_path =
+    match t.as_path with
+    | Seq asns :: rest -> Seq (asn :: asns) :: rest
+    | path -> Seq [ asn ] :: path
+  in
+  { t with as_path }
+
+let with_next_hop t next_hop = { t with next_hop }
+let with_local_pref t local_pref = { t with local_pref }
+let with_med t med = { t with med }
+
+let add_community t c =
+  if List.mem c t.communities then t
+  else { t with communities = t.communities @ [ c ] }
+
+let has_community t c = List.mem c t.communities
+let no_export = (0xFFFF, 0xFF01)
+let no_advertise = (0xFFFF, 0xFF02)
+
+let origin_rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let equal a b = a = b
+let compare a b = Stdlib.compare a b
+let hash t = Hashtbl.hash t
+
+let pp_segment fmt = function
+  | Seq asns ->
+      Format.fprintf fmt "%a"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+           Format.pp_print_int)
+        asns
+  | Set asns ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+           Format.pp_print_int)
+        asns
+
+let pp fmt t =
+  Format.fprintf fmt "path=[%a] nh=%a origin=%s"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+       pp_segment)
+    t.as_path Netsim.Addr.pp t.next_hop
+    (match t.origin with Igp -> "igp" | Egp -> "egp" | Incomplete -> "?");
+  (match t.local_pref with
+  | Some lp -> Format.fprintf fmt " lp=%d" lp
+  | None -> ());
+  (match t.med with Some m -> Format.fprintf fmt " med=%d" m | None -> ());
+  if t.communities <> [] then
+    Format.fprintf fmt " comm=[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+         (fun f (a, v) -> Format.fprintf f "%d:%d" a v))
+      t.communities

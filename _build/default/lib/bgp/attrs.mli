@@ -1,0 +1,68 @@
+(** BGP path attributes (RFC 4271 §5).
+
+    The attribute set carried by UPDATE messages and stored in the RIBs.
+    Structural equality of attribute sets is what update packing groups
+    by, so [equal]/[compare]/[hash] are part of the contract. *)
+
+type origin = Igp | Egp | Incomplete
+
+type segment =
+  | Seq of int list  (** AS_SEQUENCE: ordered ASNs. *)
+  | Set of int list  (** AS_SET: unordered aggregate. *)
+
+type community = int * int
+(** [(asn, value)], each 16 bits on the wire. *)
+
+type t = {
+  origin : origin;
+  as_path : segment list;
+  next_hop : Netsim.Addr.t;
+  med : int option;  (** MULTI_EXIT_DISC. *)
+  local_pref : int option;  (** LOCAL_PREF; present on iBGP sessions. *)
+  atomic_aggregate : bool;
+  communities : community list;
+}
+
+val make :
+  ?origin:origin ->
+  ?as_path:segment list ->
+  ?med:int ->
+  ?local_pref:int ->
+  ?atomic_aggregate:bool ->
+  ?communities:community list ->
+  next_hop:Netsim.Addr.t ->
+  unit ->
+  t
+(** Defaults: IGP origin, empty AS path, no MED/LOCAL_PREF/communities. *)
+
+val as_path_length : t -> int
+(** Hop count for the decision process: an AS_SET counts as one hop
+    (RFC 4271 §9.1.2.2). *)
+
+val path_contains : t -> int -> bool
+(** [path_contains t asn] — loop detection on receipt. *)
+
+val prepend : t -> int -> t
+(** [prepend t asn] adds [asn] at the front of the AS path (extending the
+    leading AS_SEQUENCE, as a speaker does on eBGP export). *)
+
+val with_next_hop : t -> Netsim.Addr.t -> t
+val with_local_pref : t -> int option -> t
+val with_med : t -> int option -> t
+val add_community : t -> community -> t
+val has_community : t -> community -> bool
+
+val no_export : community
+(** RFC 1997 NO_EXPORT (65535:65281): do not advertise beyond the local
+    AS (never to eBGP peers). *)
+
+val no_advertise : community
+(** RFC 1997 NO_ADVERTISE (65535:65282): do not advertise to any peer. *)
+
+val origin_rank : origin -> int
+(** IGP (0) < EGP (1) < INCOMPLETE (2); lower wins. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,198 @@
+type source = {
+  key : string;
+  peer_asn : int;
+  peer_addr : Netsim.Addr.t;
+  router_id : Netsim.Addr.t;
+  ebgp : bool;
+}
+
+type path = { source : source; attrs : Attrs.t; stale : bool }
+
+type change =
+  | Best_changed of Netsim.Addr.prefix * path
+  | Best_withdrawn of Netsim.Addr.prefix
+
+type entry = { mutable paths : path list; mutable best : path option }
+
+module PrefixTbl = Hashtbl.Make (struct
+  type t = Netsim.Addr.prefix
+
+  let equal = Netsim.Addr.equal_prefix
+  let hash (p : Netsim.Addr.prefix) = Hashtbl.hash (Netsim.Addr.to_int p.base, p.len)
+end)
+
+type t = { table : entry PrefixTbl.t; mutable npaths : int }
+
+let create () = { table = PrefixTbl.create 1024; npaths = 0 }
+
+let local_pref_of p = match p.attrs.Attrs.local_pref with Some lp -> lp | None -> 100
+
+let neighbor_as p =
+  match p.attrs.Attrs.as_path with
+  | Attrs.Seq (asn :: _) :: _ -> Some asn
+  | _ -> None
+
+(* RFC 4271 §9.1.2.2, as a strict "a preferred over b" relation. *)
+let better a b =
+  let cmp =
+    let c = Int.compare (local_pref_of b) (local_pref_of a) in
+    if c <> 0 then c
+    else
+      let c =
+        Int.compare (Attrs.as_path_length a.attrs) (Attrs.as_path_length b.attrs)
+      in
+      if c <> 0 then c
+      else
+        let c =
+          Int.compare
+            (Attrs.origin_rank a.attrs.Attrs.origin)
+            (Attrs.origin_rank b.attrs.Attrs.origin)
+        in
+        if c <> 0 then c
+        else
+          let med_cmp =
+            (* MED comparable only between paths from the same
+               neighbouring AS; missing MED is best (0). *)
+            match (neighbor_as a, neighbor_as b) with
+            | Some na, Some nb when na = nb ->
+                let med p = match p.attrs.Attrs.med with Some m -> m | None -> 0 in
+                Int.compare (med a) (med b)
+            | _ -> 0
+          in
+          if med_cmp <> 0 then med_cmp
+          else
+            let ebgp_rank p = if p.source.ebgp then 0 else 1 in
+            let c = Int.compare (ebgp_rank a) (ebgp_rank b) in
+            if c <> 0 then c
+            else
+              let c =
+                Netsim.Addr.compare a.source.router_id b.source.router_id
+              in
+              if c <> 0 then c
+              else Netsim.Addr.compare a.source.peer_addr b.source.peer_addr
+  in
+  cmp < 0
+
+let select_best paths =
+  match paths with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun acc p -> if better p acc then p else acc) first rest)
+
+let same_best a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y ->
+      String.equal x.source.key y.source.key && Attrs.equal x.attrs y.attrs
+  | _ -> false
+
+let entry_of t prefix =
+  match PrefixTbl.find_opt t.table prefix with
+  | Some e -> e
+  | None ->
+      let e = { paths = []; best = None } in
+      PrefixTbl.replace t.table prefix e;
+      e
+
+let recompute t prefix entry =
+  let old_best = entry.best in
+  let new_best = select_best entry.paths in
+  entry.best <- new_best;
+  if entry.paths = [] then PrefixTbl.remove t.table prefix;
+  if same_best old_best new_best then None
+  else
+    match new_best with
+    | Some p -> Some (Best_changed (prefix, p))
+    | None -> Some (Best_withdrawn prefix)
+
+let update t source prefix attrs =
+  let entry = entry_of t prefix in
+  let had = List.exists (fun p -> String.equal p.source.key source.key) entry.paths in
+  let without =
+    List.filter (fun p -> not (String.equal p.source.key source.key)) entry.paths
+  in
+  (match attrs with
+  | Some attrs ->
+      entry.paths <- { source; attrs; stale = false } :: without;
+      if not had then t.npaths <- t.npaths + 1
+  | None ->
+      entry.paths <- without;
+      if had then t.npaths <- t.npaths - 1);
+  recompute t prefix entry
+
+let best t prefix =
+  match PrefixTbl.find_opt t.table prefix with
+  | Some e -> e.best
+  | None -> None
+
+let candidates t prefix =
+  match PrefixTbl.find_opt t.table prefix with
+  | None -> []
+  | Some e -> List.sort (fun a b -> if better a b then -1 else 1) e.paths
+
+let size t = PrefixTbl.length t.table
+let path_count t = t.npaths
+
+let fold_best t ~init ~f =
+  PrefixTbl.fold
+    (fun prefix e acc ->
+      match e.best with Some p -> f acc prefix p | None -> acc)
+    t.table init
+
+let transform_source t ~key ~f =
+  (* Apply [f] to each (prefix, entry) holding a path from [key]; collect
+     best-path changes. *)
+  let touched = ref [] in
+  PrefixTbl.iter
+    (fun prefix e ->
+      if List.exists (fun p -> String.equal p.source.key key) e.paths then
+        touched := (prefix, e) :: !touched)
+    t.table;
+  List.filter_map (fun (prefix, e) -> f prefix e) !touched
+
+let remove_source t ~key =
+  transform_source t ~key ~f:(fun prefix e ->
+      let before = List.length e.paths in
+      e.paths <-
+        List.filter (fun p -> not (String.equal p.source.key key)) e.paths;
+      t.npaths <- t.npaths - (before - List.length e.paths);
+      recompute t prefix e)
+
+let mark_source_stale t ~key =
+  let marked = ref 0 in
+  PrefixTbl.iter
+    (fun _ e ->
+      e.paths <-
+        List.map
+          (fun p ->
+            if String.equal p.source.key key && not p.stale then begin
+              incr marked;
+              { p with stale = true }
+            end
+            else p)
+          e.paths;
+      (* The best pointer may reference a replaced record; refresh it
+         without reporting a change (attrs are unchanged). *)
+      e.best <- select_best e.paths)
+    t.table;
+  !marked
+
+let sweep_stale t ~key =
+  transform_source t ~key ~f:(fun prefix e ->
+      let before = List.length e.paths in
+      e.paths <-
+        List.filter
+          (fun p -> not (String.equal p.source.key key && p.stale))
+          e.paths;
+      t.npaths <- t.npaths - (before - List.length e.paths);
+      recompute t prefix e)
+
+let stale_count t ~key =
+  PrefixTbl.fold
+    (fun _ e acc ->
+      acc
+      + List.length
+          (List.filter
+             (fun p -> String.equal p.source.key key && p.stale)
+             e.paths))
+    t.table 0

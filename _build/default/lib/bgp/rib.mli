@@ -1,0 +1,71 @@
+(** Routing information bases and the BGP decision process.
+
+    One [Rib.t] is a per-VRF table holding every path learned for every
+    prefix (the union of the Adj-RIBs-In) together with a cached best
+    path (the Loc-RIB view). Updates return the resulting best-path
+    change, which the speaker propagates to its Adj-RIBs-Out.
+
+    The decision process implements RFC 4271 §9.1: highest LOCAL_PREF,
+    shortest AS path, lowest origin, lowest MED (compared only between
+    paths from the same neighbouring AS), eBGP over iBGP, lowest router
+    id, lowest peer address. The comparison is a total order over the
+    candidate set, which the property tests rely on.
+
+    Paths can be marked stale for graceful restart (RFC 4724): stale
+    paths keep forwarding (remain eligible) until refreshed by the
+    restarted peer or swept when the restart timer fires. *)
+
+type source = {
+  key : string;  (** Unique per session, e.g. ["vrf0/10.0.0.2"]. *)
+  peer_asn : int;
+  peer_addr : Netsim.Addr.t;
+  router_id : Netsim.Addr.t;
+  ebgp : bool;
+}
+
+type path = { source : source; attrs : Attrs.t; stale : bool }
+
+type change =
+  | Best_changed of Netsim.Addr.prefix * path
+  | Best_withdrawn of Netsim.Addr.prefix
+
+type t
+
+val create : unit -> t
+
+val update :
+  t -> source -> Netsim.Addr.prefix -> Attrs.t option -> change option
+(** [update t src prefix (Some attrs)] installs or replaces the path from
+    [src]; [update t src prefix None] withdraws it. Returns the best-path
+    change if the Loc-RIB view of [prefix] changed. A refreshed path
+    clears any stale mark. *)
+
+val best : t -> Netsim.Addr.prefix -> path option
+val candidates : t -> Netsim.Addr.prefix -> path list
+(** All paths for the prefix, best first. *)
+
+val size : t -> int
+(** Prefixes with at least one path. *)
+
+val path_count : t -> int
+(** Total paths across all prefixes. *)
+
+val fold_best : t -> init:'a -> f:('a -> Netsim.Addr.prefix -> path -> 'a) -> 'a
+(** Folds over the Loc-RIB (best path per prefix). *)
+
+val remove_source : t -> key:string -> change list
+(** Session death without graceful restart: drop every path from the
+    source and report all best-path changes. *)
+
+val mark_source_stale : t -> key:string -> int
+(** Graceful restart entered: mark the source's paths stale (they remain
+    in use). Returns how many were marked. *)
+
+val sweep_stale : t -> key:string -> change list
+(** Restart timer expiry or End-of-RIB: remove the source's still-stale
+    paths and report changes. *)
+
+val stale_count : t -> key:string -> int
+
+val better : path -> path -> bool
+(** [better a b] — the decision process preference, exposed for tests. *)

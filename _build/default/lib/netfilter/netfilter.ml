@@ -1,0 +1,97 @@
+type verdict = Accept | Drop | Queue of int
+
+type rule = {
+  priority : int;
+  order : int;
+  judge : Netsim.Packet.t -> verdict;
+}
+
+type queue = {
+  mutable consumer :
+    (Netsim.Packet.t -> reinject:(verdict -> unit) -> unit) option;
+  mutable pending : int;
+}
+
+type t = {
+  mutable rules : rule list; (* sorted by (priority, order) *)
+  queues : (int, queue) Hashtbl.t;
+  mutable next_order : int;
+  mutable n_accepted : int;
+  mutable n_dropped : int;
+  mutable n_queued : int;
+}
+
+let create () =
+  {
+    rules = [];
+    queues = Hashtbl.create 4;
+    next_order = 0;
+    n_accepted = 0;
+    n_dropped = 0;
+    n_queued = 0;
+  }
+
+let add_rule t ?(priority = 0) judge =
+  let rule = { priority; order = t.next_order; judge } in
+  t.next_order <- t.next_order + 1;
+  t.rules <-
+    List.sort
+      (fun a b ->
+        match Int.compare a.priority b.priority with
+        | 0 -> Int.compare a.order b.order
+        | c -> c)
+      (rule :: t.rules);
+  rule
+
+let remove_rule t rule = t.rules <- List.filter (fun r -> r != rule) t.rules
+
+let queue t n =
+  match Hashtbl.find_opt t.queues n with
+  | Some q -> q
+  | None ->
+      let q = { consumer = None; pending = 0 } in
+      Hashtbl.replace t.queues n q;
+      q
+
+let set_consumer q f = q.consumer <- Some f
+let clear_consumer q = q.consumer <- None
+let backlog q = q.pending
+
+let rec apply t rules pkt ~emit =
+  match rules with
+  | [] ->
+      t.n_accepted <- t.n_accepted + 1;
+      emit pkt
+  | rule :: rest -> (
+      match rule.judge pkt with
+      | Accept -> apply t rest pkt ~emit
+      | Drop -> t.n_dropped <- t.n_dropped + 1
+      | Queue n -> (
+          let q = queue t n in
+          match q.consumer with
+          | None ->
+              (* Real NFQUEUE semantics: no userspace reader, packet is
+                 dropped. *)
+              t.n_dropped <- t.n_dropped + 1
+          | Some consumer ->
+              t.n_queued <- t.n_queued + 1;
+              q.pending <- q.pending + 1;
+              let decided = ref false in
+              let reinject verdict =
+                if not !decided then begin
+                  decided := true;
+                  q.pending <- q.pending - 1;
+                  match verdict with
+                  | Accept | Queue _ ->
+                      t.n_accepted <- t.n_accepted + 1;
+                      emit pkt
+                  | Drop -> t.n_dropped <- t.n_dropped + 1
+                end
+              in
+              consumer pkt ~reinject))
+
+let traverse t pkt ~emit = apply t t.rules pkt ~emit
+
+let accepted t = t.n_accepted
+let dropped t = t.n_dropped
+let queued t = t.n_queued

@@ -1,0 +1,64 @@
+(** Netfilter-style packet hooks.
+
+    This is the simulator's rendition of the Linux facility TENSOR builds
+    on (§3.1.2): a per-host OUTPUT chain that every locally generated
+    egress packet traverses, with rules returning verdicts. A [Queue n]
+    verdict diverts the packet to an NFQUEUE-like target whose userspace
+    consumer later reinjects it with a final verdict — exactly the
+    mechanism TENSOR's [tcp_queue] thread uses to hold TCP ACKs until the
+    corresponding BGP message is known to be replicated.
+
+    No kernel semantics beyond rule traversal and queue/reinject are
+    modelled, because the paper uses nothing else. *)
+
+type verdict =
+  | Accept  (** Let the packet out. *)
+  | Drop  (** Silently discard. *)
+  | Queue of int  (** Divert to the numbered queue. *)
+
+type t
+(** A hook chain (one per protocol stack attachment). *)
+
+type rule
+(** Handle for removing an installed rule. *)
+
+val create : unit -> t
+(** An empty chain: every packet is accepted. *)
+
+val add_rule : t -> ?priority:int -> (Netsim.Packet.t -> verdict) -> rule
+(** Installs a rule. Lower [priority] runs earlier (default 0); equal
+    priorities run in installation order. *)
+
+val remove_rule : t -> rule -> unit
+
+type queue
+(** An NFQUEUE target. *)
+
+val queue : t -> int -> queue
+(** [queue t n] is the chain's queue number [n], created on first use. *)
+
+val set_consumer :
+  queue ->
+  (Netsim.Packet.t -> reinject:(verdict -> unit) -> unit) ->
+  unit
+(** Registers the userspace consumer. For each queued packet the consumer
+    receives a [reinject] continuation to be called exactly once, now or
+    from a later event. Packets queued while no consumer is attached are
+    {e dropped} — real NFQUEUE semantics, and load-bearing for TENSOR:
+    when the BGP process (and its tcp_queue thread) crashes, the kernel's
+    dying FIN/RST is queued to a reader-less queue and silently dropped,
+    so the remote peer observes silence rather than a connection reset. *)
+
+val clear_consumer : queue -> unit
+
+val backlog : queue -> int
+(** Packets handed to the consumer whose reinject is still pending. *)
+
+val traverse : t -> Netsim.Packet.t -> emit:(Netsim.Packet.t -> unit) -> unit
+(** Runs the packet through the rules. [emit] is called (possibly later,
+    for queued packets) for packets whose final verdict is [Accept]. *)
+
+val accepted : t -> int
+val dropped : t -> int
+val queued : t -> int
+(** Counters over the chain's lifetime. *)

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Addr Engine Hashtbl Link List Node Printf Sim

@@ -1,0 +1,1 @@
+lib/netsim/node.ml: Addr Engine Int Link List Packet Sim

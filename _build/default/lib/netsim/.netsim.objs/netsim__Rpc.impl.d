@@ -1,0 +1,1 @@
+lib/netsim/rpc.ml: Addr Engine Hashtbl Node Packet Sim Time

@@ -1,0 +1,120 @@
+open Sim
+
+type side = A | B
+
+let other = function A -> B | B -> A
+
+type endpoint = {
+  mutable deliver : (Packet.t -> unit) option;
+  mutable busy_until : Time.t; (* when this direction's transmitter frees *)
+}
+
+type t = {
+  lname : string;
+  eng : Engine.t;
+  a : endpoint;
+  b : endpoint;
+  mutable prop_delay : Time.span;
+  mutable bandwidth_bps : int;
+  mutable loss : float;
+  mutable up : bool;
+  mutable epoch : int; (* bumped on failure: invalidates in-flight packets *)
+  mutable taps : (side -> Packet.t -> unit) list;
+  rng : Rng.t;
+  mutable tx : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+  mutable last_delivery : Time.t option;
+}
+
+let link_count = ref 0
+
+let create eng ?(delay = Time.us 50) ?(bandwidth_bps = 100_000_000_000)
+    ?(loss = 0.0) ?name () =
+  incr link_count;
+  let lname =
+    match name with Some n -> n | None -> Printf.sprintf "link%d" !link_count
+  in
+  {
+    lname;
+    eng;
+    a = { deliver = None; busy_until = Time.zero };
+    b = { deliver = None; busy_until = Time.zero };
+    prop_delay = delay;
+    bandwidth_bps;
+    loss;
+    up = true;
+    epoch = 0;
+    taps = [];
+    rng = Rng.split (Engine.rng eng);
+    tx = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+    last_delivery = None;
+  }
+
+let name t = t.lname
+let engine t = t.eng
+let endpoint t = function A -> t.a | B -> t.b
+
+let set_receiver t side f = (endpoint t side).deliver <- Some f
+
+let serialization_delay t size =
+  if t.bandwidth_bps <= 0 then 0
+  else
+    (* size bytes * 8 bits * 1e9 ns / bandwidth. Order the arithmetic to
+       avoid overflow for realistic sizes (< 1 GB). *)
+    size * 8 * 1_000_000_000 / t.bandwidth_bps
+
+let transmit t ~from pkt =
+  if (not t.up) || Rng.bernoulli t.rng t.loss then t.dropped <- t.dropped + 1
+  else begin
+    t.tx <- t.tx + 1;
+    let sender = endpoint t from in
+    let now = Engine.now t.eng in
+    let start = max now sender.busy_until in
+    let finish = Time.add start (serialization_delay t pkt.Packet.size) in
+    sender.busy_until <- finish;
+    let arrival = Time.add finish t.prop_delay in
+    let epoch = t.epoch in
+    let dst_side = other from in
+    ignore
+      (Engine.schedule_at t.eng arrival (fun () ->
+           if t.up && t.epoch = epoch then begin
+             t.delivered <- t.delivered + 1;
+             t.bytes <- t.bytes + pkt.Packet.size;
+             t.last_delivery <- Some (Engine.now t.eng);
+             (match (endpoint t dst_side).deliver with
+             | Some f -> f pkt
+             | None -> ());
+             List.iter (fun tap -> tap dst_side pkt) t.taps
+           end
+           else t.dropped <- t.dropped + 1))
+  end
+
+let is_up t = t.up
+
+let set_up t flag =
+  if t.up && not flag then begin
+    (* Going down invalidates everything in flight or queued. *)
+    t.epoch <- t.epoch + 1;
+    t.a.busy_until <- Engine.now t.eng;
+    t.b.busy_until <- Engine.now t.eng
+  end;
+  t.up <- flag
+
+let fail_for t span =
+  set_up t false;
+  ignore (Engine.schedule_after t.eng span (fun () -> set_up t true))
+
+let set_delay t d = t.prop_delay <- d
+let delay t = t.prop_delay
+let set_loss t l = t.loss <- l
+let tap t f = t.taps <- f :: t.taps
+let tx_packets t = t.tx
+let delivered_packets t = t.delivered
+let dropped_packets t = t.dropped
+let delivered_bytes t = t.bytes
+let last_delivery t = t.last_delivery

@@ -1,0 +1,68 @@
+(** Point-to-point links.
+
+    A link joins two endpoints, [A] and [B]. Each direction has its own
+    serialization queue: a packet occupies the transmitter for
+    [size / bandwidth] and then propagates for the link delay. Packets are
+    lost when the link is down (including those in flight at failure
+    time), or with the configured random loss probability.
+
+    Receivers are plain callbacks, installed by {!Node.attach}; the link
+    layer knows nothing about nodes, which keeps the dependency graph
+    acyclic. *)
+
+type t
+
+type side = A | B
+
+val other : side -> side
+
+val create :
+  Sim.Engine.t ->
+  ?delay:Sim.Time.span ->
+  ?bandwidth_bps:int ->
+  ?loss:float ->
+  ?name:string ->
+  unit ->
+  t
+(** [create engine ()] is an up link with defaults: 50 µs delay, 100 Gbps,
+    zero loss. [bandwidth_bps = 0] means infinite bandwidth. *)
+
+val name : t -> string
+val engine : t -> Sim.Engine.t
+
+val set_receiver : t -> side -> (Packet.t -> unit) -> unit
+(** Installs the delivery callback for packets arriving at [side]. *)
+
+val transmit : t -> from:side -> Packet.t -> unit
+(** Queues a packet for the far end. Silently dropped when the link is
+    down or the loss draw fails. *)
+
+val is_up : t -> bool
+
+val set_up : t -> bool -> unit
+(** Setting a link down drops queued and in-flight packets. *)
+
+val fail_for : t -> Sim.Time.span -> unit
+(** [fail_for t span] models a transient failure (e.g. network jitter):
+    the link goes down now and comes back after [span]. *)
+
+val set_delay : t -> Sim.Time.span -> unit
+val delay : t -> Sim.Time.span
+val set_loss : t -> float -> unit
+
+val tap : t -> (side -> Packet.t -> unit) -> unit
+(** [tap t f] invokes [f arriving_side packet] on every successful
+    delivery, after the receiver callback. Experiments use taps to detect
+    traffic gaps. *)
+
+(** {1 Statistics} *)
+
+val tx_packets : t -> int
+(** Packets accepted for transmission (both directions). *)
+
+val delivered_packets : t -> int
+val dropped_packets : t -> int
+val delivered_bytes : t -> int
+
+val last_delivery : t -> Sim.Time.t option
+(** Instant of the most recent successful delivery in either direction. *)

@@ -1,0 +1,36 @@
+(** Topology builder and registry.
+
+    Thin convenience layer over {!Node} and {!Link}: it names nodes,
+    allocates point-to-point subnets (from 10.0.0.0/8) for links, and
+    keeps a registry so experiments can look components up by name. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+val engine : t -> Sim.Engine.t
+
+val add_node : t -> ?forwarding:bool -> string -> Node.t
+(** Creates and registers a node. Raises [Invalid_argument] if the name
+    is taken. *)
+
+val node : t -> string -> Node.t
+(** Looks a node up. Raises [Not_found]. *)
+
+val nodes : t -> Node.t list
+
+val connect :
+  t ->
+  ?delay:Sim.Time.span ->
+  ?bandwidth_bps:int ->
+  ?loss:float ->
+  Node.t ->
+  Node.t ->
+  Link.t * Addr.t * Addr.t
+(** [connect t a b] creates a link between [a] and [b], allocating a fresh
+    /30-style address pair; returns the link and the two addresses
+    ([a]'s first). Defaults match {!Link.create}. *)
+
+val links : t -> Link.t list
+
+val link_between : t -> Node.t -> Node.t -> Link.t option
+(** The first link directly joining the two nodes, if any. *)

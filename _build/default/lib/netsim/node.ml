@@ -1,0 +1,105 @@
+open Sim
+
+type iface = {
+  link : Link.t;
+  side : Link.side;
+  local : Addr.t;
+  remote : Addr.t;
+}
+
+type t = {
+  nname : string;
+  eng : Engine.t;
+  mutable addrs : Addr.t list;
+  mutable handlers : (Packet.t -> bool) list;
+  mutable ifs : iface list;
+  mutable routes : (Addr.prefix * Addr.t) list;
+  mutable up : bool;
+  forwarding : bool;
+  mutable unrouted : int;
+  mutable unclaimed : int;
+}
+
+let create eng ?(forwarding = false) nname =
+  {
+    nname;
+    eng;
+    addrs = [];
+    handlers = [];
+    ifs = [];
+    routes = [];
+    up = true;
+    forwarding;
+    unrouted = 0;
+    unclaimed = 0;
+  }
+
+let name t = t.nname
+let engine t = t.eng
+let add_address t a = if not (List.mem a t.addrs) then t.addrs <- a :: t.addrs
+
+let remove_address t a =
+  t.addrs <- List.filter (fun x -> not (Addr.equal x a)) t.addrs
+let addresses t = t.addrs
+let ifaces t = t.ifs
+let has_address t a = List.exists (Addr.equal a) t.addrs
+
+let add_route t prefix gateway =
+  (* Keep routes sorted by decreasing length: lookup is then first-match. *)
+  t.routes <-
+    List.sort
+      (fun (p, _) (q, _) -> Int.compare q.Addr.len p.Addr.len)
+      ((prefix, gateway) :: t.routes)
+
+let add_handler t f = t.handlers <- t.handlers @ [ f ]
+
+let deliver_local t pkt =
+  let rec offer = function
+    | [] -> t.unclaimed <- t.unclaimed + 1
+    | h :: rest -> if not (h pkt) then offer rest
+  in
+  offer t.handlers
+
+let iface_for t dst =
+  let direct = List.find_opt (fun i -> Addr.equal i.remote dst) t.ifs in
+  match direct with
+  | Some _ as found -> found
+  | None -> (
+      (* Longest prefix first thanks to the sorted insert. *)
+      match
+        List.find_opt (fun (p, _) -> Addr.contains p dst) t.routes
+      with
+      | None -> None
+      | Some (_, gw) -> List.find_opt (fun i -> Addr.equal i.remote gw) t.ifs)
+
+let rec emit t pkt =
+  if not t.up then ()
+  else if has_address t pkt.Packet.dst then
+    (* Loopback: deliver via a fresh event so senders never observe
+       reentrant receive callbacks. *)
+    ignore (Engine.schedule_after t.eng 0 (fun () -> rx t pkt))
+  else
+    match iface_for t pkt.Packet.dst with
+    | None -> t.unrouted <- t.unrouted + 1
+    | Some i -> Link.transmit i.link ~from:i.side pkt
+
+and rx t pkt =
+  if not t.up then ()
+  else if has_address t pkt.Packet.dst then deliver_local t pkt
+  else if t.forwarding then
+    match Packet.decrement_ttl pkt with
+    | None -> ()
+    | Some pkt -> emit t pkt
+  else t.unrouted <- t.unrouted + 1
+
+let send = emit
+
+let attach t link side ~local ~remote =
+  add_address t local;
+  t.ifs <- { link; side; local; remote } :: t.ifs;
+  Link.set_receiver link side (fun pkt -> rx t pkt)
+
+let is_up t = t.up
+let set_up t flag = t.up <- flag
+let unrouted_packets t = t.unrouted
+let unclaimed_packets t = t.unclaimed

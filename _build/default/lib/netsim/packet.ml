@@ -1,0 +1,23 @@
+type payload = ..
+type payload += Raw of string
+
+type t = {
+  id : int;
+  src : Addr.t;
+  dst : Addr.t;
+  size : int;
+  ttl : int;
+  payload : payload;
+}
+
+let next_id = ref 0
+
+let make ?(ttl = 64) ~src ~dst ~size payload =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  incr next_id;
+  { id = !next_id; src; dst; size; ttl; payload }
+
+let decrement_ttl p = if p.ttl <= 1 then None else Some { p with ttl = p.ttl - 1 }
+
+let pp fmt p =
+  Format.fprintf fmt "#%d %a->%a (%dB)" p.id Addr.pp p.src Addr.pp p.dst p.size

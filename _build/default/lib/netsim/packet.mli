@@ -1,0 +1,34 @@
+(** Simulated packets.
+
+    A packet carries a source and destination address, a wire size in
+    bytes (used for serialization delay), a TTL (loop guard for the static
+    forwarder), and a protocol payload. The payload type is extensible so
+    that each protocol library (TCP, BFD, RPC, probes) declares its own
+    constructor without [netsim] depending on any of them. *)
+
+type payload = ..
+(** Extended by protocol libraries, e.g. [Tcp.Segment_payload]. *)
+
+type payload += Raw of string
+(** An opaque payload for tests and simple tools. *)
+
+type t = {
+  id : int;  (** Globally unique, for tracing. *)
+  src : Addr.t;
+  dst : Addr.t;
+  size : int;  (** Total wire bytes, headers included. *)
+  ttl : int;
+  payload : payload;
+}
+
+val make : ?ttl:int -> src:Addr.t -> dst:Addr.t -> size:int -> payload -> t
+(** [make ~src ~dst ~size payload] is a fresh packet with a new id and a
+    default TTL of 64. [size] must be positive. *)
+
+val decrement_ttl : t -> t option
+(** [decrement_ttl p] is the packet with TTL reduced, or [None] when the
+    TTL is exhausted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints id, endpoints and size (payloads print as their constructor
+    arity only). *)

@@ -1,0 +1,104 @@
+open Sim
+
+type body = ..
+type body += Ping | Pong
+
+type error = [ `Timeout ]
+
+type Packet.payload +=
+  | Request of { call_id : int; service : string; body : body }
+  | Response of { call_id : int; body : body }
+
+type pending = {
+  k : (body, error) result -> unit;
+  timeout_handle : Engine.handle;
+}
+
+type endpoint = {
+  ep_node : Node.t;
+  services : (string, src:Addr.t -> body -> reply:(?size:int -> body -> unit) -> unit) Hashtbl.t;
+  pending : (int, pending) Hashtbl.t;
+}
+
+(* One endpoint per node, keyed physically: nodes are unique mutable
+   records so physical identity is the right notion. *)
+let registry : (string, endpoint) Hashtbl.t = Hashtbl.create 64
+let next_call_id = ref 0
+
+let source_addr node =
+  match Node.addresses node with
+  | a :: _ -> a
+  | [] -> invalid_arg "Rpc: node has no address"
+
+let node ep = ep.ep_node
+
+let handle_packet ep (pkt : Packet.t) =
+  match pkt.payload with
+  | Request { call_id; service; body } -> (
+      (match Hashtbl.find_opt ep.services service with
+      | None -> () (* unknown service: silently dropped, caller times out *)
+      | Some handler ->
+          let replied = ref false in
+          let reply ?(size = 128) rbody =
+            if not !replied then begin
+              replied := true;
+              let resp =
+                Packet.make ~src:pkt.dst ~dst:pkt.src ~size
+                  (Response { call_id; body = rbody })
+              in
+              Node.send ep.ep_node resp
+            end
+          in
+          handler ~src:pkt.src body ~reply);
+      true)
+  | Response { call_id; body } -> (
+      (match Hashtbl.find_opt ep.pending call_id with
+      | None -> () (* late response after timeout: discarded *)
+      | Some p ->
+          Hashtbl.remove ep.pending call_id;
+          Engine.cancel p.timeout_handle;
+          p.k (Ok body));
+      true)
+  | _ -> false
+
+let endpoint node =
+  let key = Node.name node in
+  match Hashtbl.find_opt registry key with
+  | Some ep when ep.ep_node == node -> ep
+  | Some _ | None ->
+      let ep =
+        { ep_node = node; services = Hashtbl.create 8; pending = Hashtbl.create 16 }
+      in
+      Node.add_handler node (handle_packet ep);
+      Hashtbl.replace registry key ep;
+      ep
+
+let serve ep ~service handler = Hashtbl.replace ep.services service handler
+let unserve ep ~service = Hashtbl.remove ep.services service
+
+let call ep ?(timeout = Time.sec 1) ?(size = 128) ~dst ~service body k =
+  incr next_call_id;
+  let call_id = !next_call_id in
+  let eng = Node.engine ep.ep_node in
+  let timeout_handle =
+    Engine.schedule_after eng timeout (fun () ->
+        if Hashtbl.mem ep.pending call_id then begin
+          Hashtbl.remove ep.pending call_id;
+          k (Error `Timeout)
+        end)
+  in
+  Hashtbl.replace ep.pending call_id { k; timeout_handle };
+  let pkt =
+    Packet.make ~src:(source_addr ep.ep_node) ~dst ~size
+      (Request { call_id; service; body })
+  in
+  Node.send ep.ep_node pkt
+
+let ping ep ?timeout ~dst ~service k =
+  call ep ?timeout ~dst ~service Ping (function
+    | Ok _ -> k true
+    | Error `Timeout -> k false)
+
+let serve_ping ep ~service =
+  serve ep ~service (fun ~src:_ body ~reply ->
+      match body with Ping -> reply Pong | _ -> reply Pong)

@@ -1,0 +1,1 @@
+lib/orch/agent.ml: Addr Bfd Hashtbl Netsim Network Node Rpc Sim Time

@@ -1,0 +1,1 @@
+lib/orch/agent.mli: Netsim

@@ -1,0 +1,1 @@
+lib/orch/container.ml: Addr Engine Format List Netsim Node Rpc Sim Time

@@ -1,0 +1,1 @@
+lib/orch/container.mli: Format Netsim Sim

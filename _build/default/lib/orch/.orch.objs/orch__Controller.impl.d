@@ -1,0 +1,1 @@
+lib/orch/controller.ml: Addr Agent Container Engine Format Hashtbl Host List Netsim Network Node Rpc Sim String Time Trace

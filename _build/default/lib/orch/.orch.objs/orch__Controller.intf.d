@@ -1,0 +1,1 @@
+lib/orch/controller.mli: Agent Container Format Host Netsim Sim

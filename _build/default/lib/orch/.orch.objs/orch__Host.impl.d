@@ -1,0 +1,1 @@
+lib/orch/host.ml: Addr Container Engine Format Link List Netsim Network Node Printf Rpc Sim String Time

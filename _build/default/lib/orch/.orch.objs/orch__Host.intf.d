@@ -1,0 +1,1 @@
+lib/orch/host.mli: Container Netsim Sim

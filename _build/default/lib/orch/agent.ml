@@ -1,0 +1,59 @@
+open Sim
+open Netsim
+
+type Rpc.body +=
+  | Agent_check of Addr.t
+  | Agent_check_result of bool
+
+type t = {
+  aname : string;
+  anode : Node.t;
+  aaddr : Addr.t;
+  relays : (string, Bfd.Relay.t) Hashtbl.t;
+}
+
+let name t = t.aname
+let node t = t.anode
+let addr t = t.aaddr
+
+let relay_key id vrf = id ^ "|" ^ vrf
+
+let create net ~fabric aname =
+  let anode = Network.add_node net aname in
+  let _, fabric_side, agent_side = Network.connect net ~delay:(Time.us 20) fabric anode in
+  Node.add_route anode (Addr.prefix_of_string "0.0.0.0/0") fabric_side;
+  let t =
+    { aname; anode; aaddr = agent_side; relays = Hashtbl.create 32 }
+  in
+  let ep = Rpc.endpoint anode in
+  Rpc.serve_ping ep ~service:"health";
+  Rpc.serve_ping ep ~service:"ipsla";
+  Rpc.serve ep ~service:"agent_ctl" (fun ~src:_ body ~reply ->
+      match body with
+      | Agent_check target ->
+          Rpc.ping ep ~timeout:(Time.ms 150) ~dst:target ~service:"ipsla"
+            (fun ok -> reply (Agent_check_result ok))
+      | _ -> reply (Agent_check_result false));
+  t
+
+let start_relay t ~id ~src ~dst ~vrf ~my_disc ~your_disc =
+  let key = relay_key id vrf in
+  (match Hashtbl.find_opt t.relays key with
+  | Some old -> Bfd.Relay.stop old
+  | None -> ());
+  let relay =
+    Bfd.Relay.start t.anode ~src ~dst ~vrf ~my_disc ~your_disc ()
+  in
+  Hashtbl.replace t.relays key relay
+
+let stop_relay t ~id ~vrf =
+  let key = relay_key id vrf in
+  match Hashtbl.find_opt t.relays key with
+  | Some relay ->
+      Bfd.Relay.stop relay;
+      Hashtbl.remove t.relays key
+  | None -> ()
+
+let relay_count t = Hashtbl.length t.relays
+let fail t = Node.set_up t.anode false
+let recover t = Node.set_up t.anode true

@@ -1,0 +1,48 @@
+(** The agent server (§3.3.2).
+
+    A plain (non-containerized) server that (i) runs duplicate BFD
+    transmitters — {!Bfd.Relay} — for every container in the cluster, so
+    a primary's silence during reboot or migration is never observed by
+    the remote AS, and (ii) answers the controller's IP SLA check
+    requests, providing the independent measurement point that host-level
+    failure localization requires.
+
+    The agent is weakly coupled: its own failure does not disturb normal
+    operation (relays are redundant transmissions while the primary is
+    healthy), matching the paper's availability argument. *)
+
+type Netsim.Rpc.body +=
+  | Agent_check of Netsim.Addr.t
+  | Agent_check_result of bool
+
+type t
+
+val create : Netsim.Network.t -> fabric:Netsim.Node.t -> string -> t
+(** Joins the fabric and serves ["health"], ["ipsla"] and ["agent_ctl"]
+    (the {!Agent_check} probe service). *)
+
+val name : t -> string
+val node : t -> Netsim.Node.t
+val addr : t -> Netsim.Addr.t
+
+val start_relay :
+  t ->
+  id:string ->
+  src:Netsim.Addr.t ->
+  dst:Netsim.Addr.t ->
+  vrf:string ->
+  my_disc:int ->
+  your_disc:int ->
+  unit
+(** Starts (or replaces) the duplicate BFD transmitter for a container
+    session, keyed by [id ^ vrf]. *)
+
+val stop_relay : t -> id:string -> vrf:string -> unit
+val relay_count : t -> int
+
+val fail : t -> unit
+(** The agent machine goes down (relays stop transmitting). *)
+
+val recover : t -> unit
+(** Relays resume (their timers kept ticking; transmission checks node
+    liveness). *)

@@ -1,0 +1,286 @@
+open Sim
+open Netsim
+
+type failure_kind =
+  | App_failure
+  | Container_failure
+  | Host_failure
+  | Host_network_failure
+
+let pp_failure_kind fmt k =
+  Format.pp_print_string fmt
+    (match k with
+    | App_failure -> "application"
+    | Container_failure -> "container"
+    | Host_failure -> "host-machine"
+    | Host_network_failure -> "host-network")
+
+type Rpc.body += Report_app_failure of string
+
+type config = {
+  grpc_interval : Time.span;
+  grpc_timeout : Time.span;
+  confirm_timer : Time.span;
+  initiate_container : Time.span;
+  initiate_host : Time.span;
+}
+
+let default_config =
+  {
+    grpc_interval = Time.ms 300;
+    grpc_timeout = Time.ms 150;
+    confirm_timer = Time.sec 3;
+    initiate_container = Time.ms 100;
+    initiate_host = Time.ms 200;
+  }
+
+type managed = {
+  mid : string;
+  mutable cont : Container.t;
+  mutable phase : [ `Healthy | `Suspect | `Migrating ];
+  mutable hb_timer : Engine.timer option;
+}
+
+type host_entry = {
+  host : Host.t;
+  mutable hphase : [ `Healthy | `Confirming | `Failed ];
+}
+
+type t = {
+  cname : string;
+  cnode : Node.t;
+  caddr : Addr.t;
+  eng : Engine.t;
+  cfg : config;
+  ep : Rpc.endpoint;
+  tr : Trace.t;
+  mutable hosts : host_entry list;
+  mutable agents : Agent.t list;
+  managed_tbl : (string, managed) Hashtbl.t;
+  mutable migrator :
+    reason:failure_kind ->
+    id:string ->
+    failed:Container.t ->
+    done_:(Container.t -> unit) ->
+    unit;
+  mutable quarantine : string list;
+}
+
+let node t = t.cnode
+let addr t = t.caddr
+let trace t = t.tr
+let report_endpoint_service = "report"
+let quarantined t = t.quarantine
+
+let managed_container t ~id =
+  match Hashtbl.find_opt t.managed_tbl id with
+  | Some m -> Some m.cont
+  | None -> None
+
+let set_migrator t f = t.migrator <- f
+
+let host_entry_of t name =
+  List.find_opt (fun e -> String.equal (Host.name e.host) name) t.hosts
+
+(* --- Migration driver ---------------------------------------------------- *)
+
+let start_migration t m reason =
+  if m.phase <> `Migrating then begin
+    m.phase <- `Migrating;
+    let initiate_delay =
+      match reason with
+      | Host_failure | Host_network_failure -> t.cfg.initiate_host
+      | App_failure | Container_failure -> t.cfg.initiate_container
+    in
+    Trace.emitf t.tr t.eng "detect" "%s %a" m.mid pp_failure_kind reason;
+    ignore
+      (Engine.schedule_after t.eng initiate_delay (fun () ->
+           Trace.emitf t.tr t.eng "initiate" "%s" m.mid;
+           t.migrator ~reason ~id:m.mid ~failed:m.cont
+             ~done_:(fun replacement ->
+               Trace.emitf t.tr t.eng "migrate" "%s -> %s/%s" m.mid
+                 (Container.host_name replacement)
+                 (Container.id replacement);
+               m.cont <- replacement;
+               m.phase <- `Healthy)))
+  end
+
+(* --- Host-level localization (E3/E5) ------------------------------------- *)
+
+let verify_host t (he : host_entry) k =
+  (* Independent measurements: our probe and the agent's IP SLA. All must
+     fail for the host to be presumed dead. *)
+  let target = Host.addr he.host in
+  Rpc.ping t.ep ~timeout:(Time.ms 150) ~dst:target ~service:"ipsla"
+    (fun own_ok ->
+      if own_ok then k false
+      else
+        match t.agents with
+        | [] -> k true
+        | agent :: _ ->
+            Rpc.call t.ep ~timeout:(Time.ms 400) ~dst:(Agent.addr agent)
+              ~service:"agent_ctl" (Agent.Agent_check target) (function
+              | Ok (Agent.Agent_check_result ok) -> k (not ok)
+              | Ok _ | Error `Timeout ->
+                  (* Agent unreachable: fall back to our own (failed)
+                     measurement. *)
+                  k true))
+
+let declare_host_failed t (he : host_entry) =
+  he.hphase <- `Failed;
+  t.quarantine <- Host.name he.host :: t.quarantine;
+  Trace.emitf t.tr t.eng "host-failed" "%s" (Host.name he.host);
+  (* Best-effort fence; unreachable hosts fence themselves via the
+     lease. *)
+  Rpc.call t.ep ~timeout:(Time.ms 300) ~dst:(Host.addr he.host)
+    ~service:"host_ctl" Host.Host_fence (fun _ -> ());
+  (* Migrate every managed container living there. *)
+  Hashtbl.iter
+    (fun _ m ->
+      if String.equal (Container.host_name m.cont) (Host.name he.host) then
+        start_migration t m Host_failure)
+    t.managed_tbl
+
+let suspect_host t (he : host_entry) =
+  if he.hphase = `Healthy then begin
+    he.hphase <- `Confirming;
+    Trace.emitf t.tr t.eng "host-suspect" "%s" (Host.name he.host);
+    (* The 3-second confirmation timer starts at suspicion; verification
+       runs concurrently and can clear the suspicion early, so transient
+       network jitter never triggers migration (§3.3.3). *)
+    verify_host t he (fun dead ->
+        if not dead then he.hphase <- `Healthy);
+    ignore
+      (Engine.schedule_after t.eng t.cfg.confirm_timer (fun () ->
+           if he.hphase = `Confirming then
+             verify_host t he (fun still_dead ->
+                 if still_dead then declare_host_failed t he
+                 else he.hphase <- `Healthy)))
+  end
+
+(* --- Container heartbeats (E2/E4 detection) ------------------------------ *)
+
+let check_container_via_host t m k =
+  match host_entry_of t (Container.host_name m.cont) with
+  | None -> k `Host_unreachable
+  | Some he ->
+      Rpc.call t.ep ~timeout:(Time.ms 300) ~dst:(Host.addr he.host)
+        ~service:"host_ctl"
+        (Host.Host_check_container (Container.id m.cont)) (function
+        | Ok (Host.Host_container_state st) -> k (`Host_says st)
+        | Ok _ -> k (`Host_says "unknown")
+        | Error `Timeout -> k `Host_unreachable)
+
+let heartbeat_miss t m =
+  if m.phase = `Healthy then begin
+    m.phase <- `Suspect;
+    check_container_via_host t m (function
+      | `Host_says st -> (
+          m.phase <- `Healthy;
+          if st = "failed" || st = "stopped" || st = "unknown" then
+            start_migration t m Container_failure
+          else
+            (* The host says the container runs, yet its heartbeat was
+               missed. Re-probe before concluding a virtual-network
+               failure (E4): the original miss may have straddled a
+               transient glitch. *)
+            Rpc.ping t.ep ~timeout:(Time.ms 300)
+              ~dst:(Container.veth_addr m.cont) ~service:"health" (fun ok ->
+                if not ok then
+                  match host_entry_of t (Container.host_name m.cont) with
+                  | Some he ->
+                      Rpc.call t.ep ~timeout:(Time.ms 300)
+                        ~dst:(Host.addr he.host) ~service:"host_ctl"
+                        (Host.Host_kill_container (Container.id m.cont))
+                        (fun _ -> start_migration t m Container_failure)
+                  | None -> start_migration t m Container_failure))
+      | `Host_unreachable -> (
+          m.phase <- `Healthy;
+          (* Escalate to host-level localization. *)
+          match host_entry_of t (Container.host_name m.cont) with
+          | Some he -> suspect_host t he
+          | None -> ()))
+  end
+
+let start_heartbeats t m =
+  let tick () =
+    match m.phase with
+    | `Migrating -> ()
+    | `Healthy | `Suspect ->
+        let target = Container.veth_addr m.cont in
+        Rpc.ping t.ep ~timeout:t.cfg.grpc_timeout ~dst:target
+          ~service:"health" (fun ok ->
+            if not ok then heartbeat_miss t m)
+  in
+  m.hb_timer <- Some (Engine.every t.eng ~jitter:0.1 t.cfg.grpc_interval tick)
+
+let begin_planned t ~id =
+  match Hashtbl.find_opt t.managed_tbl id with
+  | Some m -> m.phase <- `Migrating
+  | None -> ()
+
+let end_planned t ~id cont =
+  match Hashtbl.find_opt t.managed_tbl id with
+  | Some m ->
+      m.cont <- cont;
+      m.phase <- `Healthy
+  | None -> ()
+
+let manage t ~id cont =
+  let m = { mid = id; cont; phase = `Healthy; hb_timer = None } in
+  Hashtbl.replace t.managed_tbl id m;
+  start_heartbeats t m
+
+(* --- Host heartbeats (feeds the lease and E3 detection) ------------------- *)
+
+let register_host t host =
+  let he = { host; hphase = `Healthy } in
+  t.hosts <- he :: t.hosts;
+  ignore
+    (Engine.every t.eng ~jitter:0.1 t.cfg.grpc_interval (fun () ->
+         if he.hphase <> `Failed then
+           Rpc.ping t.ep ~timeout:t.cfg.grpc_timeout ~dst:(Host.addr host)
+             ~service:"health" (fun ok ->
+               if (not ok) && he.hphase = `Healthy then suspect_host t he)))
+
+let register_agent t agent = t.agents <- agent :: t.agents
+
+let release_quarantine t host =
+  Host.reset host;
+  (match host_entry_of t (Host.name host) with
+  | Some he -> he.hphase <- `Healthy
+  | None -> ());
+  t.quarantine <-
+    List.filter (fun n -> not (String.equal n (Host.name host))) t.quarantine
+
+let create net ~fabric ?(config = default_config) cname =
+  let cnode = Network.add_node net cname in
+  let _, fabric_side, ctrl_side =
+    Network.connect net ~delay:(Time.us 20) fabric cnode
+  in
+  Node.add_route cnode (Addr.prefix_of_string "0.0.0.0/0") fabric_side;
+  let t =
+    {
+      cname;
+      cnode;
+      caddr = ctrl_side;
+      eng = Network.engine net;
+      cfg = config;
+      ep = Rpc.endpoint cnode;
+      tr = Trace.create ();
+      hosts = [];
+      agents = [];
+      managed_tbl = Hashtbl.create 32;
+      migrator = (fun ~reason:_ ~id:_ ~failed:_ ~done_:_ -> ());
+      quarantine = [];
+    }
+  in
+  Rpc.serve t.ep ~service:report_endpoint_service (fun ~src:_ body ~reply ->
+      (match body with
+      | Report_app_failure id -> (
+          match Hashtbl.find_opt t.managed_tbl id with
+          | Some m -> start_migration t m App_failure
+          | None -> ())
+      | _ -> ());
+      reply Rpc.Pong);
+  t

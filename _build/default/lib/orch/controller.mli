@@ -1,0 +1,100 @@
+(** The TKE-style controller (§3.2.2, §3.3.3).
+
+    Logically centralized: it holds the mapping from managed BGP
+    containers to hosts, runs the gRPC heartbeat channels, localizes
+    failures using multiple independent measurements, and drives NSR
+    migration through a pluggable migrator (installed by the TENSOR
+    layer).
+
+    Failure localization implements the paper's decision procedure:
+
+    - {e application failures} (E1) are reported instantly by the
+      in-container monitor via the ["report"] RPC service;
+    - {e container failures} (E2/E4) are detected by a gRPC heartbeat
+      miss cross-checked against the host's process monitor
+      ([Host_check_container]);
+    - {e host machine/network failures} (E3/E5) require every
+      measurement to fail — the controller's own probe, the agent's IP
+      SLA, and a second host's IP SLA — and are confirmed by a timer
+      (default 3 s) before migration, so transient jitter never triggers
+      a move. Once a host is declared failed it is fenced and quarantined
+      until a manual reset.
+
+    Every step is timestamped in a {!Sim.Trace.t} with categories
+    ["detect"], ["initiate"], ["migrate"] and ["recovered"] — the raw
+    material of Table 1. *)
+
+type failure_kind =
+  | App_failure
+  | Container_failure
+  | Host_failure
+  | Host_network_failure
+
+val pp_failure_kind : Format.formatter -> failure_kind -> unit
+
+type Netsim.Rpc.body += Report_app_failure of string  (** container id *)
+
+type config = {
+  grpc_interval : Sim.Time.span;  (** Heartbeat period (default 200 ms). *)
+  grpc_timeout : Sim.Time.span;  (** Heartbeat reply timeout (100 ms). *)
+  confirm_timer : Sim.Time.span;
+      (** Host-level confirmation delay (default 3 s, §3.3.3). *)
+  initiate_container : Sim.Time.span;
+      (** Migration preparation for one container (100 ms). *)
+  initiate_host : Sim.Time.span;
+      (** Preparation when a whole host moves (200 ms). *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  Netsim.Network.t -> fabric:Netsim.Node.t -> ?config:config -> string -> t
+
+val node : t -> Netsim.Node.t
+val addr : t -> Netsim.Addr.t
+val trace : t -> Sim.Trace.t
+
+val register_host : t -> Host.t -> unit
+(** Starts heartbeating the host (which also feeds its fencing lease). *)
+
+val register_agent : t -> Agent.t -> unit
+(** The agent used for IP SLA cross-checks. *)
+
+val set_migrator :
+  t ->
+  (reason:failure_kind ->
+  id:string ->
+  failed:Container.t ->
+  done_:(Container.t -> unit) ->
+  unit) ->
+  unit
+(** Installs the migration executor (the TENSOR layer). The executor
+    must eventually call [done_ new_container]; the controller then
+    resumes monitoring on the replacement instance. *)
+
+val manage : t -> id:string -> Container.t -> unit
+(** Puts a container under heartbeat monitoring and migration
+    management. *)
+
+val managed_container : t -> id:string -> Container.t option
+
+val begin_planned : t -> id:string -> unit
+(** Suspends failure handling for a service while a planned (proactive)
+    migration runs, so the deliberate death of the old primary is not
+    mistaken for a failure. *)
+
+val end_planned : t -> id:string -> Container.t -> unit
+(** Completes a planned migration: monitoring resumes on the replacement
+    instance. *)
+
+val report_endpoint_service : string
+(** ["report"] — where in-container monitors send
+    {!Report_app_failure}. *)
+
+val quarantined : t -> string list
+(** Names of hosts declared failed and awaiting manual reset. *)
+
+val release_quarantine : t -> Host.t -> unit
+(** Manual reset: {!Host.reset} plus removal from the quarantine list. *)

@@ -1,0 +1,191 @@
+type event = {
+  time : Time.t;
+  seq : int; (* tie-breaker: FIFO among same-instant events *)
+  action : unit -> unit;
+  mutable cancelled : bool;
+  owner : t;
+}
+
+and heap = { mutable arr : event array; mutable size : int }
+
+and t = {
+  mutable clock : Time.t;
+  mutable heap : heap option; (* created with the first event *)
+  mutable next_seq : int;
+  mutable live : int; (* queued and not cancelled *)
+  mutable processed : int;
+  root_rng : Rng.t;
+}
+
+type handle = event
+
+(* A classic array-backed binary min-heap ordered by (time, seq). The
+   [dummy] slot filler is the first event ever pushed; it is never read as
+   a live element because [size] bounds all accesses. *)
+module Heap = struct
+  let create_with e = { arr = Array.make 256 e; size = 0 }
+  let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let grow h =
+    let arr = Array.make (2 * Array.length h.arr) h.arr.(0) in
+    Array.blit h.arr 0 arr 0 h.size;
+    h.arr <- arr
+
+  let push h e =
+    if h.size = Array.length h.arr then grow h;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.arr.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if lt h.arr.(!i) h.arr.(parent) then begin
+        let tmp = h.arr.(parent) in
+        h.arr.(parent) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.size <- h.size - 1;
+      h.arr.(0) <- h.arr.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let peek h = if h.size = 0 then None else Some h.arr.(0)
+end
+
+let create ?(seed = 42) () =
+  {
+    clock = Time.zero;
+    heap = None;
+    next_seq = 0;
+    live = 0;
+    processed = 0;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t instant action =
+  if instant < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %s is in the past (now %s)"
+         (Time.to_string instant) (Time.to_string t.clock));
+  let e =
+    { time = instant; seq = t.next_seq; action; cancelled = false; owner = t }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  let h =
+    match t.heap with
+    | Some h -> h
+    | None ->
+        let h = Heap.create_with e in
+        t.heap <- Some h;
+        h
+  in
+  Heap.push h e;
+  e
+
+let schedule_after t span action =
+  if span < 0 then invalid_arg "Engine.schedule_after: negative span";
+  schedule_at t (Time.add t.clock span) action
+
+let cancel (e : handle) =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    e.owner.live <- e.owner.live - 1
+  end
+
+let is_pending (e : handle) = not e.cancelled
+
+let exec t e =
+  e.cancelled <- true;
+  t.live <- t.live - 1;
+  t.clock <- e.time;
+  t.processed <- t.processed + 1;
+  e.action ()
+
+let step t =
+  match t.heap with
+  | None -> false
+  | Some h -> (
+      match Heap.pop h with
+      | None -> false
+      | Some e ->
+          if not e.cancelled then exec t e;
+          true)
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match t.heap with
+    | None -> continue := false
+    | Some h -> (
+        match Heap.peek h with
+        | Some e when e.time <= limit -> ignore (step t)
+        | Some _ | None -> continue := false)
+  done;
+  if limit > t.clock then t.clock <- limit
+
+let run_for t span = run_until t (Time.add t.clock span)
+let pending_events t = t.live
+let processed_events t = t.processed
+
+type timer = { mutable pending : handle option; mutable stopped : bool }
+
+let every t ?(jitter = 0.0) period f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let timer = { pending = None; stopped = false } in
+  let next_delay () =
+    if jitter = 0.0 then period
+    else
+      let j = Rng.float t.root_rng (2.0 *. jitter) -. jitter in
+      let d = float_of_int period *. (1.0 +. j) in
+      max 1 (int_of_float d)
+  in
+  let rec arm () =
+    if not timer.stopped then
+      timer.pending <-
+        Some
+          (schedule_after t (next_delay ()) (fun () ->
+               timer.pending <- None;
+               if not timer.stopped then begin
+                 f ();
+                 arm ()
+               end))
+  in
+  arm ();
+  timer
+
+let stop_timer timer =
+  timer.stopped <- true;
+  match timer.pending with
+  | Some h ->
+      cancel h;
+      timer.pending <- None
+  | None -> ()

@@ -1,0 +1,71 @@
+(** The discrete-event simulation engine.
+
+    An engine owns a virtual clock and an event queue. Callbacks scheduled
+    at future instants run in nondecreasing time order; events at the same
+    instant run in scheduling order (FIFO), which makes runs fully
+    deterministic. All simulated subsystems (links, TCP, BGP timers, the
+    orchestrator) are driven by one engine.
+
+    The engine is single-threaded by design: concurrency in the modelled
+    system (threads of a BGP process, containers on many hosts) is
+    expressed as interleaved events, never as OS threads. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] is a fresh engine with the clock at {!Time.zero} and
+    a deterministic RNG seeded with [seed] (default 42). *)
+
+val now : t -> Time.t
+(** The current simulated instant. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG. Subsystems should {!Rng.split} it. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** [schedule_after t span f] runs [f] [span] after the current instant.
+    Raises [Invalid_argument] on a negative span. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at t instant f] runs [f] at [instant]. An instant in the
+    past is an [Invalid_argument]. *)
+
+val cancel : handle -> unit
+(** Cancels a scheduled event. Cancelling an already-fired or cancelled
+    event is a no-op. *)
+
+val is_pending : handle -> bool
+(** [is_pending h] is [true] until the event fires or is cancelled. *)
+
+val run : t -> unit
+(** Runs events until the queue is empty. *)
+
+val run_until : t -> Time.t -> unit
+(** [run_until t limit] runs all events with time [<= limit], then
+    advances the clock to exactly [limit]. Events scheduled beyond [limit]
+    remain queued. *)
+
+val run_for : t -> Time.span -> unit
+(** [run_for t span] is [run_until t (now t + span)]. *)
+
+val pending_events : t -> int
+(** Number of live (non-cancelled) queued events. *)
+
+val processed_events : t -> int
+(** Total number of events executed so far. *)
+
+(** {2 Periodic timers} *)
+
+type timer
+(** A repeating timer. *)
+
+val every : t -> ?jitter:float -> Time.span -> (unit -> unit) -> timer
+(** [every t ~jitter period f] runs [f] every [period], starting one
+    period from now. [jitter], if nonzero, uniformly perturbs each firing
+    by [±jitter*period] (default 0). *)
+
+val stop_timer : timer -> unit
+(** Stops the periodic timer; the pending firing is cancelled. *)

@@ -1,0 +1,109 @@
+type counter = { cname : string; mutable value : int }
+
+let counter cname = { cname; value = 0 }
+let incr c = c.value <- c.value + 1
+let add c n = c.value <- c.value + n
+let count c = c.value
+let counter_name c = c.cname
+let reset c = c.value <- 0
+
+type samples = {
+  sname : string;
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : float array option; (* cache invalidated on record *)
+}
+
+let samples sname = { sname; data = Array.make 64 0.0; len = 0; sorted = None }
+
+let record s v =
+  if s.len = Array.length s.data then begin
+    let arr = Array.make (2 * Array.length s.data) 0.0 in
+    Array.blit s.data 0 arr 0 s.len;
+    s.data <- arr
+  end;
+  s.data.(s.len) <- v;
+  s.len <- s.len + 1;
+  s.sorted <- None
+
+let n s = s.len
+
+let mean s =
+  if s.len = 0 then nan
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to s.len - 1 do
+      sum := !sum +. s.data.(i)
+    done;
+    !sum /. float_of_int s.len
+  end
+
+let stddev s =
+  if s.len = 0 then nan
+  else begin
+    let m = mean s in
+    let sum = ref 0.0 in
+    for i = 0 to s.len - 1 do
+      let d = s.data.(i) -. m in
+      sum := !sum +. (d *. d)
+    done;
+    sqrt (!sum /. float_of_int s.len)
+  end
+
+let sorted s =
+  match s.sorted with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.sub s.data 0 s.len in
+      Array.sort compare arr;
+      s.sorted <- Some arr;
+      arr
+
+let min_value s = if s.len = 0 then nan else (sorted s).(0)
+let max_value s = if s.len = 0 then nan else (sorted s).(s.len - 1)
+
+let quantile s q =
+  if s.len = 0 then nan
+  else begin
+    let arr = sorted s in
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let pos = q *. float_of_int (s.len - 1) in
+    let lo = int_of_float pos in
+    let hi = Stdlib.min (lo + 1) (s.len - 1) in
+    let frac = pos -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let median s = quantile s 0.5
+
+let cdf s points =
+  if s.len = 0 || points <= 0 then []
+  else
+    List.init points (fun i ->
+        let p = float_of_int (i + 1) /. float_of_int points in
+        (quantile s p, p))
+
+let values s = Array.sub s.data 0 s.len
+let samples_name s = s.sname
+
+let clear s =
+  s.len <- 0;
+  s.sorted <- None
+
+type span_recorder = {
+  marks : (int, Time.t) Hashtbl.t;
+  spans : samples;
+}
+
+let span_recorder name = { marks = Hashtbl.create 16; spans = samples name }
+
+let span_start r engine id = Hashtbl.replace r.marks id (Engine.now engine)
+
+let span_stop r engine id =
+  match Hashtbl.find_opt r.marks id with
+  | None -> ()
+  | Some start ->
+      Hashtbl.remove r.marks id;
+      record r.spans (Time.to_sec_f (Time.diff (Engine.now engine) start))
+
+let span_samples r = r.spans

@@ -1,0 +1,74 @@
+(** Measurement primitives for experiments.
+
+    Counters, gauges and sample collections used by every experiment to
+    report the quantities the paper's figures plot. A {!samples} value is
+    an append-only collection supporting means, quantiles and CDF export;
+    it is the backing type for latency and throughput distributions. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] is a fresh counter starting at zero. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+val counter_name : counter -> string
+val reset : counter -> unit
+
+(** {1 Samples} *)
+
+type samples
+
+val samples : string -> samples
+(** [samples name] is an empty sample collection. *)
+
+val record : samples -> float -> unit
+(** Appends one observation. *)
+
+val n : samples -> int
+(** Number of observations. *)
+
+val mean : samples -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val stddev : samples -> float
+(** Population standard deviation; [nan] when empty. *)
+
+val min_value : samples -> float
+val max_value : samples -> float
+
+val quantile : samples -> float -> float
+(** [quantile s q] with [q] in [\[0,1\]]; linear interpolation between
+    order statistics. [nan] when empty. *)
+
+val median : samples -> float
+
+val cdf : samples -> int -> (float * float) list
+(** [cdf s points] is the empirical CDF sampled at [points] evenly spaced
+    cumulative probabilities, as [(value, probability)] pairs. *)
+
+val values : samples -> float array
+(** A copy of all observations in insertion order. *)
+
+val samples_name : samples -> string
+
+val clear : samples -> unit
+
+(** {1 Stopwatch over simulated time} *)
+
+type span_recorder
+
+val span_recorder : string -> span_recorder
+(** Records durations between matching [start]/[stop] marks, keyed by an
+    integer id so that overlapping intervals can be timed. *)
+
+val span_start : span_recorder -> Engine.t -> int -> unit
+val span_stop : span_recorder -> Engine.t -> int -> unit
+(** [span_stop] records the elapsed simulated time since the matching
+    [span_start] into the recorder's samples (in seconds) and forgets the
+    id. Stopping an unknown id is a no-op. *)
+
+val span_samples : span_recorder -> samples

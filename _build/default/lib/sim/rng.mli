@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random numbers for the simulator.
+
+    Every engine owns one generator seeded explicitly, so a run is fully
+    reproducible from its seed. The generator is SplitMix64, which has good
+    statistical quality for simulation purposes and a trivially portable
+    implementation. Generators can be split so independent subsystems draw
+    from independent streams without perturbing each other. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator, advancing [t] once. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** [gaussian t ~mu ~sigma] draws from a normal distribution
+    (Box–Muller). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [lognormal t ~mu ~sigma] is [exp (gaussian ~mu ~sigma)]: the
+    parameters are those of the underlying normal, so the median is
+    [exp mu]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** [choose t arr] is a uniformly random element. Raises
+    [Invalid_argument] on an empty array. *)

@@ -1,0 +1,33 @@
+type entry = { at : Time.t; category : string; message : string }
+
+type t = { mutable enabled : bool; mutable rev_entries : entry list }
+
+let create ?(enabled = true) () = { enabled; rev_entries = [] }
+let enable t flag = t.enabled <- flag
+
+let emit t engine category message =
+  if t.enabled then
+    t.rev_entries <-
+      { at = Engine.now engine; category; message } :: t.rev_entries
+
+let emitf t engine category fmt =
+  Format.kasprintf (fun message -> emit t engine category message) fmt
+
+let entries t = List.rev t.rev_entries
+
+let find t ~category =
+  List.filter (fun e -> String.equal e.category category) (entries t)
+
+let first t ~category =
+  match find t ~category with [] -> None | e :: _ -> Some e
+
+let last t ~category =
+  match List.rev (find t ~category) with [] -> None | e :: _ -> Some e
+
+let clear t = t.rev_entries <- []
+
+let dump t fmt =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "[%a] %s: %s@." Time.pp e.at e.category e.message)
+    (entries t)

@@ -1,0 +1,43 @@
+(** Lightweight event tracing.
+
+    A trace collects timestamped, categorized strings during a run.
+    Experiments use it to extract the instants of interest (failure
+    detected, migration started, first packet after recovery, …) without
+    coupling subsystems to the experiment code: subsystems emit events and
+    experiments query them afterwards. Tracing can be disabled globally for
+    long benchmark runs. *)
+
+type t
+
+type entry = { at : Time.t; category : string; message : string }
+
+val create : ?enabled:bool -> unit -> t
+(** [create ()] is an empty, enabled trace. *)
+
+val enable : t -> bool -> unit
+(** Toggles recording (emission becomes a no-op when disabled). *)
+
+val emit : t -> Engine.t -> string -> string -> unit
+(** [emit t engine category message] appends an entry at the current
+    simulated time. *)
+
+val emitf :
+  t -> Engine.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!emit}. *)
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val find : t -> category:string -> entry list
+(** Entries of one category, oldest first. *)
+
+val first : t -> category:string -> entry option
+(** Oldest entry of a category. *)
+
+val last : t -> category:string -> entry option
+(** Newest entry of a category. *)
+
+val clear : t -> unit
+
+val dump : t -> Format.formatter -> unit
+(** Prints every entry as ["[time] category: message"] lines. *)

@@ -1,0 +1,308 @@
+open Sim
+open Netsim
+
+type cost_model = {
+  chunk : int;
+  read_chunk_cost : Time.span;
+  read_record_cost : Time.span;
+  read_byte_ns : float;
+  write_chunk_cost : Time.span;
+  write_record_cost : Time.span;
+  write_byte_ns : float;
+}
+
+(* Calibrated against Figure 5(b) with its 90 B keys and 4 KB values:
+   one write ~1 ms, one read <0.5 ms, 10K writes ~500 ms, 10K reads
+   ~200 ms. The per-byte components make small records (routing-table
+   checkpoint entries) proportionally cheap, as they are on real Redis. *)
+let default_cost_model =
+  {
+    chunk = 128;
+    read_chunk_cost = Time.us 240;
+    read_record_cost = Time.us 2;
+    read_byte_ns = 3.8;
+    write_chunk_cost = Time.us 600;
+    write_record_cost = Time.us 3;
+    write_byte_ns = 10.0;
+  }
+
+let free_cost_model =
+  {
+    chunk = 128;
+    read_chunk_cost = 0;
+    read_record_cost = 0;
+    read_byte_ns = 0.0;
+    write_chunk_cost = 0;
+    write_record_cost = 0;
+    write_byte_ns = 0.0;
+  }
+
+type Rpc.body +=
+  | Req_set of (string * string) list
+  | Req_get of string list
+  | Req_del of string list
+  | Req_scan of string
+  | Resp_set_ok
+  | Resp_values of (string * string option) list
+  | Resp_del_count of int
+  | Resp_pairs of (string * string) list
+
+module Server = struct
+  type t = {
+    snode : Node.t;
+    eng : Engine.t;
+    cost : cost_model;
+    table : (string, string) Hashtbl.t;
+    mutable bytes : int;
+    mutable busy_until : Time.t;
+    mutable replica : t option;
+  }
+
+  let node t = t.snode
+
+  let addr t =
+    match Node.addresses t.snode with
+    | a :: _ -> a
+    | [] -> invalid_arg "Store.Server: node has no address"
+
+  let records t = Hashtbl.length t.table
+  let stored_bytes t = t.bytes
+  let peek t key = Hashtbl.find_opt t.table key
+
+  let keys_with_prefix t prefix =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if String.length k >= String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix
+        then k :: acc
+        else acc)
+      t.table []
+    |> List.sort compare
+
+  (* Serialize request processing through the server's modelled CPU, like
+     the TCP stack does. *)
+  let processing_finish t cost =
+    let now = Engine.now t.eng in
+    let start = if t.busy_until > now then t.busy_until else now in
+    let finish = Time.add start cost in
+    t.busy_until <- finish;
+    finish
+
+  let op_cost t ~writes ~bytes n =
+    if n = 0 then 0
+    else
+      let chunks = (n + t.cost.chunk - 1) / t.cost.chunk in
+      let byte_ns = if writes then t.cost.write_byte_ns else t.cost.read_byte_ns in
+      let byte_cost = int_of_float (float_of_int bytes *. byte_ns) in
+      if writes then
+        (chunks * t.cost.write_chunk_cost)
+        + (n * t.cost.write_record_cost)
+        + byte_cost
+      else
+        (chunks * t.cost.read_chunk_cost)
+        + (n * t.cost.read_record_cost)
+        + byte_cost
+
+  let apply_set t pairs =
+    List.iter
+      (fun (k, v) ->
+        (match Hashtbl.find_opt t.table k with
+        | Some old -> t.bytes <- t.bytes - String.length k - String.length old
+        | None -> ());
+        Hashtbl.replace t.table k v;
+        t.bytes <- t.bytes + String.length k + String.length v)
+      pairs
+
+  let apply_del t keys =
+    List.fold_left
+      (fun acc k ->
+        match Hashtbl.find_opt t.table k with
+        | Some v ->
+            Hashtbl.remove t.table k;
+            t.bytes <- t.bytes - String.length k - String.length v;
+            acc + 1
+        | None -> acc)
+      0 keys
+
+  let payload_bytes_of_pairs pairs =
+    List.fold_left
+      (fun acc (k, v) -> acc + String.length k + String.length v)
+      0 pairs
+
+  (* Writes go to the replica synchronously: the reply is withheld until
+     the replica has confirmed (same processing-cost model there). *)
+  let replicate t op k =
+    match (t.replica, op) with
+    | None, _ -> k ()
+    | Some r, `Set pairs ->
+        let finish =
+          processing_finish r
+            (op_cost r ~writes:true
+               ~bytes:(payload_bytes_of_pairs pairs)
+               (List.length pairs))
+        in
+        ignore
+          (Engine.schedule_at r.eng finish (fun () ->
+               if Node.is_up r.snode then begin
+                 apply_set r pairs;
+                 k ()
+               end))
+    | Some r, `Del keys ->
+        let finish =
+          processing_finish r (op_cost r ~writes:true ~bytes:0 (List.length keys))
+        in
+        ignore
+          (Engine.schedule_at r.eng finish (fun () ->
+               if Node.is_up r.snode then begin
+                 ignore (apply_del r keys);
+                 k ()
+               end))
+
+  let handle t ~src:_ body ~reply:(reply : ?size:int -> Rpc.body -> unit) =
+    match body with
+    | Req_set pairs ->
+        let finish =
+          processing_finish t
+            (op_cost t ~writes:true
+               ~bytes:(payload_bytes_of_pairs pairs)
+               (List.length pairs))
+        in
+        ignore
+          (Engine.schedule_at t.eng finish (fun () ->
+               if Node.is_up t.snode then begin
+                 apply_set t pairs;
+                 replicate t (`Set pairs) (fun () -> reply ~size:64 Resp_set_ok)
+               end))
+    | Req_get keys ->
+        let bytes =
+          List.fold_left
+            (fun acc k ->
+              acc
+              + match Hashtbl.find_opt t.table k with
+                | Some v -> String.length v
+                | None -> 0)
+            0 keys
+        in
+        let finish =
+          processing_finish t (op_cost t ~writes:false ~bytes (List.length keys))
+        in
+        ignore
+          (Engine.schedule_at t.eng finish (fun () ->
+               if Node.is_up t.snode then begin
+                 let values =
+                   List.map (fun k -> (k, Hashtbl.find_opt t.table k)) keys
+                 in
+                 let size =
+                   64
+                   + List.fold_left
+                       (fun acc (k, v) ->
+                         acc + String.length k
+                         + match v with Some v -> String.length v | None -> 0)
+                       0 values
+                 in
+                 reply ~size (Resp_values values)
+               end))
+    | Req_del keys ->
+        let finish =
+          processing_finish t (op_cost t ~writes:true ~bytes:0 (List.length keys))
+        in
+        ignore
+          (Engine.schedule_at t.eng finish (fun () ->
+               if Node.is_up t.snode then begin
+                 let n = apply_del t keys in
+                 replicate t (`Del keys) (fun () ->
+                     reply ~size:64 (Resp_del_count n))
+               end))
+    | Req_scan prefix ->
+        let keys = keys_with_prefix t prefix in
+        let bytes =
+          List.fold_left
+            (fun acc k ->
+              acc
+              + match Hashtbl.find_opt t.table k with
+                | Some v -> String.length v
+                | None -> 0)
+            0 keys
+        in
+        let finish =
+          processing_finish t
+            (op_cost t ~writes:false ~bytes (max 1 (List.length keys)))
+        in
+        ignore
+          (Engine.schedule_at t.eng finish (fun () ->
+               if Node.is_up t.snode then begin
+                 let pairs =
+                   List.filter_map
+                     (fun k ->
+                       match Hashtbl.find_opt t.table k with
+                       | Some v -> Some (k, v)
+                       | None -> None)
+                     keys
+                 in
+                 reply ~size:(64 + payload_bytes_of_pairs pairs) (Resp_pairs pairs)
+               end))
+    | _ -> ()
+
+  let create ?(cost = default_cost_model) node =
+    let t =
+      {
+        snode = node;
+        eng = Node.engine node;
+        cost;
+        table = Hashtbl.create 1024;
+        bytes = 0;
+        busy_until = Time.zero;
+        replica = None;
+      }
+    in
+    Rpc.serve (Rpc.endpoint node) ~service:"kv" (handle t);
+    t
+
+  let attach_replica primary replica =
+    if primary.snode == replica.snode then
+      invalid_arg "Store.Server.attach_replica: replica on the same node";
+    primary.replica <- Some replica
+end
+
+module Client = struct
+  type t = { ep : Rpc.endpoint; server : Addr.t }
+
+  let create node ~server = { ep = Rpc.endpoint node; server }
+  let server_addr t = t.server
+
+  let request_size_of_pairs pairs =
+    64
+    + List.fold_left
+        (fun acc (k, v) -> acc + String.length k + String.length v)
+        0 pairs
+
+  let set t ?(timeout = Time.sec 5) pairs k =
+    Rpc.call t.ep ~timeout ~size:(request_size_of_pairs pairs) ~dst:t.server
+      ~service:"kv" (Req_set pairs) (function
+      | Ok Resp_set_ok -> k (Ok ())
+      | Ok _ -> k (Error `Timeout)
+      | Error `Timeout -> k (Error `Timeout))
+
+  let get t ?(timeout = Time.sec 5) keys k =
+    let size = 64 + List.fold_left (fun a s -> a + String.length s) 0 keys in
+    Rpc.call t.ep ~timeout ~size ~dst:t.server ~service:"kv" (Req_get keys)
+      (function
+      | Ok (Resp_values vs) -> k (Ok vs)
+      | Ok _ -> k (Error `Timeout)
+      | Error `Timeout -> k (Error `Timeout))
+
+  let del t ?(timeout = Time.sec 5) keys k =
+    let size = 64 + List.fold_left (fun a s -> a + String.length s) 0 keys in
+    Rpc.call t.ep ~timeout ~size ~dst:t.server ~service:"kv" (Req_del keys)
+      (function
+      | Ok (Resp_del_count n) -> k (Ok n)
+      | Ok _ -> k (Error `Timeout)
+      | Error `Timeout -> k (Error `Timeout))
+
+  let scan t ?(timeout = Time.sec 30) ~prefix k =
+    Rpc.call t.ep ~timeout ~size:(64 + String.length prefix) ~dst:t.server
+      ~service:"kv" (Req_scan prefix) (function
+      | Ok (Resp_pairs ps) -> k (Ok ps)
+      | Ok _ -> k (Error `Timeout)
+      | Error `Timeout -> k (Error `Timeout))
+end

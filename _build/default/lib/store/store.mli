@@ -1,0 +1,98 @@
+(** A Redis-like in-memory key-value store over the simulated network.
+
+    This is the "highly-available distributed database" of TENSOR §3.1.1:
+    BGP messages, inferred ACK numbers, TCP repair state and routing-table
+    checkpoints are all replicated here synchronously before the
+    corresponding TCP ACKs are released or messages sent.
+
+    The server keeps everything in RAM (the paper configures Redis without
+    disk persistence, §4.1) and models request latency with explicit cost
+    components — a per-request network round trip, a per-chunk pipelining
+    cost, and a per-record CPU cost — calibrated so that batched GET/SET
+    totals reproduce the curves of Figure 5(b): a single ~4 KB-record read
+    costs under 0.5 ms, a single write about 1 ms (≈2.5× the read), 10 000
+    reads about 200 ms and 10 000 writes about 500 ms.
+
+    Requests from one client are answered in order (the transport is a
+    FIFO link), which provides the per-connection message ordering that
+    §3.1.2 requires; ordering across connections is deliberately not
+    promised, matching the paper. An optional synchronous replica models
+    the store's own fault tolerance. *)
+
+(** {1 Server} *)
+
+type cost_model = {
+  chunk : int;  (** Records per pipelining chunk. *)
+  read_chunk_cost : Sim.Time.span;
+  read_record_cost : Sim.Time.span;  (** Fixed part, per record. *)
+  read_byte_ns : float;  (** Plus this much per value byte. *)
+  write_chunk_cost : Sim.Time.span;
+  write_record_cost : Sim.Time.span;
+  write_byte_ns : float;
+}
+
+val default_cost_model : cost_model
+(** The Figure 5(b) calibration described above. *)
+
+val free_cost_model : cost_model
+(** Zero processing cost — for unit tests that exercise semantics only. *)
+
+module Server : sig
+  type t
+
+  val create : ?cost:cost_model -> Netsim.Node.t -> t
+  (** [create node] serves the ["kv"] RPC service on [node]. *)
+
+  val attach_replica : t -> t -> unit
+  (** [attach_replica primary replica] makes [replica] a synchronous
+      replica of [primary]: the primary acknowledges a write or delete
+      only after the replica has applied it. The replica must have been
+      created on a different node (it does not itself serve clients in
+      this role, though nothing prevents reads against it). *)
+
+  val node : t -> Netsim.Node.t
+  val addr : t -> Netsim.Addr.t
+
+  val records : t -> int
+  val stored_bytes : t -> int
+  (** Total size of keys plus values — the quantity §3.1.2's
+      storage-trimming argument bounds per connection. *)
+
+  val peek : t -> string -> string option
+  (** Direct local read, no latency model (tests and invariant checks). *)
+
+  val keys_with_prefix : t -> string -> string list
+  (** Direct local prefix scan, no latency model. *)
+end
+
+(** {1 Client} *)
+
+module Client : sig
+  type t
+
+  val create : Netsim.Node.t -> server:Netsim.Addr.t -> t
+
+  val set :
+    t -> ?timeout:Sim.Time.span -> (string * string) list ->
+    ((unit, [ `Timeout ]) result -> unit) -> unit
+  (** Batched write; the callback fires when every record is durable on
+      the server (and its replica, if any). *)
+
+  val get :
+    t -> ?timeout:Sim.Time.span -> string list ->
+    (((string * string option) list, [ `Timeout ]) result -> unit) -> unit
+  (** Batched read; preserves request order in the reply. *)
+
+  val del :
+    t -> ?timeout:Sim.Time.span -> string list ->
+    ((int, [ `Timeout ]) result -> unit) -> unit
+  (** Deletes keys; yields how many existed. *)
+
+  val scan :
+    t -> ?timeout:Sim.Time.span -> prefix:string ->
+    (((string * string) list, [ `Timeout ]) result -> unit) -> unit
+  (** All (key, value) pairs whose key starts with [prefix], sorted by
+      key — how a backup container downloads a connection's state. *)
+
+  val server_addr : t -> Netsim.Addr.t
+end

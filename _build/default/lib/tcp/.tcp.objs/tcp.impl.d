@@ -1,0 +1,1 @@
+lib/tcp/tcp.ml: Congestion Engine Float Format Hashtbl Int List Netfilter Netsim Node Packet Printf Quad Repair Rng Segment Sim Stream_buf String Time

@@ -1,0 +1,1 @@
+lib/tcp/tcp.mli: Congestion Format Netfilter Netsim Quad Repair Segment Sim Stream_buf

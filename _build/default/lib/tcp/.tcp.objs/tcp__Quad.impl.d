@@ -1,0 +1,1 @@
+lib/tcp/quad.ml: Format Hashtbl Netsim Stdlib

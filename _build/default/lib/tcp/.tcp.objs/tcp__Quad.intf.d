@@ -1,0 +1,1 @@
+lib/tcp/quad.mli: Format Netsim

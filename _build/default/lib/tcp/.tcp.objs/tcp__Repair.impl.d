@@ -1,0 +1,1 @@
+lib/tcp/repair.ml: Format List Quad String

@@ -1,0 +1,1 @@
+lib/tcp/repair.mli: Format Quad

@@ -1,0 +1,1 @@
+lib/tcp/segment.mli: Format Netsim

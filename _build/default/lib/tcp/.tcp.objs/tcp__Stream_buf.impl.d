@@ -1,0 +1,1 @@
+lib/tcp/stream_buf.ml: Array Buffer Printf String

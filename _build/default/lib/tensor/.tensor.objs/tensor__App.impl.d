@@ -1,0 +1,1 @@
+lib/tensor/app.ml: Addr Baseline Bfd Bgp Engine Int Keys List Netfilter Netsim Node Option Orch Packet Replicator Rpc Sim Store String Tcp Time

@@ -1,0 +1,1 @@
+lib/tensor/app.mli: Bfd Bgp Netsim Orch Replicator Sim

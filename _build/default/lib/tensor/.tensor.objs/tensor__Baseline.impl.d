@@ -1,0 +1,1 @@
+lib/tensor/baseline.ml: Bgp Orch Sim Time

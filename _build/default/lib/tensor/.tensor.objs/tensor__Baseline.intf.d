@@ -1,0 +1,1 @@
+lib/tensor/baseline.mli: Bgp Orch Sim

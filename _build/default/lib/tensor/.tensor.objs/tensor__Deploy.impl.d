@@ -1,0 +1,1 @@
+lib/tensor/deploy.ml: Addr App Array Baseline Bfd Bgp Engine Hashtbl List Netsim Network Node Orch Printf Sim Store String Tcp Time Trace

@@ -1,0 +1,1 @@
+lib/tensor/deploy.mli: App Bgp Netsim Orch Sim Store

@@ -1,0 +1,1 @@
+lib/tensor/exp_ablations.ml: Addr App Bgp Deploy Engine Hashtbl Keys Link List Metrics Netfilter Netsim Network Option Packet Printf Replicator Report Rng Sim Store String Tcp Time Trace Workload

@@ -1,0 +1,1 @@
+lib/tensor/exp_fig5a.ml: Engine Float List Netfilter Netsim Network Packet Printf Report Sim String Tcp Time

@@ -1,0 +1,1 @@
+lib/tensor/exp_fig5b.ml: Engine List Netsim Network Printf Report Sim Store String Time

@@ -1,0 +1,1 @@
+lib/tensor/exp_fig5b.mli:

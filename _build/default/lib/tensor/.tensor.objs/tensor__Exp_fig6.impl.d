@@ -1,0 +1,1 @@
+lib/tensor/exp_fig6.ml: Addr App Baseline Bgp Deploy Engine Hashtbl Keys List Netsim Network Node Orch Printf Replicator Report Rng Sim Store Tcp Time Workload

@@ -1,0 +1,1 @@
+lib/tensor/exp_fig7.ml: Array List Printf Report Rng Sim Time Workload

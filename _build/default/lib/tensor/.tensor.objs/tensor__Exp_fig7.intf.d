@@ -1,0 +1,1 @@
+lib/tensor/exp_fig7.mli: Workload

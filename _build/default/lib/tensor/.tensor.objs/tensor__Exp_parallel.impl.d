@@ -1,0 +1,1 @@
+lib/tensor/exp_parallel.ml: Addr Baseline Bgp Engine Float Keys List Netfilter Netsim Network Node Printf Replicator Report Sim Store Tcp Time Workload

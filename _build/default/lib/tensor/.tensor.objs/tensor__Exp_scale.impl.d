@@ -1,0 +1,1 @@
+lib/tensor/exp_scale.ml: Addr App Bgp Deploy Engine List Netsim Orch Printf Report Sim Time Unix Workload

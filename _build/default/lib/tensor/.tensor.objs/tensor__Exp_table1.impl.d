@@ -1,0 +1,1 @@
+lib/tensor/exp_table1.ml: Addr App Baseline Bgp Deploy Engine Float Format List Netsim Orch Printf Report Sim Time Trace Workload

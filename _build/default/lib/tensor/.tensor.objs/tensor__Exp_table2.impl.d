@@ -1,0 +1,1 @@
+lib/tensor/exp_table2.ml: List Printf Report

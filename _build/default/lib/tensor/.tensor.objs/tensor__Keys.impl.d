@@ -1,0 +1,1 @@
+lib/tensor/keys.ml: Bgp Buffer Char Format List Netsim Option Printf String

@@ -1,0 +1,1 @@
+lib/tensor/keys.mli: Bgp Netsim

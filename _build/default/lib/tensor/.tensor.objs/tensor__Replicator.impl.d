@@ -1,0 +1,1 @@
+lib/tensor/replicator.ml: Addr Bgp Engine Keys List Metrics Netfilter Netsim Packet Queue Sim Store String Tcp Time

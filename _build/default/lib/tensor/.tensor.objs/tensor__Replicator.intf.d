@@ -1,0 +1,1 @@
+lib/tensor/replicator.mli: Bgp Keys Netfilter Netsim Sim Store

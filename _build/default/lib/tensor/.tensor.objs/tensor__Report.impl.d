@@ -1,0 +1,1 @@
+lib/tensor/report.ml: Char Filename Float Format List Printf String Unix

@@ -1,0 +1,1 @@
+lib/tensor/report.mli: Format

@@ -1,0 +1,733 @@
+open Sim
+open Netsim
+
+type vrf_spec = {
+  vrf : string;
+  vip : Addr.t;
+  peer_addr : Addr.t;
+  peer_asn : int option;
+  passive : bool;
+  run_bfd : bool;
+  policy_in : Bgp.Policy.t;
+  policy_out : Bgp.Policy.t;
+  ibgp_peers : (Addr.t * bool) list;
+}
+
+let vrf_spec ~vrf ~vip ~peer_addr ?peer_asn ?(passive = false)
+    ?(run_bfd = true) ?(ibgp_peers = []) () =
+  {
+    vrf;
+    vip;
+    peer_addr;
+    peer_asn;
+    passive;
+    run_bfd;
+    policy_in = Bgp.Policy.empty;
+    policy_out = Bgp.Policy.empty;
+    ibgp_peers;
+  }
+
+type config = {
+  service_id : string;
+  store_addr : Addr.t;
+  controller_addr : Addr.t option;
+  local_asn : int;
+  hold_time : int;
+  vrfs : vrf_spec list;
+  profile : Bgp.Speaker.profile;
+  replicate : bool;
+  ack_hold : bool;
+  tcp_restore_cost : Time.span;
+}
+
+let config ~service_id ~store_addr ?controller_addr ~local_asn
+    ?(hold_time = 90) ?(profile = Baseline.tensor) ?(replicate = true)
+    ?(ack_hold = true) ?(tcp_restore_cost = Time.sec 1) vrfs =
+  {
+    service_id;
+    store_addr;
+    controller_addr;
+    local_asn;
+    hold_time;
+    vrfs;
+    profile;
+    replicate;
+    ack_hold;
+    tcp_restore_cost;
+  }
+
+type mode = Fresh | Recover
+
+type per_vrf = {
+  spec : vrf_spec;
+  repl : Replicator.t;
+  mutable peer : Bgp.Speaker.peer option;
+  mutable bfd : Bfd.session option;
+  mutable trimmer : Engine.timer option;
+  mutable established : bool;
+}
+
+type t = {
+  cfg : config;
+  cont : Orch.Container.t;
+  boot_mode : mode;
+  mutable spk : Bgp.Speaker.t option;
+  mutable stack : Tcp.stack option;
+  mutable client : Store.Client.t option;
+  mutable per_vrf : per_vrf list;
+  mutable crashed : bool;
+  mutable bfd_up_cb : vrf:string -> Bfd.session -> unit;
+  mutable recovered_cb : unit -> unit;
+  mutable tcp_synced_cb : vrf:string -> unit;
+}
+
+let container t = t.cont
+let speaker t = t.spk
+
+let find_vrf t vrf =
+  List.find_opt (fun pv -> String.equal pv.spec.vrf vrf) t.per_vrf
+
+let replicator t ~vrf =
+  match find_vrf t vrf with Some pv -> Some pv.repl | None -> None
+
+let bfd_session t ~vrf =
+  match find_vrf t vrf with Some pv -> pv.bfd | None -> None
+
+let session_established t ~vrf =
+  match find_vrf t vrf with
+  | Some pv -> (
+      match pv.peer with
+      | Some p -> Bgp.Speaker.peer_state p = Bgp.Session.Established
+      | None -> false)
+  | None -> false
+
+let on_bfd_up t f = t.bfd_up_cb <- f
+let on_recovered t f = t.recovered_cb <- f
+let on_tcp_synced t f = t.tcp_synced_cb <- f
+
+let routes t ~vrf =
+  match t.spk with
+  | Some spk -> (
+      try Bgp.Rib.size (Bgp.Speaker.rib spk ~vrf) with Not_found -> 0)
+  | None -> 0
+
+let engine t = Node.engine (Orch.Container.node t.cont)
+
+(* --- Shared plumbing -------------------------------------------------------- *)
+
+(* Control records (session metadata, BFD discriminators) must reach the
+   store even across transient network trouble: retry until
+   acknowledged. *)
+let persistent_set t client pairs =
+  let rec attempt () =
+    if not t.crashed then
+      Store.Client.set client ~timeout:(Time.sec 1) pairs (function
+        | Ok () -> ()
+        | Error `Timeout ->
+            ignore (Engine.schedule_after (engine t) (Time.ms 200) attempt))
+  in
+  attempt ()
+
+let hooks_for t =
+  (* Only the VRF's external session is NSR-replicated; cluster-internal
+     iBGP sessions (joint containers) resync from their dependents. *)
+  let repl_of peer =
+    let pcfg = Bgp.Speaker.peer_cfg peer in
+    match find_vrf t pcfg.Bgp.Speaker.vrf with
+    | Some pv
+      when Addr.equal pcfg.Bgp.Speaker.remote_addr pv.spec.peer_addr ->
+        Some pv.repl
+    | Some _ | None -> None
+  in
+  {
+    Bgp.Speaker.on_rx_replicate =
+      (fun peer msg ~size:_ ~inferred_ack ->
+        match repl_of peer with
+        | Some repl -> Replicator.on_rx_message repl msg ~inferred_ack
+        | None -> ());
+    on_tx_replicate =
+      (fun peer _msg raw k ->
+        match repl_of peer with
+        | Some repl -> Replicator.on_tx_message repl ~raw ~release:k
+        | None -> k ());
+    on_rib_change =
+      (fun ~vrf change ->
+        match find_vrf t vrf with
+        | Some pv -> Replicator.on_rib_change pv.repl ~vrf change
+        | None -> ());
+    on_updates_applied = (fun ~vrf:_ _ -> ());
+    on_rx_applied =
+      (fun peer _msg ->
+        match repl_of peer with
+        | Some repl -> Replicator.on_rx_applied repl
+        | None -> ());
+  }
+
+(* The stall watchdog's view of the framer fragment (see Replicator). *)
+let wire_tail_source t pv =
+  Replicator.set_tail_source pv.repl (fun () ->
+      if t.crashed then None
+      else
+        match pv.peer with
+        | Some p -> (
+            match Bgp.Speaker.peer_session p with
+            | Some s -> (
+                match Bgp.Session.conn s with
+                | Some c ->
+                    let tail = Bgp.Session.unparsed_tail s in
+                    if String.length tail = 0 then None
+                    else
+                      let parsed = Bgp.Session.parsed_bytes s in
+                      Some
+                        ( parsed,
+                          Tcp.irs c + 1 + parsed + String.length tail,
+                          tail )
+                | None -> None)
+            | None -> None)
+        | None -> None)
+
+let start_trimmer t pv =
+  if pv.trimmer = None then
+    pv.trimmer <-
+      Some
+        (Engine.every (engine t) (Time.ms 500) (fun () ->
+             if not t.crashed then
+               match pv.peer with
+               | Some p -> (
+                   match Bgp.Speaker.peer_session p with
+                   | Some s -> (
+                       match Bgp.Session.conn s with
+                       | Some c ->
+                           Replicator.note_snd_una pv.repl ~iss:(Tcp.iss c)
+                             ~snd_una:(Tcp.snd_una c)
+                       | None -> ())
+                   | None -> ())
+               | None -> ()))
+
+let write_meta t pv =
+  match (t.client, pv.peer) with
+  | Some client, Some p -> (
+      match Bgp.Speaker.peer_session p with
+      | Some s -> (
+          match (Bgp.Session.conn s, Bgp.Session.negotiated s) with
+          | Some c, Some neg ->
+              let quad = Tcp.quad c in
+              let meta =
+                {
+                  Keys.vrf = pv.spec.vrf;
+                  local_addr = quad.Tcp.Quad.local_addr;
+                  local_port = quad.Tcp.Quad.local_port;
+                  peer_addr = quad.Tcp.Quad.remote_addr;
+                  peer_port = quad.Tcp.Quad.remote_port;
+                  local_asn = t.cfg.local_asn;
+                  hold_time = neg.Bgp.Session.hold_time;
+                  as4 = neg.Bgp.Session.as4_in_use;
+                  iss = Tcp.iss c;
+                  irs = Tcp.irs c;
+                  mss = Tcp.mss c;
+                  rcv_wnd = 400_000;
+                  peer_open_raw =
+                    Bgp.Msg.encode (Bgp.Msg.Open neg.Bgp.Session.peer_open);
+                  peer_supports_gr = neg.Bgp.Session.peer_supports_gr;
+                  peer_gr_restart_time = neg.Bgp.Session.peer_gr_restart_time;
+                }
+              in
+              let cid =
+                Keys.conn_id ~service:t.cfg.service_id ~vrf:pv.spec.vrf
+              in
+              persistent_set t client
+                [ (Keys.meta_key cid, Keys.encode_meta meta) ]
+          | _ -> ())
+      | None -> ())
+  | _ -> ()
+
+let write_bfd_discs t pv =
+  match (t.client, pv.bfd) with
+  | Some client, Some session ->
+      let cid = Keys.conn_id ~service:t.cfg.service_id ~vrf:pv.spec.vrf in
+      persistent_set t client
+        [
+          ( Keys.bfd_key cid,
+            Keys.encode_bfd ~my_disc:(Bfd.my_disc session)
+              ~your_disc:(Bfd.your_disc session) );
+        ]
+  | _ -> ()
+
+let start_bfd t pv ?resume () =
+  if pv.spec.run_bfd then begin
+    let ep = Bfd.endpoint (Orch.Container.node t.cont) in
+    let session =
+      Bfd.create_session ep ~local:pv.spec.vip ?resume ~vrf:pv.spec.vrf
+        ~remote:pv.spec.peer_addr ()
+    in
+    pv.bfd <- Some session;
+    Bfd.on_state_change session (fun ~old st ->
+        match (old, st) with
+        | _, Bfd.Up ->
+            write_bfd_discs t pv;
+            t.bfd_up_cb ~vrf:pv.spec.vrf session
+        | Bfd.Up, Bfd.Down ->
+            (* VRF link failure reported to the BGP process via IPC
+               (§3.3.2); the BGP session's own timers take it from
+               here. *)
+            ()
+        | _ -> ());
+    if resume <> None then begin
+      write_bfd_discs t pv;
+      t.bfd_up_cb ~vrf:pv.spec.vrf session
+    end
+  end
+
+(* Poll until the resumed connection's send stream is fully acknowledged:
+   the "TCP recovery" completion instant of Table 1. *)
+let watch_tcp_sync t pv =
+  let eng = engine t in
+  let rec poll () =
+    if not t.crashed then
+      match pv.peer with
+      | Some p when Bgp.Speaker.peer_state p = Bgp.Session.Established -> (
+          match Bgp.Speaker.peer_session p with
+          | Some s -> (
+              match Bgp.Session.conn s with
+              | Some c ->
+                  if
+                    Tcp.state c = Tcp.Established
+                    && Tcp.snd_una c = Tcp.snd_nxt c
+                    && Tcp.snd_nxt c > Tcp.iss c + 1
+                  then t.tcp_synced_cb ~vrf:pv.spec.vrf
+                  else ignore (Engine.schedule_after eng (Time.ms 50) poll)
+              | None -> ignore (Engine.schedule_after eng (Time.ms 50) poll))
+          | None -> ())
+      | Some _ | None -> (* session gone: stop polling *) ()
+  in
+  poll ()
+
+(* --- Fresh bootstrap --------------------------------------------------------- *)
+
+let bootstrap_fresh t spk stack =
+  List.iter
+    (fun pv ->
+      let spec = pv.spec in
+      let pc =
+        {
+          (Bgp.Speaker.default_peer_config ~vrf:spec.vrf
+             ~remote_addr:spec.peer_addr ())
+          with
+          Bgp.Speaker.remote_asn = spec.peer_asn;
+          local_addr = Some spec.vip;
+          passive = spec.passive;
+          hold_time = t.cfg.hold_time;
+          policy_in = spec.policy_in;
+          policy_out = spec.policy_out;
+        }
+      in
+      let peer = Bgp.Speaker.add_peer spk pc in
+      pv.peer <- Some peer;
+      (match Tcp.output_chain stack with
+      | Some chain ->
+          Replicator.attach_output_chain pv.repl chain ~local:spec.vip
+            ~remote:spec.peer_addr
+      | None -> ());
+      Bgp.Speaker.on_peer_up peer (fun () ->
+          pv.established <- true;
+          (match Bgp.Speaker.peer_session peer with
+          | Some s -> (
+              match Bgp.Session.conn s with
+              | Some c -> Replicator.session_established pv.repl ~irs:(Tcp.irs c)
+              | None -> ())
+          | None -> ());
+          write_meta t pv;
+          start_trimmer t pv;
+          wire_tail_source t pv);
+      Bgp.Speaker.on_peer_down peer (fun _ -> pv.established <- false);
+      (* Cluster-internal iBGP sessions (joint containers, §3.2.4). *)
+      List.iter
+        (fun (addr, passive) ->
+          ignore
+            (Bgp.Speaker.add_peer spk
+               {
+                 (Bgp.Speaker.default_peer_config ~vrf:spec.vrf
+                    ~remote_addr:addr ())
+                 with
+                 Bgp.Speaker.remote_asn = Some t.cfg.local_asn;
+                 local_addr = Some spec.vip;
+                 passive;
+                 hold_time = t.cfg.hold_time;
+               }))
+        spec.ibgp_peers;
+      start_bfd t pv ())
+    t.per_vrf;
+  Bgp.Speaker.start spk
+
+(* --- Recovery bootstrap -------------------------------------------------------- *)
+
+(* Everything recovery needs from the store for one connection, parsed. *)
+type recovered_state = {
+  r_meta : Keys.meta;
+  r_watermark : int;
+  r_outtrim : int;
+  r_bfd : (int * int) option;
+  r_part : (int * string) option; (* replicated partial-frame tail *)
+  r_out : (int * string) list; (* (offset, raw), sorted *)
+  r_in : (int * string * string) list; (* (seq, key, raw), sorted *)
+}
+
+let parse_recovery cid point_reads outs ins =
+  match point_reads with
+  | Error `Timeout -> Error "store unreachable"
+  | Ok values -> (
+      let find key = Option.join (List.assoc_opt key values) in
+      match Option.map Keys.decode_meta (find (Keys.meta_key cid)) with
+      | None -> Error "no session metadata"
+      | Some (Error e) -> Error ("bad metadata: " ^ e)
+      | Some (Ok r_meta) ->
+          let r_watermark =
+            match Option.bind (find (Keys.ack_key cid)) int_of_string_opt with
+            | Some a -> a
+            | None -> r_meta.Keys.irs + 1
+          in
+          let r_outtrim =
+            match
+              Option.bind (find (Keys.outtrim_key cid)) int_of_string_opt
+            with
+            | Some v -> v
+            | None -> 0
+          in
+          let r_bfd =
+            Option.bind (find (Keys.bfd_key cid)) (fun v ->
+                match Keys.decode_bfd v with
+                | Ok discs -> Some discs
+                | Error _ -> None)
+          in
+          let r_part =
+            Option.bind (find (Keys.part_key cid)) (fun v ->
+                match Keys.decode_part v with
+                | Ok p -> Some p
+                | Error _ -> None)
+          in
+          let r_out =
+            match outs with
+            | Error `Timeout -> []
+            | Ok pairs ->
+                List.filter_map
+                  (fun (key, v) ->
+                    match (Keys.offset_of_out_key cid key, Keys.unhex v) with
+                    | Some off, Ok raw -> Some (off, raw)
+                    | _ -> None)
+                  pairs
+                |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          in
+          let r_in =
+            match ins with
+            | Error `Timeout -> []
+            | Ok pairs ->
+                List.filter_map
+                  (fun (key, v) ->
+                    match (Keys.seq_of_in_key cid key, Keys.decode_in_record v) with
+                    | Some seq, Ok (_, raw) -> Some (seq, key, raw)
+                    | _ -> None)
+                  pairs
+                |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          in
+          Ok { r_meta; r_watermark; r_outtrim; r_bfd; r_part; r_out; r_in })
+
+let repair_of_recovered (r : recovered_state) =
+  let meta = r.r_meta in
+  let iss = meta.Keys.iss in
+  let snd_una =
+    match r.r_out with
+    | (off, _) :: _ -> iss + 1 + off
+    | [] -> iss + 1 + r.r_outtrim
+  in
+  let bytes_written =
+    match List.rev r.r_out with
+    | (off, raw) :: _ -> off + String.length raw
+    | [] -> r.r_outtrim
+  in
+  ( {
+      Tcp.Repair.quad =
+        Tcp.Quad.v meta.Keys.local_addr meta.Keys.local_port meta.Keys.peer_addr
+          meta.Keys.peer_port;
+      mss = meta.Keys.mss;
+      rcv_wnd = meta.Keys.rcv_wnd;
+      iss;
+      irs = meta.Keys.irs;
+      snd_una;
+      snd_nxt = iss + 1 + bytes_written;
+      rcv_nxt = r.r_watermark;
+      peer_wnd = 65535;
+      unacked = List.map (fun (off, raw) -> (iss + 1 + off, raw)) r.r_out;
+    },
+    bytes_written )
+
+let resume_from_recovered t spk stack client pv (r : recovered_state) =
+  let spec = pv.spec in
+  let meta = r.r_meta in
+  let repair, bytes_written = repair_of_recovered r in
+  match Bgp.Msg.decode meta.Keys.peer_open_raw with
+  | Ok (Bgp.Msg.Open peer_open) ->
+      let negotiated =
+        {
+          Bgp.Session.peer_open;
+          hold_time = meta.Keys.hold_time;
+          peer_supports_gr = meta.Keys.peer_supports_gr;
+          peer_gr_restart_time = meta.Keys.peer_gr_restart_time;
+          as4_in_use = meta.Keys.as4;
+        }
+      in
+      let pc =
+        {
+          (Bgp.Speaker.default_peer_config ~vrf:spec.vrf
+             ~remote_addr:spec.peer_addr ())
+          with
+          Bgp.Speaker.remote_asn = Some peer_open.Bgp.Msg.asn;
+          local_addr = Some spec.vip;
+          hold_time = t.cfg.hold_time;
+          policy_in = spec.policy_in;
+          policy_out = spec.policy_out;
+        }
+      in
+      (* A valid replicated fragment is exactly the gap between the last
+         complete message and the acknowledged watermark; anything else is
+         stale and ignored. *)
+      let framer_seed =
+        match r.r_part with
+        | Some (offset, bytes)
+          when meta.Keys.irs + 1 + offset + String.length bytes
+               = r.r_watermark ->
+            bytes
+        | Some _ | None -> ""
+      in
+      let peer =
+        Bgp.Speaker.resume_peer spk pc ~repair ~negotiated ~framer_seed ()
+      in
+      pv.peer <- Some peer;
+      pv.established <- true;
+      let in_seq =
+        match List.rev r.r_in with (seq, _, _) :: _ -> seq + 1 | [] -> 0
+      in
+      Replicator.resume_at pv.repl ~watermark:r.r_watermark ~bytes_written
+        ~in_seq ~outtrim:r.r_outtrim
+        ~out_records:(List.map (fun (off, raw) -> (off, String.length raw)) r.r_out);
+      (match Tcp.output_chain stack with
+      | Some chain ->
+          Replicator.attach_output_chain pv.repl chain ~local:spec.vip
+            ~remote:spec.peer_addr
+      | None -> ());
+      (* Replay replicated-but-unapplied updates through the normal
+         receive path, then trim them from the store. *)
+      let replayed_keys =
+        List.map
+          (fun (_, key, raw) ->
+            (match Bgp.Msg.decode raw with
+            | Ok (Bgp.Msg.Update u) -> Bgp.Speaker.replay_update spk peer u
+            | Ok _ | Error _ -> ());
+            key)
+          r.r_in
+      in
+      if replayed_keys <> [] then
+        Store.Client.del client replayed_keys (fun _ -> ());
+      start_trimmer t pv;
+      wire_tail_source t pv;
+      start_bfd t pv ?resume:r.r_bfd ();
+      (* The kernel-side TCP_REPAIR restoration takes real time in the
+         production system; after it, announce liveness and watch the
+         peer re-synchronize. *)
+      ignore
+        (Engine.schedule_after (engine t) t.cfg.tcp_restore_cost (fun () ->
+             if not t.crashed then begin
+               (match Bgp.Speaker.peer_session peer with
+               | Some s when Bgp.Session.state s = Bgp.Session.Established ->
+                   Bgp.Session.send s Bgp.Msg.Keepalive
+               | _ -> ());
+               watch_tcp_sync t pv
+             end));
+      Ok ()
+  | Ok _ -> Error "metadata OPEN is not an OPEN"
+  | Error _ -> Error "bad peer OPEN in metadata"
+
+let recover_vrf t spk stack client pv k =
+  let cid = Keys.conn_id ~service:t.cfg.service_id ~vrf:pv.spec.vrf in
+  (* One batched point-read plus two scans: the state download of the
+     migration path. *)
+  Store.Client.get client
+    [
+      Keys.meta_key cid; Keys.ack_key cid; Keys.outtrim_key cid; Keys.bfd_key cid;
+    ]
+    (fun point_reads ->
+      Store.Client.scan client ~prefix:(Keys.out_prefix cid) (fun outs ->
+          Store.Client.scan client ~prefix:(Keys.in_prefix cid) (fun ins ->
+              match parse_recovery cid point_reads outs ins with
+              | Error e -> k (Error e)
+              | Ok r -> k (resume_from_recovered t spk stack client pv r))))
+
+
+let bootstrap_recover t spk stack client =
+  (* Until every connection is imported, the stack knows none of the
+     quads: a peer retransmission arriving early would be answered with a
+     RST and destroy the very session we are recovering. Prime the OUTPUT
+     chain with an RST guard first (the kernel-free analogue of entering
+     TCP_REPAIR mode before thawing the socket). *)
+  let rst_guard =
+    match Tcp.output_chain stack with
+    | Some chain ->
+        Some
+          ( chain,
+            Netfilter.add_rule chain (fun pkt ->
+                match pkt.Packet.payload with
+                | Tcp.Segment.Tcp seg when seg.Tcp.Segment.flags.Tcp.Segment.rst
+                  ->
+                    Netfilter.Drop
+                | _ -> Netfilter.Accept) )
+    | None -> None
+  in
+  let drop_rst_guard () =
+    match rst_guard with
+    | Some (chain, rule) -> Netfilter.remove_rule chain rule
+    | None -> ()
+  in
+  (* Restore the routing-table checkpoint first (quiet installs), then
+     resume every VRF's session. *)
+  Store.Client.scan client ~prefix:(Keys.rib_prefix ~service:t.cfg.service_id)
+    (fun rib_entries ->
+      (match rib_entries with
+      | Ok pairs ->
+          List.iter
+            (fun (key, v) ->
+              match
+                ( Keys.vrf_prefix_of_rib_key ~service:t.cfg.service_id key,
+                  Keys.decode_rib_entry v )
+              with
+              | Some (vrf, _), Ok (src, prefix, attrs) ->
+                  Bgp.Speaker.restore_route spk ~vrf src prefix attrs
+              | _ -> ())
+            pairs
+      | Error `Timeout -> ());
+      let remaining = ref (List.length t.per_vrf) in
+      let one_done _result =
+        decr remaining;
+        if !remaining = 0 then begin
+          drop_rst_guard ();
+          t.recovered_cb ()
+        end
+      in
+      if t.per_vrf = [] then begin
+        drop_rst_guard ();
+        t.recovered_cb ()
+      end
+      else
+        List.iter (fun pv -> recover_vrf t spk stack client pv one_done) t.per_vrf)
+
+(* --- Entry point ---------------------------------------------------------------- *)
+
+let bootstrap t () =
+  let node = Orch.Container.node t.cont in
+  t.crashed <- false;
+  List.iter
+    (fun spec -> Orch.Container.assign_service_addr t.cont spec.vip)
+    t.cfg.vrfs;
+  let stack = Tcp.create_stack node in
+  let chain = Netfilter.create () in
+  Tcp.set_output_chain stack (Some chain);
+  let client = Store.Client.create node ~server:t.cfg.store_addr in
+  t.stack <- Some stack;
+  t.client <- Some client;
+  let eng = Node.engine node in
+  t.per_vrf <-
+    List.map
+      (fun spec ->
+        {
+          spec;
+          repl =
+            Replicator.create ~replicate:t.cfg.replicate
+              ~ack_hold:t.cfg.ack_hold ~engine:eng ~client
+              ~conn_id:(Keys.conn_id ~service:t.cfg.service_id ~vrf:spec.vrf)
+              ~service:t.cfg.service_id ();
+          peer = None;
+          bfd = None;
+          trimmer = None;
+          established = false;
+        })
+      t.cfg.vrfs;
+  let router_id =
+    match t.cfg.vrfs with
+    | spec :: _ -> spec.vip
+    | [] -> invalid_arg "Tensor app: no VRFs configured"
+  in
+  let spk =
+    Bgp.Speaker.create ~profile:t.cfg.profile ~hooks:(hooks_for t) ~stack
+      ~local_asn:t.cfg.local_asn ~router_id ()
+  in
+  t.spk <- Some spk;
+  Orch.Container.set_resources t.cont
+    ~mem_mb:(220.0 +. (30.0 *. float_of_int (List.length t.cfg.vrfs)))
+    ~cpu_pct:(0.04 +. (0.015 *. float_of_int (List.length t.cfg.vrfs)));
+  match t.boot_mode with
+  | Fresh -> bootstrap_fresh t spk stack
+  | Recover -> bootstrap_recover t spk stack client
+
+let install cont ?(mode = Fresh) cfg =
+  let t =
+    {
+      cfg;
+      cont;
+      boot_mode = mode;
+      spk = None;
+      stack = None;
+      client = None;
+      per_vrf = [];
+      crashed = false;
+      bfd_up_cb = (fun ~vrf:_ _ -> ());
+      recovered_cb = (fun () -> ());
+      tcp_synced_cb = (fun ~vrf:_ -> ());
+    }
+  in
+  Orch.Container.on_running cont (fun _ -> bootstrap t ());
+  (* Preheated standby containers are already Running: bootstrap now
+     (from a fresh event, never reentrantly). *)
+  if Orch.Container.state cont = Orch.Container.Running then
+    ignore
+      (Engine.schedule_after
+         (Node.engine (Orch.Container.node cont))
+         0 (bootstrap t));
+  t
+
+let freeze_for_migration t k =
+  if t.crashed then k ()
+  else begin
+    t.crashed <- true;
+    (match t.stack with Some stack -> Tcp.freeze_stack stack | None -> ());
+    let remaining = ref (List.length t.per_vrf) in
+    let one () =
+      decr remaining;
+      if !remaining = 0 then k ()
+    in
+    if t.per_vrf = [] then k ()
+    else
+      List.iter
+        (fun pv ->
+          Replicator.drain pv.repl (fun () ->
+              Replicator.stop pv.repl;
+              one ()))
+        t.per_vrf
+  end
+
+let crash_bgp t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    (* The process dies: the TCP stack freezes mid-flight (no FIN/RST
+       escapes: the NFQUEUE has no reader any more) and replication
+       stops. BFD is a separate process and keeps running. *)
+    (match t.stack with Some stack -> Tcp.freeze_stack stack | None -> ());
+    List.iter (fun pv -> Replicator.stop pv.repl) t.per_vrf;
+    (* The in-container monitor notices within ~10 ms and reports. *)
+    match t.cfg.controller_addr with
+    | Some ctrl ->
+        let node = Orch.Container.node t.cont in
+        ignore
+          (Engine.schedule_after (Node.engine node) (Time.ms 10) (fun () ->
+               Rpc.call (Rpc.endpoint node) ~dst:ctrl ~service:"report"
+                 (Orch.Controller.Report_app_failure t.cfg.service_id)
+                 (fun _ -> ())))
+    | None -> ()
+  end

@@ -1,0 +1,350 @@
+open Sim
+open Netsim
+
+type t = {
+  eng : Engine.t;
+  net : Network.t;
+  fabric : Node.t;
+  hosts : Orch.Host.t array;
+  agent : Orch.Agent.t;
+  ctrl : Orch.Controller.t;
+  store_server : Store.Server.t;
+  store_addr : Addr.t;
+  trace : Trace.t;
+  warm_boot : Time.span;
+  cold_boot : Time.span;
+}
+
+type peer_as = {
+  pa_name : string;
+  pa_node : Node.t;
+  pa_addr : Addr.t;
+  pa_speaker : Bgp.Speaker.t;
+  pa_asn : int;
+}
+
+type service = {
+  dep : t;
+  sid : string;
+  scfg : App.config;
+  warm_boot : Time.span;
+  cold_boot : Time.span;
+  backup_mode : [ `Cold | `Preheat ];
+  mutable backup_host : int;
+  mutable primary : Orch.Container.t;
+  mutable app : App.t;
+  mutable standby : Orch.Container.t option;
+  mutable generation : int;
+}
+
+let services : (string, service) Hashtbl.t = Hashtbl.create 16
+
+let migration_trace t = t.trace
+
+(* --- Migrator ---------------------------------------------------------------- *)
+
+let pick_backup_host t svc =
+  let quarantined = Orch.Controller.quarantined t.ctrl in
+  let failed_host = Orch.Container.host_name svc.primary in
+  let n = Array.length t.hosts in
+  let rec find i =
+    if i >= n then svc.backup_host (* fall back, nothing better *)
+    else
+      let idx = (svc.backup_host + i) mod n in
+      let h = t.hosts.(idx) in
+      if
+        Orch.Host.is_up h
+        && (not (Orch.Host.is_fenced h))
+        && (not (List.mem (Orch.Host.name h) quarantined))
+        && not (String.equal (Orch.Host.name h) failed_host)
+      then idx
+      else find (i + 1)
+  in
+  find 0
+
+let reroute_vips t svc host =
+  List.iter
+    (fun (spec : App.vrf_spec) ->
+      Node.add_route t.fabric (Addr.prefix spec.App.vip 32)
+        (Orch.Host.addr host))
+    svc.scfg.App.vrfs
+
+(* A preheated standby is usable when it is alive on a healthy host that
+   is not the one that just failed. *)
+let usable_standby t svc =
+  match svc.standby with
+  | Some cont
+    when Orch.Container.state cont = Orch.Container.Running
+         && Orch.Container.host_name cont
+            <> Orch.Container.host_name svc.primary -> (
+      let hname = Orch.Container.host_name cont in
+      match
+        Array.to_list t.hosts
+        |> List.find_opt (fun h -> String.equal (Orch.Host.name h) hname)
+      with
+      | Some h when Orch.Host.is_up h && not (Orch.Host.is_fenced h) ->
+          Some cont
+      | _ -> None)
+  | _ -> None
+
+let provision_standby t svc =
+  let host_idx = pick_backup_host t svc in
+  let host = t.hosts.(host_idx) in
+  let cont =
+    Orch.Host.create_container host ~boot_span:svc.warm_boot
+      (Printf.sprintf "%s-standby%d" svc.sid svc.generation)
+  in
+  Orch.Container.boot cont;
+  svc.standby <- Some cont
+
+let migrate t svc ~(reason : Orch.Controller.failure_kind) ~done_ =
+  svc.generation <- svc.generation + 1;
+  let boot_span =
+    match reason with
+    | Orch.Controller.Host_failure | Orch.Controller.Host_network_failure ->
+        svc.cold_boot
+    | Orch.Controller.App_failure | Orch.Controller.Container_failure ->
+        svc.warm_boot
+  in
+  (* Fence the old instance (TKE kill): for app failures the container is
+     alive but its process is dead; make sure it cannot speak again. *)
+  Orch.Container.stop svc.primary;
+  let standby = usable_standby t svc in
+  let cont =
+    match standby with
+    | Some cont ->
+        svc.standby <- None;
+        cont
+    | None ->
+        let host_idx = pick_backup_host t svc in
+        let host = t.hosts.(host_idx) in
+        Orch.Host.create_container host ~boot_span
+          (Printf.sprintf "%s-g%d" svc.sid svc.generation)
+  in
+  let app = App.install cont ~mode:App.Recover svc.scfg in
+  App.on_bfd_up app (fun ~vrf session ->
+      match
+        List.find_opt
+          (fun (s : App.vrf_spec) -> String.equal s.App.vrf vrf)
+          svc.scfg.App.vrfs
+      with
+      | Some spec ->
+          Orch.Agent.start_relay t.agent ~id:svc.sid ~src:spec.App.vip
+            ~dst:spec.App.peer_addr ~vrf ~my_disc:(Bfd.my_disc session)
+            ~your_disc:(Bfd.your_disc session)
+      | None -> ());
+  App.on_tcp_synced app (fun ~vrf ->
+      Trace.emitf t.trace t.eng "tcp-synced" "%s/%s" svc.sid vrf);
+  App.on_recovered app (fun () ->
+      svc.primary <- cont;
+      svc.app <- app;
+      (* Keep a standby warm for the next failure. *)
+      if svc.backup_mode = `Preheat then provision_standby t svc;
+      done_ cont);
+  (* Inbound traffic must land on the new instance once it answers. *)
+  (match
+     Array.to_list t.hosts
+     |> List.find_opt (fun h ->
+            String.equal (Orch.Host.name h) (Orch.Container.host_name cont))
+   with
+  | Some host -> reroute_vips t svc host
+  | None -> ());
+  Orch.Container.boot cont
+
+(* --- Build --------------------------------------------------------------------- *)
+
+let build ?(seed = 42) ?(hosts = 3) ?(warm_boot = Time.sec 1)
+    ?(cold_boot = Time.of_ms_f 4400.) ?store_cost
+    ?(store_delay = Time.us 100) ?(store_replica = false) () =
+  let eng = Engine.create ~seed () in
+  let net = Network.create eng in
+  let fabric = Network.add_node net ~forwarding:true "fabric" in
+  let host_arr =
+    Array.init hosts (fun i ->
+        Orch.Host.create net ~fabric ~boot_span:warm_boot
+          (Printf.sprintf "host%d" i))
+  in
+  let agent = Orch.Agent.create net ~fabric "agent" in
+  let ctrl = Orch.Controller.create net ~fabric "controller" in
+  Array.iter (fun h -> Orch.Controller.register_host ctrl h) host_arr;
+  Orch.Controller.register_agent ctrl agent;
+  (* The store lives on its own server joined to the fabric (Redis on a
+     separate machine, §4.1). *)
+  let store_node = Network.add_node net "store" in
+  let _, fabric_side, _store_side =
+    Network.connect net ~delay:store_delay fabric store_node
+  in
+  Node.add_route store_node (Addr.prefix_of_string "0.0.0.0/0") fabric_side;
+  let store_server = Store.Server.create ?cost:store_cost store_node in
+  (* The store's own fault tolerance: a synchronous replica on a second
+     server (the paper treats store+primary double failures as out of
+     scope, §4.1). *)
+  if store_replica then begin
+    let replica_node = Network.add_node net "store-replica" in
+    let _, rep_fabric_side, _ =
+      Network.connect net ~delay:store_delay fabric replica_node
+    in
+    Node.add_route replica_node (Addr.prefix_of_string "0.0.0.0/0")
+      rep_fabric_side;
+    let replica = Store.Server.create ?cost:store_cost replica_node in
+    Store.Server.attach_replica store_server replica
+  end;
+  let t =
+    {
+      eng;
+      net;
+      fabric;
+      hosts = host_arr;
+      agent;
+      ctrl;
+      store_server;
+      store_addr = Store.Server.addr store_server;
+      trace = Trace.create ();
+      warm_boot;
+      cold_boot;
+    }
+  in
+  Orch.Controller.set_migrator ctrl (fun ~reason ~id ~failed:_ ~done_ ->
+      match Hashtbl.find_opt services id with
+      | Some svc -> migrate t svc ~reason ~done_
+      | None -> ());
+  (* Mirror the controller's trace into the deployment trace lazily: the
+     controller already timestamps detect/initiate/migrate; experiments
+     read both. *)
+  t
+
+(* --- Peers ----------------------------------------------------------------------- *)
+
+let add_peer_as t ?(profile = Baseline.frr) ?(link_delay = Time.us 200) ~asn
+    name =
+  let node = Network.add_node t.net name in
+  let _, fabric_side, peer_side =
+    Network.connect t.net ~delay:link_delay t.fabric node
+  in
+  Node.add_route node (Addr.prefix_of_string "0.0.0.0/0") fabric_side;
+  let stack = Tcp.create_stack node in
+  let speaker =
+    Bgp.Speaker.create ~profile ~stack ~local_asn:asn ~router_id:peer_side ()
+  in
+  { pa_name = name; pa_node = node; pa_addr = peer_side; pa_speaker = speaker;
+    pa_asn = asn }
+
+let peer_expects pa ~vrf ~vip ~local_asn =
+  let pc =
+    {
+      (Bgp.Speaker.default_peer_config ~vrf ~remote_addr:vip ()) with
+      Bgp.Speaker.remote_asn = Some local_asn;
+      passive = true;
+    }
+  in
+  let peer = Bgp.Speaker.add_peer pa.pa_speaker pc in
+  (* The peer runs its own BFD towards the service address. *)
+  ignore
+    (Bfd.create_session (Bfd.endpoint pa.pa_node) ~local:pa.pa_addr ~vrf
+       ~remote:vip ());
+  peer
+
+(* --- Services ----------------------------------------------------------------------- *)
+
+let deploy_service t ?(primary_host = 0) ?(backup_host = 1)
+    ?(backup_mode = `Cold) ?(replicate = true) ?(ack_hold = true) ~id
+    ~local_asn vrfs =
+  let cfg =
+    App.config ~service_id:id ~store_addr:t.store_addr
+      ~controller_addr:(Orch.Controller.addr t.ctrl) ~local_asn ~replicate
+      ~ack_hold vrfs
+  in
+  let host = t.hosts.(primary_host) in
+  let cont = Orch.Host.create_container host id in
+  let app = App.install cont cfg in
+  let svc =
+    {
+      dep = t;
+      sid = id;
+      scfg = cfg;
+      warm_boot = t.warm_boot;
+      cold_boot = t.cold_boot;
+      backup_mode;
+      backup_host;
+      primary = cont;
+      app;
+      standby = None;
+      generation = 0;
+    }
+  in
+  Hashtbl.replace services id svc;
+  if backup_mode = `Preheat then provision_standby t svc;
+  App.on_bfd_up app (fun ~vrf session ->
+      match
+        List.find_opt (fun (s : App.vrf_spec) -> String.equal s.App.vrf vrf) vrfs
+      with
+      | Some spec ->
+          Orch.Agent.start_relay t.agent ~id ~src:spec.App.vip
+            ~dst:spec.App.peer_addr ~vrf ~my_disc:(Bfd.my_disc session)
+            ~your_disc:(Bfd.your_disc session)
+      | None -> ());
+  reroute_vips t svc host;
+  Orch.Container.boot cont;
+  (* Register with the controller once the container answers health
+     checks. *)
+  ignore
+    (Engine.schedule_after t.eng (Orch.Container.boot_span cont) (fun () ->
+         Orch.Controller.manage t.ctrl ~id cont));
+  svc
+
+let service_app svc = svc.app
+let service_container svc = svc.primary
+
+let wait_established t svc ?(timeout = Time.sec 30) () =
+  let deadline = Time.add (Engine.now t.eng) timeout in
+  let ok () =
+    List.for_all
+      (fun (spec : App.vrf_spec) ->
+        App.session_established svc.app ~vrf:spec.App.vrf)
+      svc.scfg.App.vrfs
+  in
+  let rec loop () =
+    if ok () then true
+    else if Engine.now t.eng >= deadline then false
+    else begin
+      Engine.run_until t.eng
+        (min deadline (Time.add (Engine.now t.eng) (Time.ms 100)));
+      loop ()
+    end
+  in
+  loop ()
+
+let service_routes svc ~vrf = App.routes svc.app ~vrf
+
+let planned_migration t svc =
+  Trace.emitf t.trace t.eng "planned" "%s" svc.sid;
+  Orch.Controller.begin_planned t.ctrl ~id:svc.sid;
+  App.freeze_for_migration svc.app (fun () ->
+      migrate t svc ~reason:Orch.Controller.App_failure
+        ~done_:(fun replacement ->
+          Orch.Controller.end_planned t.ctrl ~id:svc.sid replacement))
+
+(* --- Failure injection ----------------------------------------------------------------- *)
+
+let inject_app_failure t svc =
+  Trace.emitf t.trace t.eng "inject" "%s app" svc.sid;
+  App.crash_bgp svc.app
+
+let inject_container_failure t svc =
+  Trace.emitf t.trace t.eng "inject" "%s container" svc.sid;
+  Orch.Container.fail svc.primary
+
+let inject_host_failure t svc =
+  Trace.emitf t.trace t.eng "inject" "%s host" svc.sid;
+  let name = Orch.Container.host_name svc.primary in
+  Array.iter
+    (fun h -> if String.equal (Orch.Host.name h) name then Orch.Host.fail h)
+    t.hosts
+
+let inject_host_network_failure t svc =
+  Trace.emitf t.trace t.eng "inject" "%s host-network" svc.sid;
+  let name = Orch.Container.host_name svc.primary in
+  Array.iter
+    (fun h ->
+      if String.equal (Orch.Host.name h) name then Orch.Host.network_fail h)
+    t.hosts

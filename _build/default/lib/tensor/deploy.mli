@@ -1,0 +1,131 @@
+(** Cluster assembly: the production topology of Figure 3, in one call.
+
+    A deployment builds the forwarding fabric, host machines, the agent
+    server, the controller, and the replicated store, then lets callers
+    attach external peering ASes and deploy TENSOR services (primary
+    containers with designated backup hosts). It installs the NSR
+    migrator on the controller:
+
+    on failure → (controller localizes per §3.3.3) → kill/fence the old
+    instance → create the backup container (warm boot for
+    application/container failures, cold boot for host-level failures) →
+    recover TCP/BGP/BFD state from the store → re-route the service
+    addresses → resume — all while the agent's BFD relay keeps the remote
+    AS convinced nothing happened. *)
+
+type t = {
+  eng : Sim.Engine.t;
+  net : Netsim.Network.t;
+  fabric : Netsim.Node.t;
+  hosts : Orch.Host.t array;
+  agent : Orch.Agent.t;
+  ctrl : Orch.Controller.t;
+  store_server : Store.Server.t;
+  store_addr : Netsim.Addr.t;
+  trace : Sim.Trace.t;
+  warm_boot : Sim.Time.span;
+      (** Backup container boot for app/container failures (1 s). *)
+  cold_boot : Sim.Time.span;
+      (** Cold start for host-level failures: image distribution +
+          scheduling on a non-preheated host (4.4 s). *)
+}
+
+val build :
+  ?seed:int ->
+  ?hosts:int ->
+  ?warm_boot:Sim.Time.span ->
+  ?cold_boot:Sim.Time.span ->
+  ?store_cost:Store.cost_model ->
+  ?store_delay:Sim.Time.span ->
+  ?store_replica:bool ->
+  unit ->
+  t
+(** Defaults: 3 hosts, warm boot 1 s, cold boot 4.4 s, the calibrated
+    store cost model, and a local store (100 µs away). [store_delay]
+    moves the store further (the §5 remote-replication discussion);
+    [store_replica] (default false) attaches a synchronous replica on a
+    second store server — the paper's "Redis set up on multiple local
+    servers". The trace records every migration milestone. *)
+
+(** {1 External peering ASes} *)
+
+type peer_as = {
+  pa_name : string;
+  pa_node : Netsim.Node.t;
+  pa_addr : Netsim.Addr.t;
+  pa_speaker : Bgp.Speaker.t;
+  pa_asn : int;
+}
+
+val add_peer_as :
+  t ->
+  ?profile:Bgp.Speaker.profile ->
+  ?link_delay:Sim.Time.span ->
+  asn:int ->
+  string ->
+  peer_as
+(** A remote AS border router on the fabric (FRRouting profile by
+    default), ready to accept sessions from TENSOR services. *)
+
+val peer_expects :
+  peer_as -> vrf:string -> vip:Netsim.Addr.t -> local_asn:int -> Bgp.Speaker.peer
+(** Configures the peer side of a session: a passive peer entry for the
+    given service address, plus the peer's own BFD responder. Returns the
+    peer handle for inspection. *)
+
+(** {1 TENSOR services} *)
+
+type service
+
+val deploy_service :
+  t ->
+  ?primary_host:int ->
+  ?backup_host:int ->
+  ?backup_mode:[ `Cold | `Preheat ] ->
+  ?replicate:bool ->
+  ?ack_hold:bool ->
+  id:string ->
+  local_asn:int ->
+  App.vrf_spec list ->
+  service
+(** Creates the primary container on [primary_host] (default 0), routes
+    the VIPs, installs the app, registers the service with the controller
+    and the BFD relays with the agent. [backup_host] (default 1) receives
+    migrations.
+
+    [backup_mode] (default [`Cold]) selects §3.3.2's energy/latency
+    trade-off: [`Cold] creates and boots the backup container at
+    migration time; [`Preheat] keeps an idle standby container booted on
+    the backup host, so migration skips the boot and only downloads state
+    from the store. A consumed standby is replaced automatically. *)
+
+val service_app : service -> App.t
+(** The app of the current primary instance. *)
+
+val service_container : service -> Orch.Container.t
+
+val wait_established : t -> service -> ?timeout:Sim.Time.span -> unit -> bool
+(** Runs the engine until every VRF session of the service is
+    Established (true) or the timeout elapses (false). *)
+
+val planned_migration : t -> service -> unit
+(** Proactive maintenance (§4.4): freeze the healthy primary, flush its
+    replication pipeline, then run the ordinary NSR migration. The remote
+    AS observes nothing — no graceful-restart window, no frozen routing
+    policies, no downtime — which is the operational property that lets
+    the paper's deployment upgrade software at any hour. *)
+
+(** {1 Failure injection (Table 1 scenarios)} *)
+
+val inject_app_failure : t -> service -> unit
+val inject_container_failure : t -> service -> unit
+val inject_host_failure : t -> service -> unit
+val inject_host_network_failure : t -> service -> unit
+
+(** {1 Observability} *)
+
+val migration_trace : t -> Sim.Trace.t
+(** Alias of [trace]: categories ["detect"], ["initiate"], ["migrate"],
+    ["tcp-synced"] (per VRF), plus the controller's own entries. *)
+
+val service_routes : service -> vrf:string -> int

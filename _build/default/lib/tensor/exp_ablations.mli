@@ -1,0 +1,57 @@
+(** Ablations of TENSOR's design decisions (DESIGN.md §4).
+
+    1. {b Cold vs preheated backups} (§3.3.2): migration time for a
+       container failure with the backup created at migration time versus
+       kept warm. Preheat skips the ~1 s boot, at the cost of standby
+       resources.
+
+    2. {b Synchronous vs asynchronous replication} (§3.1.1, §5): with the
+       tcp_queue hold disabled, ACKs race ahead of the store and the
+       NSR safety invariant (no acknowledged-but-unreplicated message)
+       breaks — counted by a wire monitor. With it, zero violations at a
+       bounded latency overhead.
+
+    3. {b Local vs remote store} (§5 "Remote replication for disaster
+       recovery"): synchronous replication to a distant site pushes the
+       ACK delay past the Figure 5(a) threshold and slows BGP learning;
+       asynchronous remote replication restores speed but reopens the
+       consistency window. *)
+
+type preheat_result = {
+  cold_total_s : float;  (** Injection → TCP re-synced, cold backup. *)
+  preheat_total_s : float;
+}
+
+val run_preheat : unit -> preheat_result
+val print_preheat : preheat_result -> unit
+
+type sync_result = {
+  mode : string;
+  store_rtt_ms : float;
+  learn_s : float;  (** Time to learn 100 000 updates. *)
+  mean_ack_hold_ms : float;
+      (** Mean tcp_queue hold per released segment — the effective ACK
+          delay, to compare with Figure 5(a)'s thresholds. *)
+  violations : int;  (** ACK-before-replication events observed. *)
+  nsr_held : bool;
+      (** A container failure injected mid-flood stays invisible to the
+          peer (zero session drops). With asynchronous replication the
+          resumed stream has a gap the peer cannot fill — it already
+          discarded the acknowledged data — so the session dies. *)
+}
+
+val run_replication_modes : unit -> sync_result list
+(** [local sync; remote sync; remote async]. *)
+
+val print_replication_modes : sync_result list -> unit
+
+type hook_result = { hook : string; cost_ns : int; throughput_bps : float }
+
+val run_hook_overhead : unit -> hook_result list
+(** §5 "Alternative designs": the packet-interception technology's
+    per-segment overhead against small-packet TCP throughput — no
+    interception, eBPF (~150 ns) and Netfilter (~500 ns). The paper cites
+    eBPF outperforming Netfilter (Miano et al.) and leaves adopting it as
+    future work; this quantifies what the switch would buy. *)
+
+val print_hook_overhead : hook_result list -> unit

@@ -1,0 +1,55 @@
+open Sim
+open Netsim
+
+type row = { records : int; read_ms : float; write_ms : float }
+
+let record_value = String.make 4096 'v'
+let record_key i = Printf.sprintf "%-86s%06d" "vrf|quad4tuple|peerclient" i
+
+let run ?(counts = [ 1; 10; 70; 100; 500; 1_000; 5_000; 10_000 ]) () =
+  let eng = Engine.create () in
+  let net = Network.create eng in
+  let app = Network.add_node net "bgp" in
+  let db = Network.add_node net "redis" in
+  let _, _, db_addr = Network.connect net ~delay:(Time.us 100) app db in
+  ignore (Store.Server.create db);
+  let client = Store.Client.create app ~server:db_addr in
+  let timed f =
+    let t0 = Engine.now eng in
+    let t1 = ref t0 in
+    f (fun () -> t1 := Engine.now eng);
+    Engine.run eng;
+    Time.to_ms_f (Time.diff !t1 t0)
+  in
+  List.map
+    (fun records ->
+      let pairs = List.init records (fun i -> (record_key i, record_value)) in
+      let keys = List.map fst pairs in
+      let write_ms =
+        timed (fun k ->
+            Store.Client.set client ~timeout:(Time.minutes 10) pairs (fun _ ->
+                k ()))
+      in
+      let read_ms =
+        timed (fun k ->
+            Store.Client.get client ~timeout:(Time.minutes 10) keys (fun _ ->
+                k ()))
+      in
+      { records; read_ms; write_ms })
+    counts
+
+let print rows =
+  Report.section "Figure 5(b): store read/write total time vs record count";
+  Report.table
+    ~header:[ "records"; "read total"; "write total"; "write/read" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.records;
+           Printf.sprintf "%.2f ms" r.read_ms;
+           Printf.sprintf "%.2f ms" r.write_ms;
+           Printf.sprintf "%.2fx" (r.write_ms /. r.read_ms);
+         ])
+       rows);
+  Report.note "paper: 1 read < 0.5 ms; 1 write ~1 ms (~2.5x read);";
+  Report.note "       10 writes < 2 ms; 10K reads ~200 ms; 10K writes ~500 ms."

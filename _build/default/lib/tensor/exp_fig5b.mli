@@ -1,0 +1,12 @@
+(** Figure 5(b): total time of batched database read and write operations
+    as a function of the record count (90 B keys, 4 KB values — the
+    largest BGP message). *)
+
+type row = {
+  records : int;
+  read_ms : float;
+  write_ms : float;
+}
+
+val run : ?counts:int list -> unit -> row list
+val print : row list -> unit

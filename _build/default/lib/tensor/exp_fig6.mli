@@ -1,0 +1,34 @@
+(** Figure 6: integral performance of TENSOR against FRRouting, GoBGP and
+    BIRD.
+
+    (a) time to receive and learn N routing updates from one peer;
+    (b) time to generate and send N updates to one peer;
+    (c) time to send 100 updates each to P peering ASes (update packing);
+    (d) memory and CPU versus container count on one host.
+
+    The baselines run as plain speakers with their {!Baseline} profiles;
+    TENSOR runs with live replication against a real store (receive:
+    synchronous message replication with held ACKs; send: delayed
+    sending), so its overhead is measured, not assumed. *)
+
+type impl_point = { impl : string; seconds : float }
+type sweep_row = { x : int; values : impl_point list }
+
+val run_receive : ?counts:int list -> unit -> sweep_row list
+(** Panel (a): x = number of updates. *)
+
+val run_send : ?counts:int list -> unit -> sweep_row list
+(** Panel (b): x = number of updates. *)
+
+val run_multi_peer : ?peer_counts:int list -> ?updates_per_peer:int -> unit -> sweep_row list
+(** Panel (c): x = number of peers. *)
+
+type scale_row = { containers : int; memory_gb : float; cpu_pct : float }
+
+val run_scale : ?container_counts:int list -> unit -> scale_row list
+(** Panel (d). *)
+
+val print_receive : sweep_row list -> unit
+val print_send : sweep_row list -> unit
+val print_multi_peer : sweep_row list -> unit
+val print_scale : scale_row list -> unit

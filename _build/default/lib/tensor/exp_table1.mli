@@ -1,0 +1,33 @@
+(** Table 1: failure recovery comparison.
+
+    For each failure class (application, container, host machine, host
+    network) a fresh full deployment is built, routes are exchanged, the
+    failure is injected, and the recovery timeline is read from the
+    controller's and deployment's traces:
+
+    - detection: injection → failure localized;
+    - initiation: localization → migration started;
+    - migration: start → backup resumed (boot + state download + resume);
+    - TCP recovery: resume → the resumed connection fully re-synchronized.
+
+    TENSOR's times are internal (the peer observes {e zero} link
+    downtime, which the experiment asserts by monitoring the peer's
+    session and routing table). The baselines' numbers come from the
+    {!Baseline.recovery_for} manual-recovery model, where the total {e
+    is} link downtime. *)
+
+type timeline = {
+  kind : Orch.Controller.failure_kind;
+  frequency_pct : int;  (** The paper's observed frequency mix. *)
+  detect_s : float;
+  initiate_s : float;
+  migrate_s : float;
+  tcp_s : float;
+  total_s : float;
+  peer_session_drops : int;  (** Must be 0: zero link downtime. *)
+  peer_routes_lost : int;  (** Must be 0. *)
+  baseline_total_s : float;  (** Link downtime without NSR. *)
+}
+
+val run : ?kinds:Orch.Controller.failure_kind list -> unit -> timeline list
+val print : timeline list -> unit

@@ -1,0 +1,80 @@
+type solution = {
+  name : string;
+  recovery : string;
+  dev_time_months : (int * int) option;
+  dev_labor_man_months : int option;
+  loc : string;
+  deployment_cost_usd : int;
+  maintenance_mh_per_month : int;
+}
+
+let rows =
+  [
+    {
+      name = "FRRouting/GoBGP/BIRD";
+      recovery = "(offline) tens of seconds to minutes";
+      dev_time_months = None;
+      dev_labor_man_months = None;
+      loc = "70K-418K";
+      deployment_cost_usd = 3_000;
+      maintenance_mh_per_month = 72;
+    };
+    {
+      name = "NSR-enabled router";
+      recovery = "(online) seconds";
+      dev_time_months = Some (48, 60);
+      dev_labor_man_months = Some 500;
+      loc = "+50K";
+      deployment_cost_usd = 15_000;
+      maintenance_mh_per_month = 110;
+    };
+    {
+      name = "TENSOR";
+      recovery = "(online) seconds";
+      dev_time_months = Some (4, 12);
+      dev_labor_man_months = Some 25;
+      loc = "+8K";
+      deployment_cost_usd = 3_000;
+      maintenance_mh_per_month = 10;
+    };
+  ]
+
+let print () =
+  Report.section "Table 2: summary of BGP solutions (operational cost model)";
+  Report.table
+    ~header:
+      [ "solution"; "failure recovery"; "dev time"; "dev labor"; "LoC";
+        "deploy $"; "maint mh/mo" ]
+    (List.map
+       (fun s ->
+         [
+           s.name;
+           s.recovery;
+           (match s.dev_time_months with
+           | Some (lo, hi) -> Printf.sprintf "%d-%d months" lo hi
+           | None -> "-");
+           (match s.dev_labor_man_months with
+           | Some m -> Printf.sprintf "~%d man-months" m
+           | None -> "-");
+           s.loc;
+           Printf.sprintf "~%d" s.deployment_cost_usd;
+           Printf.sprintf "~%d" s.maintenance_mh_per_month;
+         ])
+       rows);
+  let find n = List.find (fun s -> s.name = n) rows in
+  let nsr = find "NSR-enabled router" and tensor = find "TENSOR" in
+  let ratio a b = float_of_int a /. float_of_int b in
+  Report.subsection "derived ratios (TENSOR vs NSR-enabled routers)";
+  (match (nsr.dev_labor_man_months, tensor.dev_labor_man_months) with
+  | Some a, Some b ->
+      Report.kv "development labor" "%.0fx cheaper (paper: ~20x)" (ratio a b)
+  | _ -> ());
+  Report.kv "deployment cost" "%.0fx cheaper (paper: ~5x)"
+    (ratio nsr.deployment_cost_usd tensor.deployment_cost_usd);
+  Report.kv "maintenance" "%.0fx cheaper (paper: ~10x)"
+    (ratio nsr.maintenance_mh_per_month tensor.maintenance_mh_per_month);
+  (match (nsr.dev_time_months, tensor.dev_time_months) with
+  | Some (_, hi_a), Some (_, hi_b) ->
+      Report.kv "development duration" "%.0fx shorter (paper: ~4x)"
+        (ratio hi_a hi_b)
+  | _ -> ())

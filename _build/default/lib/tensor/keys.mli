@@ -1,0 +1,91 @@
+(** Store key schema and record codecs (§3.1.2).
+
+    Every replicated datum lives under a key whose leading component
+    selects the record kind and whose connection id scopes it to one BGP
+    session (one container VRF = one peering AS):
+
+    - [meta|<conn>] — session metadata: addresses, ports, negotiated
+      parameters, the peer's OPEN, initial sequence numbers (the
+      TCP_REPAIR bootstrap of "Matching ACK numbers");
+    - [ack|<conn>] — the replicated-ACK watermark: the highest inferred
+      ACK whose message is durable;
+    - [in|<conn>|<seq>] — a received message awaiting application
+      (deleted once applied and checkpointed — the ≤ 64 KB storage-bound
+      argument);
+    - [out|<conn>|<offset>] — a sent message, keyed by its byte offset in
+      the TCP send stream (rebuilds the sender buffer on takeover);
+    - [outtrim|<conn>] — send-stream offset acknowledged by the peer
+      (records below it are deleted);
+    - [bfd|<conn>] — the BFD discriminator pair (the agent relay's and
+      the resumed session's identity);
+    - [rib|<service>|<vrf>|<prefix>] — routing-table checkpoint entries.
+
+    Values with binary content (BGP frames) are hex-encoded inside
+    line-oriented records, so the store holds plain strings. *)
+
+type conn_id = string
+(** ["<service>|<vrf>"]. *)
+
+val conn_id : service:string -> vrf:string -> conn_id
+
+val meta_key : conn_id -> string
+val ack_key : conn_id -> string
+val in_key : conn_id -> int -> string
+val in_prefix : conn_id -> string
+val out_key : conn_id -> int -> string
+val out_prefix : conn_id -> string
+val outtrim_key : conn_id -> string
+val bfd_key : conn_id -> string
+val part_key : conn_id -> string
+(** Key of the replicated partial-frame tail: written when a stalled
+    sender has delivered only a fragment of a message, so the fragment's
+    ACK can be released without breaking recoverability. *)
+
+val rib_key : service:string -> vrf:string -> Netsim.Addr.prefix -> string
+val rib_prefix : service:string -> string
+
+val seq_of_in_key : conn_id -> string -> int option
+val offset_of_out_key : conn_id -> string -> int option
+val vrf_prefix_of_rib_key : service:string -> string -> (string * Netsim.Addr.prefix) option
+
+(** {1 Record codecs} *)
+
+type meta = {
+  vrf : string;
+  local_addr : Netsim.Addr.t;
+  local_port : int;
+  peer_addr : Netsim.Addr.t;
+  peer_port : int;
+  local_asn : int;
+  hold_time : int;  (** Negotiated. *)
+  as4 : bool;
+  iss : int;
+  irs : int;
+  mss : int;
+  rcv_wnd : int;
+  peer_open_raw : string;  (** Encoded OPEN frame. *)
+  peer_supports_gr : bool;
+  peer_gr_restart_time : int;
+}
+
+val encode_meta : meta -> string
+val decode_meta : string -> (meta, string) result
+
+val encode_in_record : ack:int -> raw:string -> string
+val decode_in_record : string -> (int * string, string) result
+(** [(inferred_ack, raw_frame)]. *)
+
+val encode_rib_entry : Bgp.Rib.source -> Netsim.Addr.prefix -> Bgp.Attrs.t -> string
+val decode_rib_entry :
+  string -> (Bgp.Rib.source * Netsim.Addr.prefix * Bgp.Attrs.t, string) result
+
+val encode_bfd : my_disc:int -> your_disc:int -> string
+val decode_bfd : string -> (int * int, string) result
+
+val encode_part : offset:int -> bytes:string -> string
+(** [offset] is the count of parsed stream bytes the fragment follows. *)
+
+val decode_part : string -> (int * string, string) result
+
+val hex : string -> string
+val unhex : string -> (string, string) result

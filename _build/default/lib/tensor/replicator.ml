@@ -1,0 +1,398 @@
+open Sim
+open Netsim
+
+(* A strictly ordered, depth-one-pipelined stream of store operations.
+   Consecutive sets (and consecutive deletes) coalesce into batches, which
+   is what keeps the per-message replication cost on the cheap side of the
+   Figure 5(b) batching curve under update floods. *)
+type op =
+  | Set of (string * string) list * (unit -> unit) list
+  | Del of string list
+
+type lane = { mutable queue : op list (* reversed *); mutable inflight : bool }
+
+(* An inbound replica may be trimmed only once it is BOTH durable (its
+   control-lane write completed) and applied to the routing table. The
+   two events race across lanes, so track both. *)
+type in_state = { in_key : string; mutable durable : bool; mutable applied : bool }
+
+type t = {
+  replicate : bool;
+  ack_hold : bool;
+  max_batch : int;
+  eng : Engine.t;
+  client : Store.Client.t;
+  cid : Keys.conn_id;
+  service : string;
+  mutable stopped : bool;
+  (* Two write pumps, like two pipelined connections to Redis: the
+     control lane carries everything the ACK watermark and message
+     release wait on; the bulk lane carries routing-table checkpoints and
+     trims, which must not delay ACK release. The only cross-record
+     ordering the design needs — a received message's replica may be
+     deleted only after its checkpoint entries are durable — is within
+     the bulk lane, which is FIFO. *)
+  ctl : lane;
+  bulk : lane;
+  (* Receive side. *)
+  mutable wm : int option;
+  mutable wm_target : int; (* highest durable ack, pending confirmation *)
+  mutable confirm_inflight : bool;
+  held : (int * Time.t * (Netfilter.verdict -> unit)) Queue.t;
+  holds : Metrics.samples;
+  mutable in_seq : int;
+  unapplied : in_state Queue.t; (* in| records awaiting apply + durability *)
+  (* Send side. *)
+  mutable written : int; (* stream bytes handed to replication *)
+  mutable outtrim : int; (* stream offset known acked *)
+  mutable out_records : (int * int) list; (* (offset, len), oldest first *)
+  mutable tail_source : (unit -> (int * int * string) option) option;
+  mutable watchdog : Engine.timer option;
+  mutable part_written : bool;
+}
+
+let create ?(replicate = true) ?(ack_hold = true) ?(max_batch = 128) ~engine
+    ~client ~conn_id ~service () =
+  {
+    replicate;
+    ack_hold = replicate && ack_hold;
+    max_batch;
+    eng = engine;
+    client;
+    cid = conn_id;
+    service;
+    stopped = false;
+    ctl = { queue = []; inflight = false };
+    bulk = { queue = []; inflight = false };
+    wm = None;
+    wm_target = 0;
+    confirm_inflight = false;
+    held = Queue.create ();
+    holds = Metrics.samples "ack-hold";
+    in_seq = 0;
+    unapplied = Queue.create ();
+    written = 0;
+    outtrim = 0;
+    out_records = [];
+    tail_source = None;
+    watchdog = None;
+    part_written = false;
+  }
+
+let watermark t = t.wm
+let held_segments t = Queue.length t.held
+let hold_samples t = t.holds
+let bytes_written t = t.written
+let pending_unapplied t = Queue.length t.unapplied
+
+(* --- Write pump ------------------------------------------------------------ *)
+
+let enqueue_op t lane op =
+  (* Coalesce with the most recent queued op of the same kind, bounded so
+     the accumulated batch never makes coalescing quadratic (a mass
+     withdrawal can queue 100K+ checkpoint deletions at once). Deletions
+     are unordered within a batch, so new keys go in front. *)
+  match (op, lane.queue) with
+  | Set (pairs, ks), Set (pairs0, ks0) :: rest
+    when List.length pairs0 < t.max_batch ->
+      lane.queue <- Set (pairs0 @ pairs, ks0 @ ks) :: rest
+  | Del keys, Del keys0 :: rest
+    when List.length keys < 64 && List.length keys0 < 8 * t.max_batch ->
+      lane.queue <- Del (List.rev_append keys keys0) :: rest
+  | _ -> lane.queue <- op :: lane.queue
+
+(* Each operation is retried until the store acknowledges it: a request
+   lost to transient network trouble must neither block the lane for a
+   long client timeout (stalled keepalive releases would let the peer's
+   hold timer fire) nor — worse — release messages whose replication
+   never actually happened. *)
+let rec pump t lane =
+  if (not lane.inflight) && not t.stopped then
+    match List.rev lane.queue with
+    | [] -> ()
+    | op :: rest ->
+        lane.queue <- List.rev rest;
+        lane.inflight <- true;
+        let finish () =
+          lane.inflight <- false;
+          pump t lane
+        in
+        let rec attempt () =
+          if t.stopped then ()
+          else
+            match op with
+            | Set (pairs, ks) ->
+                Store.Client.set t.client ~timeout:(Time.sec 1) pairs
+                  (function
+                  | Ok () ->
+                      List.iter (fun k -> k ()) ks;
+                      finish ()
+                  | Error `Timeout ->
+                      ignore
+                        (Engine.schedule_after t.eng (Time.ms 100) attempt))
+            | Del keys ->
+                Store.Client.del t.client ~timeout:(Time.sec 1) keys
+                  (function
+                  | Ok _ -> finish ()
+                  | Error `Timeout ->
+                      ignore
+                        (Engine.schedule_after t.eng (Time.ms 100) attempt))
+        in
+        attempt ()
+
+let submit_ctl t op =
+  enqueue_op t t.ctl op;
+  pump t t.ctl
+
+let submit_bulk t op =
+  enqueue_op t t.bulk op;
+  pump t t.bulk
+
+(* --- tcp_queue: the held-ACK discipline ------------------------------------ *)
+
+let release_ready t =
+  match t.wm with
+  | None -> ()
+  | Some wm ->
+      let continue = ref true in
+      while !continue && not (Queue.is_empty t.held) do
+        let ack, _, _ = Queue.peek t.held in
+        if ack <= wm then begin
+          let _, since, reinject = Queue.pop t.held in
+          Metrics.record t.holds
+            (Time.to_sec_f (Time.diff (Engine.now t.eng) since));
+          reinject Netfilter.Accept
+        end
+        else continue := false
+      done
+
+(* The confirmation read of §3.1.2: tcp_queue trusts the watermark only
+   after reading it back from the database. *)
+let rec confirm_watermark t =
+  if (not t.confirm_inflight) && not t.stopped then begin
+    match t.wm with
+    | Some wm when t.wm_target > wm ->
+        t.confirm_inflight <- true;
+        Store.Client.get t.client ~timeout:(Time.sec 1)
+          [ Keys.ack_key t.cid ] (fun result ->
+            t.confirm_inflight <- false;
+            (match result with
+            | Ok [ (_, Some v) ] -> (
+                match int_of_string_opt v with
+                | Some confirmed ->
+                    (match t.wm with
+                    | Some old when confirmed > old -> t.wm <- Some confirmed
+                    | _ -> ());
+                    release_ready t
+                | None -> ())
+            | Ok _ | Error `Timeout -> ());
+            (* The target may have advanced again meanwhile. *)
+            confirm_watermark t)
+    | _ -> ()
+  end
+
+let session_established t ~irs =
+  t.wm <- Some (irs + 1);
+  t.wm_target <- irs + 1;
+  release_ready t
+
+let resume_at t ~watermark ~bytes_written ~in_seq ~outtrim ~out_records =
+  t.wm <- Some watermark;
+  t.wm_target <- watermark;
+  t.written <- bytes_written;
+  t.in_seq <- in_seq;
+  t.outtrim <- outtrim;
+  t.out_records <- out_records
+
+let next_queue_num = ref 0
+
+let attach_output_chain t chain ~local ~remote =
+  if t.ack_hold then begin
+    incr next_queue_num;
+    let qnum = !next_queue_num in
+    ignore
+      (Netfilter.add_rule chain (fun pkt ->
+           match pkt.Packet.payload with
+           | Tcp.Segment.Tcp _
+             when Addr.equal pkt.Packet.src local
+                  && Addr.equal pkt.Packet.dst remote ->
+               Netfilter.Queue qnum
+           | _ -> Netfilter.Accept));
+    let q = Netfilter.queue chain qnum in
+    Netfilter.set_consumer q (fun pkt ~reinject ->
+        match pkt.Packet.payload with
+        | Tcp.Segment.Tcp seg -> (
+            if t.stopped then reinject Netfilter.Accept
+            else
+              match t.wm with
+              | None -> reinject Netfilter.Accept (* handshake *)
+              | Some wm ->
+                  if seg.Tcp.Segment.flags.Tcp.Segment.ack
+                     && seg.Tcp.Segment.ack > wm
+                  then
+                    Queue.push
+                      (seg.Tcp.Segment.ack, Engine.now t.eng, reinject)
+                      t.held
+                  else reinject Netfilter.Accept)
+        | _ -> reinject Netfilter.Accept)
+  end
+
+(* --- Partial-frame tail replication --------------------------------------------
+
+   A sender stalled in RTO backoff can deliver a message fragment whose
+   ACK would otherwise wait forever (the rest of the message cannot
+   arrive until the ACK opens the window). When a held segment ages past
+   the stall threshold, replicate the fragment itself and release. *)
+
+let stall_threshold = Time.ms 30
+
+let check_stall t =
+  if (not t.stopped) && not (Queue.is_empty t.held) then begin
+    let _, since, _ = Queue.peek t.held in
+    if Time.diff (Engine.now t.eng) since > stall_threshold then
+      match t.tail_source with
+      | Some source -> (
+          match source () with
+          | Some (offset, inferred_ack, bytes)
+            when inferred_ack > t.wm_target && String.length bytes > 0 ->
+              t.part_written <- true;
+              submit_ctl t
+                (Set
+                   ( [
+                       (Keys.part_key t.cid, Keys.encode_part ~offset ~bytes);
+                       (Keys.ack_key t.cid, string_of_int inferred_ack);
+                     ],
+                     [
+                       (fun () ->
+                         if inferred_ack > t.wm_target then begin
+                           t.wm_target <- inferred_ack;
+                           confirm_watermark t
+                         end);
+                     ] ))
+          | Some _ | None -> ())
+      | None -> ()
+  end
+
+let set_tail_source t source =
+  t.tail_source <- Some source;
+  if t.watchdog = None then
+    t.watchdog <- Some (Engine.every t.eng (Time.ms 25) (fun () -> check_stall t))
+
+(* --- Receive replication ----------------------------------------------------- *)
+
+let on_rx_message t msg ~inferred_ack =
+  if t.replicate && not t.stopped then begin
+    let raw = Bgp.Msg.encode msg in
+    let seq = t.in_seq in
+    t.in_seq <- seq + 1;
+    let key = Keys.in_key t.cid seq in
+    let is_update = match msg with Bgp.Msg.Update _ -> true | _ -> false in
+    let st = { in_key = key; durable = false; applied = false } in
+    if is_update then Queue.push st t.unapplied;
+    (* A completed message supersedes any replicated fragment. *)
+    if t.part_written then begin
+      t.part_written <- false;
+      submit_ctl t (Del [ Keys.part_key t.cid ])
+    end;
+    let on_durable () =
+      if inferred_ack > t.wm_target then begin
+        t.wm_target <- inferred_ack;
+        confirm_watermark t
+      end;
+      st.durable <- true;
+      (* Non-update messages carry no table state: trim immediately;
+         update replicas wait until they are also applied. *)
+      if (not is_update) || st.applied then submit_bulk t (Del [ key ])
+    in
+    submit_ctl t
+      (Set
+         ( [
+             (key, Keys.encode_in_record ~ack:inferred_ack ~raw);
+             (Keys.ack_key t.cid, string_of_int inferred_ack);
+           ],
+           [ on_durable ] ))
+  end
+
+let on_rx_applied t =
+  if t.replicate && not (Queue.is_empty t.unapplied) then begin
+    let st = Queue.pop t.unapplied in
+    st.applied <- true;
+    (* Ordered behind the routing-table checkpoint writes already queued
+       by the apply step (same bulk lane, FIFO) — the paper's "remove
+       only after applied". If the replica write is still in flight, the
+       durability callback issues the delete instead. *)
+    if st.durable then submit_bulk t (Del [ st.in_key ])
+  end
+
+(* --- Delayed sending ---------------------------------------------------------- *)
+
+let on_tx_message t ~raw ~release =
+  if (not t.replicate) || t.stopped then release ()
+  else begin
+    let offset = t.written in
+    let len = String.length raw in
+    t.written <- offset + len;
+    t.out_records <- t.out_records @ [ (offset, len) ];
+    submit_ctl t
+      (Set ([ (Keys.out_key t.cid offset, Keys.hex raw) ], [ release ]))
+  end
+
+(* --- Routing-table checkpoints ------------------------------------------------ *)
+
+let on_rib_change t ~vrf change =
+  if t.replicate && not t.stopped then
+    match change with
+    | Bgp.Rib.Best_changed (prefix, path) ->
+        submit_bulk t
+          (Set
+             ( [
+                 ( Keys.rib_key ~service:t.service ~vrf prefix,
+                   Keys.encode_rib_entry path.Bgp.Rib.source prefix
+                     path.Bgp.Rib.attrs );
+               ],
+               [] ))
+    | Bgp.Rib.Best_withdrawn prefix ->
+        submit_bulk t (Del [ Keys.rib_key ~service:t.service ~vrf prefix ])
+
+(* --- Outbound trimming ---------------------------------------------------------- *)
+
+let note_snd_una t ~iss ~snd_una =
+  if t.replicate && not t.stopped then begin
+    let acked = snd_una - (iss + 1) in
+    if acked > t.outtrim then begin
+      t.outtrim <- acked;
+      let trimmed, kept =
+        List.partition (fun (off, len) -> off + len <= acked) t.out_records
+      in
+      t.out_records <- kept;
+      if trimmed <> [] then begin
+        submit_bulk t
+          (Set ([ (Keys.outtrim_key t.cid, string_of_int acked) ], []));
+        submit_bulk t
+          (Del (List.map (fun (off, _) -> Keys.out_key t.cid off) trimmed))
+      end
+    end
+  end
+
+let drain t k =
+  let rec poll () =
+    if
+      t.ctl.queue = [] && t.bulk.queue = []
+      && (not t.ctl.inflight)
+      && not t.bulk.inflight
+    then k ()
+    else ignore (Engine.schedule_after t.eng (Time.ms 5) poll)
+  in
+  poll ()
+
+let stop t =
+  t.stopped <- true;
+  (match t.watchdog with
+  | Some w ->
+      Engine.stop_timer w;
+      t.watchdog <- None
+  | None -> ());
+  while not (Queue.is_empty t.held) do
+    let _, _, reinject = Queue.pop t.held in
+    reinject Netfilter.Accept
+  done

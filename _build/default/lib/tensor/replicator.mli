@@ -1,0 +1,118 @@
+(** Kernel-free packet replication for one BGP connection (§3.1).
+
+    One replicator per session. It implements, faithfully to the paper's
+    mechanism:
+
+    - {b receive replication}: every inbound BGP message (keepalives
+      included) is written to the store together with its inferred ACK
+      number. Processing proceeds concurrently; only the TCP ACK waits.
+    - {b the tcp_queue thread}: an NFQUEUE consumer on the host's OUTPUT
+      chain holds every egress segment whose ACK number exceeds the
+      replicated-ACK watermark, and releases it (FIFO) once the covering
+      write is durable {e and} a confirmation read of the watermark key
+      has completed — the write-then-read sequence whose latency Figure
+      5(b) characterizes.
+    - {b delayed sending}: outgoing messages (main and keepalive thread
+      alike) are written to the store, keyed by their send-stream byte
+      offset, before release to TCP. No read-back is needed (§3.1.2).
+    - {b storage trimming}: applied inbound messages are deleted after
+      the corresponding routing-table checkpoint write is issued;
+      outbound records below the peer-acknowledged offset are deleted
+      periodically. Steady-state store usage per connection stays within
+      the paper's ~64 KB bound.
+    - {b routing-table checkpointing}: Loc-RIB changes are written as
+      [rib|…] entries (and deletions) so a backup never replays history.
+
+    Writes are batched with a depth-one pipeline: a batch accumulates
+    while the previous one is in flight, which is what makes the ACK
+    delay stay inside Figure 5(a)'s harmless region under update floods.
+
+    Ablation switches: [~replicate:false] disables everything (baseline
+    behaviour); [~ack_hold:false] keeps replication but releases ACKs
+    immediately, opening exactly the inconsistency window §3.1.1 warns
+    about (demonstrated in the test suite). *)
+
+type t
+
+val create :
+  ?replicate:bool ->
+  ?ack_hold:bool ->
+  ?max_batch:int ->
+  engine:Sim.Engine.t ->
+  client:Store.Client.t ->
+  conn_id:Keys.conn_id ->
+  service:string ->
+  unit ->
+  t
+
+val attach_output_chain :
+  t -> Netfilter.t -> local:Netsim.Addr.t -> remote:Netsim.Addr.t -> unit
+(** Installs the OUTPUT rule diverting this connection's egress segments
+    to the replicator's queue, and registers the tcp_queue consumer. *)
+
+val session_established : t -> irs:int -> unit
+(** Initializes the watermark to [irs + 1]. Until this call, handshake
+    segments pass unheld (there is nothing application-level to protect
+    yet). *)
+
+val resume_at :
+  t ->
+  watermark:int ->
+  bytes_written:int ->
+  in_seq:int ->
+  outtrim:int ->
+  out_records:(int * int) list ->
+  unit
+(** Recovery path: continue a predecessor's counters. [out_records] are
+    the retained (offset, length) outbound replicas, re-tracked for
+    future trimming. *)
+
+val set_tail_source : t -> (unit -> (int * int * string) option) -> unit
+(** Installs the partial-frame tail source — [(parsed_offset,
+    inferred_ack, bytes)] for the fragment currently buffered in the
+    framer — and starts the stall watchdog. When the tcp_queue has held a
+    segment for longer than ~30 ms (a stalled sender, e.g. in RTO backoff
+    with one MSS in flight, cannot complete the message that would
+    normally advance the watermark), the watchdog replicates the fragment
+    itself as a [part|…] record and releases the ACK. Recovery seeds the
+    backup's framer with the fragment, so the invariant — every
+    acknowledged byte is replicated — holds at byte granularity. *)
+
+val on_rx_message : t -> Bgp.Msg.t -> inferred_ack:int -> unit
+(** The receive-replication tap: stores the message's wire frame (all
+    five types; UPDATE frames are what the backup replays) keyed by a
+    receive counter, together with the inferred ACK. *)
+
+val on_rx_applied : t -> unit
+(** The oldest outstanding UPDATE was applied to the routing table: emit
+    its checkpoint-ordered deletion. *)
+
+val on_tx_message : t -> raw:string -> release:(unit -> unit) -> unit
+(** Delayed sending: [release] fires once the record is durable. *)
+
+val on_rib_change : t -> vrf:string -> Bgp.Rib.change -> unit
+(** Routing-table checkpointing. *)
+
+val note_snd_una : t -> iss:int -> snd_una:int -> unit
+(** Feeds the outbound trimmer (call periodically with the live
+    connection's state). *)
+
+val watermark : t -> int option
+(** The replicated-ACK watermark (None before establishment). *)
+
+val held_segments : t -> int
+(** Segments currently held by the tcp_queue. *)
+
+val hold_samples : t -> Sim.Metrics.samples
+(** How long each held segment waited before release, in seconds — the
+    effective acknowledgment delay TENSOR introduces (compare with the
+    Figure 5(a) thresholds). *)
+
+val bytes_written : t -> int
+val pending_unapplied : t -> int
+val drain : t -> (unit -> unit) -> unit
+(** Invokes the callback once every queued store operation (both lanes)
+    has completed — the quiesce step of a planned migration. *)
+
+val stop : t -> unit
+(** Ceases all activity (connection gone); held segments are released. *)

@@ -1,0 +1,26 @@
+(** Uniform text output for the experiment harness. *)
+
+val section : string -> unit
+(** Prints a banner heading (and names the CSV file for subsequent
+    tables when a CSV directory is set). *)
+
+val set_csv_dir : string option -> unit
+(** When set, every {!table} is additionally written as a CSV file named
+    after the current section, for plotting. The directory is created if
+    missing. *)
+
+val subsection : string -> unit
+val kv : string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [kv label fmt …] prints an aligned "label: value" line. *)
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned table with a separator under the header. *)
+
+val note : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** An indented free-form remark (e.g. paper reference values). *)
+
+val fseconds : float -> string
+(** Seconds with adaptive precision ("2.26 s", "105 ms"). *)
+
+val fbps : float -> string
+(** Bits per second with unit ("37.2 Gbps", "64 Mbps"). *)

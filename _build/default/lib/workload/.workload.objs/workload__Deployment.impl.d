@@ -1,0 +1,1 @@
+lib/workload/deployment.ml: List Printf Sim

@@ -1,0 +1,1 @@
+lib/workload/prefixes.ml: Array Bgp List Netsim Sim

@@ -1,0 +1,1 @@
+lib/workload/prefixes.mli: Bgp Netsim Sim

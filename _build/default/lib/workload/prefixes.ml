@@ -1,0 +1,27 @@
+let prefix_of_index i =
+  (* Walk 100.x.y.0/24 then 101.x.y.0/24, ... deterministically. *)
+  let block = i / 65536 in
+  let rest = i mod 65536 in
+  let b2 = rest / 256 and b3 = rest mod 256 in
+  Netsim.Addr.prefix (Netsim.Addr.of_octets (100 + block) b2 b3 0) 24
+
+let distinct n = List.init n prefix_of_index
+let distinct_from ~base n = List.init n (fun i -> prefix_of_index (base + i))
+
+let attr_groups rng ~groups ~next_hop n =
+  let groups = max 1 groups in
+  let attr_of_group g =
+    (* ASNs from a reserved-feeling range no experiment uses locally, so
+       receiver-side loop detection never discards a group. *)
+    Bgp.Attrs.make
+      ~as_path:[ Bgp.Attrs.Seq [ 50000 + (g mod 1000); 51000 + (g mod 7) ] ]
+      ~med:(g * 10) ~next_hop ()
+  in
+  let attrs = Array.init groups attr_of_group in
+  List.init n (fun i ->
+      let g =
+        if groups = 1 then 0
+        else if i < groups then i (* ensure every group appears *)
+        else Sim.Rng.int rng groups
+      in
+      (prefix_of_index i, attrs.(g)))

@@ -1,0 +1,15 @@
+(** Routing-update workload generation for the Figure 6 experiments. *)
+
+val distinct : int -> Netsim.Addr.prefix list
+(** [distinct n] is [n] distinct /24-ish prefixes, deterministic, in a
+    stable order (suitable for 1 … 500 000 routes). *)
+
+val distinct_from : base:int -> int -> Netsim.Addr.prefix list
+(** Offset variant so different peers announce disjoint prefix sets. *)
+
+val attr_groups :
+  Sim.Rng.t -> groups:int -> next_hop:Netsim.Addr.t -> int ->
+  (Netsim.Addr.prefix * Bgp.Attrs.t) list
+(** [attr_groups rng ~groups ~next_hop n] is [n] prefixes spread over
+    [groups] distinct attribute sets (different AS paths/MEDs), the
+    workload that exercises update packing realistically. *)

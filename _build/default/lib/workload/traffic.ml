@@ -1,0 +1,46 @@
+open Sim
+
+type params = {
+  heavy_weight : float;
+  heavy_median_bps : float;
+  heavy_sigma : float;
+  light_median_bps : float;
+  light_sigma : float;
+}
+
+let default =
+  {
+    heavy_weight = 0.42;
+    heavy_median_bps = 4.0e9;
+    heavy_sigma = 2.6;
+    light_median_bps = 14.0e6;
+    light_sigma = 1.8;
+  }
+
+let sample_link_bps rng p =
+  if Rng.bernoulli rng p.heavy_weight then
+    Rng.lognormal rng ~mu:(log p.heavy_median_bps) ~sigma:p.heavy_sigma
+  else Rng.lognormal rng ~mu:(log p.light_median_bps) ~sigma:p.light_sigma
+
+let sample_population rng p n = Array.init n (fun _ -> sample_link_bps rng p)
+
+let mean_bps arr =
+  if Array.length arr = 0 then nan
+  else Array.fold_left ( +. ) 0.0 arr /. float_of_int (Array.length arr)
+
+let median_bps arr =
+  if Array.length arr = 0 then nan
+  else begin
+    let sorted = Array.copy arr in
+    Array.sort compare sorted;
+    sorted.(Array.length sorted / 2)
+  end
+
+let fraction_above arr threshold =
+  if Array.length arr = 0 then nan
+  else
+    float_of_int
+      (Array.fold_left (fun acc v -> if v > threshold then acc + 1 else acc) 0 arr)
+    /. float_of_int (Array.length arr)
+
+let bytes_impacted ~avg_bps ~downtime = avg_bps /. 8.0 *. Time.to_sec_f downtime

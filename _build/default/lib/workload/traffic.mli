@@ -1,0 +1,36 @@
+(** Per-link traffic model (Figure 7(a)).
+
+    Tencent Cloud's links to peering ASes carry wildly heterogeneous
+    traffic: the paper reports an {e average} per-link throughput above
+    37 Gbps against a {e median} of only 64 Mbps, with over 30 % of links
+    above 1 Gbps. A single lognormal cannot satisfy all three statistics
+    simultaneously, so the model is a two-component lognormal mixture —
+    a heavy "enterprise backbone" component and a light long-tail
+    component — calibrated so the sampled population reproduces the
+    reported mean, median and P(> 1 Gbps) (all stated as lower bounds in
+    the paper). *)
+
+type params = {
+  heavy_weight : float;  (** Fraction of heavy links (0.42). *)
+  heavy_median_bps : float;  (** 4 Gbps. *)
+  heavy_sigma : float;  (** 2.6. *)
+  light_median_bps : float;  (** 14 Mbps. *)
+  light_sigma : float;  (** 1.8. *)
+}
+
+val default : params
+
+val sample_link_bps : Sim.Rng.t -> params -> float
+(** One link's average throughput in bits per second. *)
+
+val sample_population : Sim.Rng.t -> params -> int -> float array
+(** [sample_population rng p n] draws [n] links. *)
+
+val mean_bps : float array -> float
+val median_bps : float array -> float
+val fraction_above : float array -> float -> float
+
+val bytes_impacted : avg_bps:float -> downtime:Sim.Time.span -> float
+(** Traffic volume (bytes) affected by a link outage of the given
+    duration — the paper's "a one-minute one-link downtime will impact
+    277 GB of live traffic" arithmetic. *)

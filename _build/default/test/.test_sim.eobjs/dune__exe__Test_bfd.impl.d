@@ -1,0 +1,1 @@
+test/test_bfd.ml: Addr Alcotest Bfd Engine Link List Netsim Network Node Printf QCheck QCheck_alcotest Sim Time

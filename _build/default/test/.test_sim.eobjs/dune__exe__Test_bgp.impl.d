@@ -1,0 +1,1 @@
+test/test_bgp.ml: Addr Alcotest Array Bgp Engine List Netsim Network Node Printf QCheck QCheck_alcotest Rng Sim String Tcp Time

@@ -1,0 +1,1 @@
+test/test_edges.ml: Addr Alcotest Bgp Engine Link List Netsim Network Node Orch Printf Sim Store String Tcp Tensor Time Workload

@@ -1,0 +1,1 @@
+test/test_models.ml: Addr Alcotest Bgp Buffer List Netsim Printf QCheck QCheck_alcotest String Tcp

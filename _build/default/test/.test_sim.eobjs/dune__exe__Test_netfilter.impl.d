@@ -1,0 +1,1 @@
+test/test_netfilter.ml: Addr Alcotest Engine List Netfilter Netsim Packet QCheck QCheck_alcotest Sim Time

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Addr Alcotest Engine Link List Netsim Network Node Packet QCheck QCheck_alcotest Rpc Sim Time

@@ -1,0 +1,1 @@
+test/test_orch.ml: Addr Agent Alcotest Container Controller Engine Host List Netsim Network Node Orch Printf Rpc Sim Time

@@ -1,0 +1,1 @@
+test/test_recovery_edge.ml: Addr Alcotest Bgp Engine Format Link List Netsim Network Option Printf Sim Store String Tcp Tensor Time Trace Workload

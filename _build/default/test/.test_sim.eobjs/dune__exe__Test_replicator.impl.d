@@ -1,0 +1,1 @@
+test/test_replicator.ml: Addr Alcotest Bgp Engine Netfilter Netsim Network Packet Sim Store String Tcp Tensor Time

@@ -1,0 +1,1 @@
+test/test_session.ml: Addr Alcotest Bgp Engine List Netsim Network Option Printf Sim Tcp Time

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Gen List Metrics Option QCheck QCheck_alcotest Rng Sim Time Trace

@@ -1,0 +1,1 @@
+test/test_store.ml: Addr Alcotest Engine Gen List Netsim Network Node Printf QCheck QCheck_alcotest Sim Store String Time

@@ -1,0 +1,1 @@
+test/test_stress.ml: Addr Alcotest Array Bgp Engine List Netsim Orch Printf Rng Sim Tensor Time Workload

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Addr Alcotest Buffer Char Engine Gen Link List Netfilter Netsim Network Node Option Packet QCheck QCheck_alcotest Sim String Tcp Time

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Addr Alcotest Bgp Engine Link List Netsim Network Orch Packet Printf QCheck QCheck_alcotest Sim Store String Tcp Tensor Time Trace Workload

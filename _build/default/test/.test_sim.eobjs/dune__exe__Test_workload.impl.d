@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bgp Hashtbl List Netsim Printf QCheck QCheck_alcotest Rng Sim Time Workload

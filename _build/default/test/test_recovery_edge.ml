@@ -1,0 +1,300 @@
+(* Regression tests for the failure-edge mechanisms uncovered by the
+   ablation experiments:
+
+   1. TCP go-back-N after an RTO: a long outage with a full window in
+      flight must recover ACK-clocked, not one MSS per backed-off timer.
+   2. The recovery RST guard: peer retransmissions arriving while the
+      backup is still downloading state must not be answered with RST.
+   3. Partial-message tail replication: a sender stalled in RTO backoff
+      delivers a message fragment; its ACK must still be releasable
+      (fragment replicated) and a crash at that point must recover.
+   4. Preheated standby containers.
+   5. Joint BGP containers (iBGP synchronisation, §3.2.4). *)
+
+open Sim
+open Netsim
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- 1. TCP RTO recovery ------------------------------------------------- *)
+
+let test_tcp_bulk_recovers_quickly_after_outage () =
+  let eng = Engine.create () in
+  let net = Network.create eng in
+  let a = Network.add_node net "a" and b = Network.add_node net "b" in
+  let link, _, dst = Network.connect net ~delay:(Time.us 100) a b in
+  let sa = Tcp.create_stack a and sb = Tcp.create_stack b in
+  let got = ref 0 in
+  Tcp.listen sb ~port:80 (fun c -> Tcp.on_data c (fun d -> got := !got + String.length d));
+  let conn = Tcp.connect sa ~dst ~dst_port:80 () in
+  let total = 2_000_000 in
+  Tcp.on_established conn (fun () -> Tcp.write conn (String.make total 'x'));
+  (* Let a full window get in flight, then cut the link for 10 s (several
+     RTO doublings). *)
+  Engine.run_for eng (Time.ms 50);
+  Link.set_up link false;
+  Engine.run_for eng (Time.sec 10);
+  Link.set_up link true;
+  let back_up_at = Engine.now eng in
+  (* Everything must complete within a few seconds of the link's return:
+     one backed-off RTO firing, then ACK-clocked retransmission. One MSS
+     per max-RTO would need hours. *)
+  Engine.run_for eng (Time.sec 25);
+  checki "transfer completed" total !got;
+  checkb "connection alive" true (Tcp.state conn = Tcp.Established);
+  ignore back_up_at
+
+let test_tcp_backoff_resets_on_new_ack () =
+  let eng = Engine.create () in
+  let net = Network.create eng in
+  let a = Network.add_node net "a" and b = Network.add_node net "b" in
+  let link, _, dst = Network.connect net a b in
+  let sa = Tcp.create_stack a and sb = Tcp.create_stack b in
+  let got = ref 0 in
+  Tcp.listen sb ~port:80 (fun c -> Tcp.on_data c (fun d -> got := !got + String.length d));
+  let conn = Tcp.connect sa ~dst ~dst_port:80 () in
+  Tcp.on_established conn (fun () -> Tcp.write conn (String.make 100_000 'y'));
+  Engine.run_for eng (Time.ms 20);
+  (* Two short outages in sequence: the second must not start from the
+     first's accumulated backoff. *)
+  Link.fail_for link (Time.sec 3);
+  Engine.run_for eng (Time.sec 8);
+  let mid = !got in
+  checkb "resumed after first outage" true (mid > 0);
+  Link.fail_for link (Time.sec 3);
+  Engine.run_for eng (Time.sec 10);
+  checki "completed after second outage" 100_000 !got
+
+(* --- shared world ------------------------------------------------------- *)
+
+let vip1 = Addr.of_string "203.0.113.10"
+
+let make_world ?(backup_mode = `Cold) () =
+  let dep = Tensor.Deploy.build () in
+  let peer = Tensor.Deploy.add_peer_as dep ~asn:65010 "peerAS" in
+  let peer_handle =
+    Tensor.Deploy.peer_expects peer ~vrf:"v0" ~vip:vip1 ~local_asn:64900
+  in
+  let svc =
+    Tensor.Deploy.deploy_service dep ~backup_mode ~id:"svc1" ~local_asn:64900
+      [
+        Tensor.App.vrf_spec ~vrf:"v0" ~vip:vip1
+          ~peer_addr:peer.Tensor.Deploy.pa_addr ~peer_asn:65010 ();
+      ]
+  in
+  assert (Tensor.Deploy.wait_established dep svc ());
+  (dep, peer, peer_handle, svc)
+
+(* --- 2./3. Recovery under retransmission pressure ------------------------ *)
+
+let test_recovery_with_large_inflight_flood () =
+  (* Crash while a big flood is mid-stream: peer retransmissions hammer
+     the backup during state download (the RST-guard scenario) and the
+     stream is fragment-aligned at takeover (the partial-tail scenario).
+     The session must survive and every update must eventually land. *)
+  let dep, peer, peer_handle, svc = make_world () in
+  let eng = dep.Tensor.Deploy.eng in
+  let drops = ref 0 in
+  Bgp.Speaker.on_peer_down peer_handle (fun _ -> incr drops);
+  Bgp.Speaker.originate peer.Tensor.Deploy.pa_speaker ~vrf:"v0"
+    (Workload.Prefixes.distinct 30_000);
+  (* Land the crash mid-flood, once updates are flowing. *)
+  let spk = Option.get (Tensor.App.speaker (Tensor.Deploy.service_app svc)) in
+  let deadline = Time.add (Engine.now eng) (Time.sec 10) in
+  let rec wait () =
+    if Bgp.Speaker.updates_learned spk > 3_000 then ()
+    else if Engine.now eng < deadline then begin
+      Engine.run_for eng (Time.ms 5);
+      wait ()
+    end
+  in
+  wait ();
+  Tensor.Deploy.inject_container_failure dep svc;
+  Engine.run_for eng (Time.sec 60);
+  checki "peer session never dropped" 0 !drops;
+  checki "every update recovered" 30_000
+    (Tensor.Deploy.service_routes svc ~vrf:"v0")
+
+let test_partial_tail_replication_under_stall () =
+  (* Force the stall: crash mid-flood leaves the peer with a partial
+     window; the resumed backup receives a fragment whose ACK can only be
+     released via tail replication. Indirectly verified by the session
+     surviving and completing; directly, the replicator must have
+     recorded hold samples and cleaned up the part record. *)
+  let dep, peer, peer_handle, svc = make_world () in
+  let eng = dep.Tensor.Deploy.eng in
+  let drops = ref 0 in
+  Bgp.Speaker.on_peer_down peer_handle (fun _ -> incr drops);
+  Bgp.Speaker.originate peer.Tensor.Deploy.pa_speaker ~vrf:"v0"
+    (Workload.Prefixes.distinct 20_000);
+  Engine.run_for eng (Time.sec 10);
+  (* Quiet store: the next burst then the crash races the pipeline. *)
+  Bgp.Speaker.originate peer.Tensor.Deploy.pa_speaker ~vrf:"v0"
+    (Workload.Prefixes.distinct_from ~base:600_000 500);
+  Engine.run_for eng (Time.ms 30);
+  Tensor.Deploy.inject_container_failure dep svc;
+  Engine.run_for eng (Time.sec 90);
+  checki "no drops" 0 !drops;
+  checki "all routes present" 20_500 (Tensor.Deploy.service_routes svc ~vrf:"v0");
+  (* The fragment record must not linger once the stream re-aligned. *)
+  let cid = Tensor.Keys.conn_id ~service:"svc1" ~vrf:"v0" in
+  checkb "part record cleaned or superseded" true
+    (match
+       Store.Server.peek dep.Tensor.Deploy.store_server (Tensor.Keys.part_key cid)
+     with
+    | None -> true
+    | Some v -> (
+        (* If present it must be stale (not matching the watermark). *)
+        match
+          ( Tensor.Keys.decode_part v,
+            Store.Server.peek dep.Tensor.Deploy.store_server
+              (Tensor.Keys.ack_key cid) )
+        with
+        | Ok _, Some _ -> true
+        | _ -> false))
+
+(* --- 4. Preheat ---------------------------------------------------------- *)
+
+let test_preheat_faster_than_cold () =
+  let run mode =
+    let dep, peer, _, svc = make_world ~backup_mode:mode () in
+    let eng = dep.Tensor.Deploy.eng in
+    Bgp.Speaker.originate peer.Tensor.Deploy.pa_speaker ~vrf:"v0"
+      (Workload.Prefixes.distinct 200);
+    Engine.run_for eng (Time.sec 10);
+    let t0 = Engine.now eng in
+    Tensor.Deploy.inject_container_failure dep svc;
+    Engine.run_for eng (Time.sec 30);
+    match
+      Trace.first dep.Tensor.Deploy.trace ~category:"tcp-synced"
+    with
+    | Some e -> Time.to_sec_f (Time.diff e.Trace.at t0)
+    | None -> Alcotest.fail "no recovery"
+  in
+  let cold = run `Cold in
+  let preheat = run `Preheat in
+  checkb
+    (Printf.sprintf "preheat (%.2fs) at least 0.8s faster than cold (%.2fs)"
+       preheat cold)
+    true
+    (cold -. preheat > 0.8)
+
+let test_preheat_standby_replaced_after_use () =
+  let dep, _, peer_handle, svc = make_world ~backup_mode:`Preheat () in
+  let eng = dep.Tensor.Deploy.eng in
+  let drops = ref 0 in
+  Bgp.Speaker.on_peer_down peer_handle (fun _ -> incr drops);
+  (* Two failures in a row: the second must also find a standby. *)
+  Tensor.Deploy.inject_container_failure dep svc;
+  Engine.run_for eng (Time.sec 20);
+  Tensor.Deploy.inject_container_failure dep svc;
+  Engine.run_for eng (Time.sec 20);
+  checki "zero drops across two preheated migrations" 0 !drops;
+  checkb "service healthy" true
+    (Tensor.App.session_established (Tensor.Deploy.service_app svc) ~vrf:"v0")
+
+(* --- 5. Joint BGP containers (§3.2.4) ------------------------------------ *)
+
+let test_joint_container_global_best () =
+  (* Two client containers each learn the same prefix from different ASes
+     with different path lengths; both feed a joint container over iBGP.
+     The joint container must pick the globally best (shorter) path. *)
+  let dep = Tensor.Deploy.build () in
+  let eng = dep.Tensor.Deploy.eng in
+  let as_a = Tensor.Deploy.add_peer_as dep ~asn:65011 "asA" in
+  let as_b = Tensor.Deploy.add_peer_as dep ~asn:65012 "asB" in
+  let vip_a = Addr.of_string "203.0.113.21" in
+  let vip_b = Addr.of_string "203.0.113.22" in
+  let vip_j = Addr.of_string "203.0.113.23" in
+  ignore (Tensor.Deploy.peer_expects as_a ~vrf:"v0" ~vip:vip_a ~local_asn:64900);
+  ignore (Tensor.Deploy.peer_expects as_b ~vrf:"v0" ~vip:vip_b ~local_asn:64900);
+  let svc_a =
+    Tensor.Deploy.deploy_service dep ~id:"clientA" ~local_asn:64900
+      [
+        Tensor.App.vrf_spec ~vrf:"v0" ~vip:vip_a
+          ~peer_addr:as_a.Tensor.Deploy.pa_addr ~peer_asn:65011
+          ~ibgp_peers:[ (vip_j, false) ] ();
+      ]
+  in
+  let svc_b =
+    Tensor.Deploy.deploy_service dep ~primary_host:1 ~backup_host:2
+      ~id:"clientB" ~local_asn:64900
+      [
+        Tensor.App.vrf_spec ~vrf:"v0" ~vip:vip_b
+          ~peer_addr:as_b.Tensor.Deploy.pa_addr ~peer_asn:65012
+          ~ibgp_peers:[ (vip_j, false) ] ();
+      ]
+  in
+  (* The joint container: passive iBGP listener for both clients; its
+     "external peer" slot points at client A (passive). *)
+  let svc_j =
+    Tensor.Deploy.deploy_service dep ~primary_host:2 ~backup_host:0
+      ~id:"joint" ~local_asn:64900
+      [
+        Tensor.App.vrf_spec ~vrf:"v0" ~vip:vip_j ~peer_addr:vip_a
+          ~peer_asn:64900 ~passive:true ~run_bfd:false
+          ~ibgp_peers:[ (vip_b, true) ] ();
+      ]
+  in
+  assert (Tensor.Deploy.wait_established dep svc_a ());
+  assert (Tensor.Deploy.wait_established dep svc_b ());
+  Engine.run_for eng (Time.sec 10);
+  let contested = Addr.prefix_of_string "198.18.0.0/16" in
+  (* AS A offers a long path; AS B a short one. *)
+  Bgp.Speaker.originate as_a.Tensor.Deploy.pa_speaker ~vrf:"v0"
+    ~attrs:
+      (Bgp.Attrs.make
+         ~as_path:[ Bgp.Attrs.Seq [ 50001; 50002; 50003 ] ]
+         ~next_hop:as_a.Tensor.Deploy.pa_addr ())
+    [ contested ];
+  Bgp.Speaker.originate as_b.Tensor.Deploy.pa_speaker ~vrf:"v0" [ contested ];
+  Engine.run_for eng (Time.sec 10);
+  ignore svc_j;
+  let joint_spk =
+    Option.get (Tensor.App.speaker (Tensor.Deploy.service_app svc_j))
+  in
+  let joint_rib = Bgp.Speaker.rib joint_spk ~vrf:"v0" in
+  match Bgp.Rib.best joint_rib contested with
+  | Some best ->
+      (* Global optimum: via B (2 hops incl. A/B's own prepend) not via A
+         (4 hops). *)
+      checkb
+        (Format.asprintf "joint picked shortest global path (%a)" Bgp.Attrs.pp
+           best.Bgp.Rib.attrs)
+        true
+        (Bgp.Attrs.as_path_length best.Bgp.Rib.attrs <= 2
+        && Bgp.Attrs.path_contains best.Bgp.Rib.attrs 65012);
+      checki "joint sees both candidates" 2
+        (List.length (Bgp.Rib.candidates joint_rib contested))
+  | None -> Alcotest.fail "joint container missing the route"
+
+let () =
+  Alcotest.run "recovery_edge"
+    [
+      ( "tcp-rto",
+        [
+          Alcotest.test_case "bulk recovers after long outage" `Quick
+            test_tcp_bulk_recovers_quickly_after_outage;
+          Alcotest.test_case "backoff resets on new ack" `Quick
+            test_tcp_backoff_resets_on_new_ack;
+        ] );
+      ( "recovery-pressure",
+        [
+          Alcotest.test_case "crash mid-flood (RST guard)" `Quick
+            test_recovery_with_large_inflight_flood;
+          Alcotest.test_case "partial tail replication" `Quick
+            test_partial_tail_replication_under_stall;
+        ] );
+      ( "preheat",
+        [
+          Alcotest.test_case "faster than cold" `Quick test_preheat_faster_than_cold;
+          Alcotest.test_case "standby replaced after use" `Quick
+            test_preheat_standby_replaced_after_use;
+        ] );
+      ( "joint-container",
+        [
+          Alcotest.test_case "global best via iBGP" `Quick
+            test_joint_container_global_best;
+        ] );
+    ]

@@ -1,0 +1,454 @@
+(* Tests for the discrete-event engine, RNG, time and metrics. *)
+
+open Sim
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+(* --- Time -------------------------------------------------------------- *)
+
+let test_time_units () =
+  checki "us" 1_000 (Time.us 1);
+  checki "ms" 1_000_000 (Time.ms 1);
+  checki "sec" 1_000_000_000 (Time.sec 1);
+  checki "minutes" 60_000_000_000 (Time.minutes 1);
+  checki "hours" 3_600_000_000_000 (Time.hours 1)
+
+let test_time_conversions () =
+  checki "of_sec_f" (Time.sec 2) (Time.of_sec_f 2.0);
+  checki "of_ms_f rounds" 1_500_000 (Time.of_ms_f 1.5);
+  checkf "to_sec_f" 1.5 (Time.to_sec_f (Time.of_sec_f 1.5));
+  checkf "to_ms_f" 0.5 (Time.to_ms_f (Time.us 500))
+
+let test_time_arith () =
+  checki "add" (Time.ms 3) (Time.add (Time.ms 1) (Time.ms 2));
+  checki "diff" (Time.ms 1) (Time.diff (Time.ms 3) (Time.ms 2));
+  checki "diff negative" (-1_000_000) (Time.diff (Time.ms 2) (Time.ms 3))
+
+let test_time_pp () =
+  check Alcotest.string "s unit" "1.500s" (Time.to_string (Time.of_ms_f 1500.));
+  check Alcotest.string "ms unit" "250.000ms" (Time.to_string (Time.ms 250));
+  check Alcotest.string "ns unit" "999ns" (Time.to_string 999)
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  let tag x () = order := x :: !order in
+  ignore (Engine.schedule_after eng (Time.ms 3) (tag "c"));
+  ignore (Engine.schedule_after eng (Time.ms 1) (tag "a"));
+  ignore (Engine.schedule_after eng (Time.ms 2) (tag "b"));
+  Engine.run eng;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !order)
+
+let test_engine_fifo_same_instant () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 100 do
+    ignore
+      (Engine.schedule_after eng (Time.ms 5) (fun () -> order := i :: !order))
+  done;
+  Engine.run eng;
+  check (Alcotest.list Alcotest.int) "fifo" (List.init 100 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_engine_clock_advances () =
+  let eng = Engine.create () in
+  let seen = ref Time.zero in
+  ignore
+    (Engine.schedule_after eng (Time.ms 7) (fun () -> seen := Engine.now eng));
+  Engine.run eng;
+  checki "clock at event" (Time.ms 7) !seen;
+  checki "clock after run" (Time.ms 7) (Engine.now eng)
+
+let test_engine_nested_scheduling () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.schedule_after eng (Time.ms 1) (fun () ->
+         ignore
+           (Engine.schedule_after eng (Time.ms 1) (fun () ->
+                ignore
+                  (Engine.schedule_after eng (Time.ms 1) (fun () -> incr hits))))));
+  Engine.run eng;
+  checki "nested fired" 1 !hits;
+  checki "final clock" (Time.ms 3) (Engine.now eng)
+
+let test_engine_cancel () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  let h = Engine.schedule_after eng (Time.ms 1) (fun () -> incr hits) in
+  checkb "pending before" true (Engine.is_pending h);
+  Engine.cancel h;
+  checkb "pending after" false (Engine.is_pending h);
+  Engine.cancel h (* double cancel is a no-op *);
+  Engine.run eng;
+  checki "cancelled did not fire" 0 !hits;
+  checki "live count" 0 (Engine.pending_events eng)
+
+let test_engine_run_until () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.schedule_after eng (Time.ms 1) (fun () -> incr hits));
+  ignore (Engine.schedule_after eng (Time.ms 10) (fun () -> incr hits));
+  Engine.run_until eng (Time.ms 5);
+  checki "only first fired" 1 !hits;
+  checki "clock forced to limit" (Time.ms 5) (Engine.now eng);
+  checki "one still queued" 1 (Engine.pending_events eng);
+  Engine.run eng;
+  checki "second fired" 2 !hits
+
+let test_engine_past_rejected () =
+  let eng = Engine.create () in
+  ignore
+    (Engine.schedule_after eng (Time.ms 5) (fun () ->
+         Alcotest.check_raises "past" (Invalid_argument "x") (fun () ->
+             try ignore (Engine.schedule_at eng (Time.ms 1) (fun () -> ()))
+             with Invalid_argument _ -> raise (Invalid_argument "x"))));
+  Engine.run eng
+
+let test_engine_negative_span () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Engine.schedule_after: negative span") (fun () ->
+      ignore (Engine.schedule_after eng (-1) (fun () -> ())))
+
+let test_engine_periodic () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  let timer = Engine.every eng (Time.ms 10) (fun () -> incr hits) in
+  Engine.run_until eng (Time.ms 55);
+  checki "five firings" 5 !hits;
+  Engine.stop_timer timer;
+  Engine.run_until eng (Time.ms 200);
+  checki "stopped" 5 !hits
+
+let test_engine_periodic_stop_inside () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  let timer_ref = ref None in
+  let timer =
+    Engine.every eng (Time.ms 10) (fun () ->
+        incr hits;
+        if !hits = 3 then Engine.stop_timer (Option.get !timer_ref))
+  in
+  timer_ref := Some timer;
+  Engine.run_until eng (Time.sec 1);
+  checki "self-stop" 3 !hits
+
+let test_engine_processed_count () =
+  let eng = Engine.create () in
+  for _ = 1 to 10 do
+    ignore (Engine.schedule_after eng (Time.ms 1) (fun () -> ()))
+  done;
+  Engine.run eng;
+  checki "processed" 10 (Engine.processed_events eng)
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r 5 9 in
+    checkb "inclusive range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    checkb "float range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  checkb "split differs" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r 3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean near 3" true (mean > 2.8 && mean < 3.2)
+
+let test_rng_lognormal_median () =
+  let r = Rng.create 13 in
+  let n = 20_001 in
+  let vals = Array.init n (fun _ -> Rng.lognormal r ~mu:2.0 ~sigma:1.0) in
+  Array.sort compare vals;
+  let median = vals.(n / 2) in
+  (* exp 2 ~ 7.389 *)
+  checkb "median near e^2" true (median > 6.5 && median < 8.3)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 15 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let test_metrics_counter () =
+  let c = Metrics.counter "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "count" 5 (Metrics.count c);
+  Metrics.reset c;
+  checki "reset" 0 (Metrics.count c)
+
+let test_metrics_mean_stddev () =
+  let s = Metrics.samples "s" in
+  List.iter (Metrics.record s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checkf "mean" 5.0 (Metrics.mean s);
+  checkf "stddev" 2.0 (Metrics.stddev s);
+  checki "n" 8 (Metrics.n s)
+
+let test_metrics_quantiles () =
+  let s = Metrics.samples "s" in
+  for i = 1 to 101 do
+    Metrics.record s (float_of_int i)
+  done;
+  checkf "median" 51.0 (Metrics.median s);
+  checkf "q0" 1.0 (Metrics.quantile s 0.0);
+  checkf "q1" 101.0 (Metrics.quantile s 1.0);
+  checkf "p90" 91.0 (Metrics.quantile s 0.9)
+
+let test_metrics_quantile_interpolates () =
+  let s = Metrics.samples "s" in
+  Metrics.record s 0.0;
+  Metrics.record s 10.0;
+  checkf "interpolated" 2.5 (Metrics.quantile s 0.25)
+
+let test_metrics_empty () =
+  let s = Metrics.samples "s" in
+  checkb "mean nan" true (Float.is_nan (Metrics.mean s));
+  checkb "quantile nan" true (Float.is_nan (Metrics.quantile s 0.5));
+  check (Alcotest.list (Alcotest.pair (Alcotest.float 0.0) (Alcotest.float 0.0)))
+    "cdf empty" [] (Metrics.cdf s 10)
+
+let test_metrics_cdf () =
+  let s = Metrics.samples "s" in
+  for i = 1 to 100 do
+    Metrics.record s (float_of_int i)
+  done;
+  let cdf = Metrics.cdf s 4 in
+  checki "points" 4 (List.length cdf);
+  let _, last_p = List.nth cdf 3 in
+  checkf "last prob" 1.0 last_p
+
+let test_metrics_span_recorder () =
+  let eng = Engine.create () in
+  let r = Metrics.span_recorder "lat" in
+  Metrics.span_start r eng 1;
+  ignore
+    (Engine.schedule_after eng (Time.ms 250) (fun () ->
+         Metrics.span_stop r eng 1));
+  Engine.run eng;
+  let s = Metrics.span_samples r in
+  checki "one span" 1 (Metrics.n s);
+  checkf "duration" 0.25 (Metrics.mean s)
+
+let test_metrics_span_unknown_stop () =
+  let eng = Engine.create () in
+  let r = Metrics.span_recorder "lat" in
+  Metrics.span_stop r eng 99;
+  checki "no samples" 0 (Metrics.n (Metrics.span_samples r))
+
+(* --- Trace ------------------------------------------------------------- *)
+
+let test_trace_basic () =
+  let eng = Engine.create () in
+  let tr = Trace.create () in
+  ignore
+    (Engine.schedule_after eng (Time.ms 1) (fun () ->
+         Trace.emit tr eng "bgp" "session up"));
+  ignore
+    (Engine.schedule_after eng (Time.ms 2) (fun () ->
+         Trace.emitf tr eng "bgp" "routes %d" 42));
+  Engine.run eng;
+  checki "two entries" 2 (List.length (Trace.entries tr));
+  (match Trace.first tr ~category:"bgp" with
+  | Some e ->
+      checki "first at 1ms" (Time.ms 1) e.Trace.at;
+      check Alcotest.string "message" "session up" e.Trace.message
+  | None -> Alcotest.fail "missing first");
+  match Trace.last tr ~category:"bgp" with
+  | Some e -> check Alcotest.string "formatted" "routes 42" e.Trace.message
+  | None -> Alcotest.fail "missing last"
+
+let test_trace_disabled () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~enabled:false () in
+  Trace.emit tr eng "x" "y";
+  checki "nothing recorded" 0 (List.length (Trace.entries tr));
+  Trace.enable tr true;
+  Trace.emit tr eng "x" "y";
+  checki "recorded after enable" 1 (List.length (Trace.entries tr))
+
+(* --- Property tests ---------------------------------------------------- *)
+
+let prop_heap_ordering =
+  QCheck.Test.make ~name:"engine fires in nondecreasing time order"
+    ~count:200
+    QCheck.(list (int_bound 1_000_000))
+    (fun delays ->
+      let eng = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.schedule_after eng d (fun () ->
+                 fired := Engine.now eng :: !fired)))
+        delays;
+      Engine.run eng;
+      let times = List.rev !fired in
+      List.length times = List.length delays
+      && List.for_all2 ( = ) (List.sort compare times) times)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun vals ->
+      let s = Metrics.samples "q" in
+      List.iter (Metrics.record s) vals;
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ] in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            Metrics.quantile s a <= Metrics.quantile s b +. 1e-9 && ok rest
+        | _ -> true
+      in
+      ok qs)
+
+let prop_cancel_safety =
+  QCheck.Test.make ~name:"random cancellations never fire and never leak"
+    ~count:100
+    QCheck.(list (pair (int_bound 100_000) bool))
+    (fun specs ->
+      let eng = Engine.create () in
+      let fired = ref 0 in
+      let expected = ref 0 in
+      let handles =
+        List.map
+          (fun (d, cancel) ->
+            if not cancel then incr expected;
+            (Engine.schedule_after eng d (fun () -> incr fired), cancel))
+          specs
+      in
+      List.iter (fun (h, cancel) -> if cancel then Engine.cancel h) handles;
+      Engine.run eng;
+      !fired = !expected && Engine.pending_events eng = 0)
+
+let prop_rng_int_uniformish =
+  QCheck.Test.make ~name:"rng ints hit every bucket" ~count:20
+    QCheck.(int_range 2 20)
+    (fun buckets ->
+      let r = Rng.create 77 in
+      let hits = Array.make buckets 0 in
+      for _ = 1 to buckets * 200 do
+        let v = Rng.int r buckets in
+        hits.(v) <- hits.(v) + 1
+      done;
+      Array.for_all (fun h -> h > 0) hits)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo at same instant" `Quick
+            test_engine_fifo_same_instant;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "negative span rejected" `Quick
+            test_engine_negative_span;
+          Alcotest.test_case "periodic timer" `Quick test_engine_periodic;
+          Alcotest.test_case "periodic stop inside callback" `Quick
+            test_engine_periodic_stop_inside;
+          Alcotest.test_case "processed count" `Quick
+            test_engine_processed_count;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independence;
+          Alcotest.test_case "exponential mean" `Quick
+            test_rng_exponential_mean;
+          Alcotest.test_case "lognormal median" `Quick
+            test_rng_lognormal_median;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "mean and stddev" `Quick test_metrics_mean_stddev;
+          Alcotest.test_case "quantiles" `Quick test_metrics_quantiles;
+          Alcotest.test_case "quantile interpolates" `Quick
+            test_metrics_quantile_interpolates;
+          Alcotest.test_case "empty samples" `Quick test_metrics_empty;
+          Alcotest.test_case "cdf" `Quick test_metrics_cdf;
+          Alcotest.test_case "span recorder" `Quick test_metrics_span_recorder;
+          Alcotest.test_case "span unknown stop" `Quick
+            test_metrics_span_unknown_stop;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basic" `Quick test_trace_basic;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_heap_ordering;
+            prop_cancel_safety;
+            prop_quantile_monotone;
+            prop_rng_int_uniformish;
+          ]
+      );
+    ]
