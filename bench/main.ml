@@ -7,12 +7,14 @@
      dune exec bench/main.exe -- --quick   # everything, reduced ranges
      dune exec bench/main.exe -- fig6a table1 ...   # a subset
      dune exec bench/main.exe -- --csv-dir out fig6a  # also write CSVs
+     dune exec bench/main.exe -- --telemetry-dir out fig6a  # + telemetry export
 
    Experiment ids: fig5a fig5b fig6a fig6b fig6c fig6d table1 fig7a fig7b
    table2 micro. Simulated measurements are deterministic (fixed seeds);
    only `micro` measures host wall-clock. *)
 
 let quick = ref false
+let telemetry_dir = ref None
 
 let fig5a () =
   let results =
@@ -204,6 +206,10 @@ let () =
     | "--csv-dir" :: dir :: rest ->
         Tensor.Report.set_csv_dir (Some dir);
         strip_flags acc rest
+    | "--telemetry-dir" :: dir :: rest ->
+        telemetry_dir := Some dir;
+        Telemetry.Control.set_enabled true;
+        strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
   in
   let args = strip_flags [] args in
@@ -232,4 +238,9 @@ let () =
       Format.printf "@.[%s done in %.1fs wall]@." id (Unix.gettimeofday () -. t))
     selected;
   Format.printf "@.All selected experiments done in %.1fs wall.@."
-    (Unix.gettimeofday () -. t0)
+    (Unix.gettimeofday () -. t0);
+  match !telemetry_dir with
+  | Some dir ->
+      Telemetry.Control.export_dir dir;
+      Format.printf "Telemetry written to %s/@." dir
+  | None -> ()

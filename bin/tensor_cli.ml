@@ -2,6 +2,8 @@
 
      tensor-cli experiment fig6a table1 ...   # regenerate paper artifacts
      tensor-cli failover --kind host          # one failure scenario, verbose
+     tensor-cli trace failover --kind host    # causal span tree + JSONL export
+     tensor-cli metrics                       # registered metrics after a failover
      tensor-cli cdf --links 6000              # Figure 7(a) population
      tensor-cli list                          # experiment ids *)
 
@@ -126,6 +128,125 @@ let cdf_cmd =
           Tensor.Exp_fig7.print_cdf (Tensor.Exp_fig7.run_cdf ~links ~seed ()))
       $ links $ seed)
 
+(* --- trace command ------------------------------------------------------------ *)
+
+let kind_opt =
+  Arg.(
+    value
+    & opt failure_kind_conv Orch.Controller.Container_failure
+    & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"app | container | host | host-network")
+
+let out_dir_opt =
+  Arg.(
+    value
+    & opt string "telemetry-out"
+    & info [ "out"; "o" ] ~docv:"DIR"
+        ~doc:"Directory for the JSONL/CSV telemetry export.")
+
+(* A minimal §4.4 planned upgrade: one service, one peer AS, migrate
+   while healthy. *)
+let run_planned () =
+  let open Sim in
+  let dep = Tensor.Deploy.build () in
+  let eng = dep.Tensor.Deploy.eng in
+  let peer = Tensor.Deploy.add_peer_as dep ~asn:65010 "peer" in
+  let vip = Netsim.Addr.of_string "203.0.113.10" in
+  ignore (Tensor.Deploy.peer_expects peer ~vrf:"v0" ~vip ~local_asn:64900);
+  let svc =
+    Tensor.Deploy.deploy_service dep ~id:"gw" ~local_asn:64900
+      [
+        Tensor.App.vrf_spec ~vrf:"v0" ~vip
+          ~peer_addr:peer.Tensor.Deploy.pa_addr ~peer_asn:65010 ();
+      ]
+  in
+  if not (Tensor.Deploy.wait_established dep svc ()) then begin
+    Printf.eprintf "planned scenario: session never established\n";
+    exit 1
+  end;
+  Bgp.Speaker.originate peer.Tensor.Deploy.pa_speaker ~vrf:"v0"
+    (Workload.Prefixes.distinct 1_000);
+  Engine.run_for eng (Time.sec 10);
+  Tensor.Deploy.planned_migration dep svc;
+  Engine.run_for eng (Time.sec 30)
+
+let run_traced_scenario scenario kind =
+  Telemetry.Control.reset ();
+  Telemetry.Control.set_enabled true;
+  (match scenario with
+  | "failover" -> ignore (Tensor.Exp_table1.run ~kinds:[ kind ] ())
+  | "planned" -> run_planned ()
+  | other ->
+      Printf.eprintf "unknown scenario %S (expected: failover | planned)\n"
+        other;
+      exit 2);
+  Telemetry.Control.set_enabled false
+
+let trace_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "failover"
+      & info [] ~docv:"SCENARIO" ~doc:"failover | planned")
+  in
+  let run scenario kind out =
+    run_traced_scenario scenario kind;
+    Format.printf "Causal spans (simulated time):@.@.%a@." Telemetry.Span.pp_tree
+      ();
+    Format.printf "Events: %d buffered@."
+      (List.length (Telemetry.Bus.events ()));
+    Telemetry.Control.export_dir out;
+    Format.printf "Telemetry written to %s/ (spans.jsonl, events.jsonl, metrics.csv, metrics.json)@."
+      out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one scenario with telemetry on; print the causal span tree and \
+          export spans/events as JSONL.")
+    Term.(const run $ scenario $ kind_opt $ out_dir_opt)
+
+(* --- metrics command ---------------------------------------------------------- *)
+
+let metrics_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON.")
+  in
+  let no_run =
+    Arg.(
+      value & flag
+      & info [ "no-run" ]
+          ~doc:"List registered metrics without running a scenario.")
+  in
+  let run json no_run kind =
+    if not no_run then run_traced_scenario "failover" kind;
+    if json then print_endline (Telemetry.Registry.to_json ())
+    else begin
+      Format.printf "%-34s %-10s %12s %16s@." "name" "kind" "count" "sum/value";
+      List.iter
+        (fun m ->
+          match m with
+          | Telemetry.Registry.Counter (n, c) ->
+              Format.printf "%-34s %-10s %12d %16s@." n "counter"
+                (Telemetry.Registry.value c) ""
+          | Telemetry.Registry.Gauge (n, g) ->
+              Format.printf "%-34s %-10s %12s %16g@." n "gauge" ""
+                (Telemetry.Registry.gauge_value g)
+          | Telemetry.Registry.Histogram (n, h) ->
+              Format.printf "%-34s %-10s %12d %16g@." n "histogram"
+                (Telemetry.Registry.hist_count h)
+                (Telemetry.Registry.hist_sum h))
+        (Telemetry.Registry.all ());
+      Format.printf "@.%d metrics registered.@."
+        (List.length (Telemetry.Registry.all ()))
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Exercise one failover and print every registered metric (counters, \
+          gauges, histograms).")
+    Term.(const run $ json $ no_run $ kind_opt)
+
 (* --- list command ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -139,4 +260,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "tensor-cli" ~version:"1.0.0" ~doc)
-          [ experiment_cmd; failover_cmd; cdf_cmd; list_cmd ]))
+          [ experiment_cmd; failover_cmd; trace_cmd; metrics_cmd; cdf_cmd; list_cmd ]))

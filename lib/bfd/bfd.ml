@@ -3,6 +3,11 @@ open Netsim
 
 type state = Admin_down | Down | Init | Up
 
+let m_pkts_in = Telemetry.Registry.counter "bfd.packets_in"
+let m_pkts_out = Telemetry.Registry.counter "bfd.packets_out"
+let m_detections = Telemetry.Registry.counter "bfd.detections"
+let m_sessions = Telemetry.Registry.counter "bfd.sessions"
+
 let pp_state fmt s =
   Format.pp_print_string fmt
     (match s with
@@ -75,6 +80,7 @@ let transition s new_state =
 let send_control ep s =
   if Node.is_up ep.node then begin
     s.n_out <- s.n_out + 1;
+    Telemetry.Registry.incr m_pkts_out;
     let ctl =
       {
         vrf = s.svrf;
@@ -106,19 +112,54 @@ let arm_detect ep s ~remote_interval =
            s.detect_handle <- None;
            if s.st = Up || s.st = Init then begin
              s.peer_disc <- 0;
+             Telemetry.Registry.incr m_detections;
+             if Telemetry.Gate.on () then begin
+               let now = Engine.now ep.eng in
+               (match s.last_rx_at with
+               | Some last_rx ->
+                   ignore
+                     (Telemetry.Span.add ep.eng "bfd_detect" ~start_at:last_rx
+                        ~stop_at:now)
+               | None -> ());
+               let silent_s =
+                 match s.last_rx_at with
+                 | Some last_rx -> Time.to_sec_f (Time.diff now last_rx)
+                 | None -> 0.0
+               in
+               Telemetry.Bus.emit ep.eng
+                 (Telemetry.Event.Bfd_down
+                    {
+                      node = Node.name ep.node;
+                      peer = Addr.to_string s.sremote;
+                      vrf = s.svrf;
+                      silent_s;
+                    })
+             end;
              transition s Down
            end))
 
 let handle_control ep s (ctl : control) =
   if s.st <> Admin_down then begin
     s.n_in <- s.n_in + 1;
+    Telemetry.Registry.incr m_pkts_in;
     s.last_rx_at <- Some (Engine.now ep.eng);
     if ctl.my_disc <> 0 then s.peer_disc <- ctl.my_disc;
     arm_detect ep s ~remote_interval:ctl.tx_interval;
+    let to_up () =
+      if s.st <> Up && Telemetry.Gate.on () then
+        Telemetry.Bus.emit ep.eng
+          (Telemetry.Event.Bfd_up
+             {
+               node = Node.name ep.node;
+               peer = Addr.to_string s.sremote;
+               vrf = s.svrf;
+             });
+      transition s Up
+    in
     match (s.st, ctl.state) with
     | Down, Down -> transition s Init
-    | Down, Init -> transition s Up
-    | Init, (Init | Up) -> transition s Up
+    | Down, Init -> to_up ()
+    | Init, (Init | Up) -> to_up ()
     | Up, Down ->
         (* Peer restarted its session. *)
         transition s Down
@@ -202,6 +243,7 @@ let create_session ep ?(tx_interval = Time.ms 100) ?(detect_mult = 3) ?local
     }
   in
   Hashtbl.replace ep.sessions (session_key remote vrf) s;
+  Telemetry.Registry.incr m_sessions;
   send_control ep s;
   s.tx_timer <-
     Some

@@ -12,6 +12,9 @@ type change =
   | Best_changed of Netsim.Addr.prefix * path
   | Best_withdrawn of Netsim.Addr.prefix
 
+let m_rib_changes = Telemetry.Registry.counter "bgp.rib_changes"
+let m_rib_withdrawals = Telemetry.Registry.counter "bgp.rib_withdrawals"
+
 type entry = { mutable paths : path list; mutable best : path option }
 
 module PrefixTbl = Hashtbl.Make (struct
@@ -102,8 +105,12 @@ let recompute t prefix entry =
   if same_best old_best new_best then None
   else
     match new_best with
-    | Some p -> Some (Best_changed (prefix, p))
-    | None -> Some (Best_withdrawn prefix)
+    | Some p ->
+        Telemetry.Registry.incr m_rib_changes;
+        Some (Best_changed (prefix, p))
+    | None ->
+        Telemetry.Registry.incr m_rib_withdrawals;
+        Some (Best_withdrawn prefix)
 
 let update t source prefix attrs =
   let entry = entry_of t prefix in

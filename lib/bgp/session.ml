@@ -1,5 +1,13 @@
 open Sim
 
+let m_msgs_in = Telemetry.Registry.counter "bgp.msgs_in"
+let m_msgs_out = Telemetry.Registry.counter "bgp.msgs_out"
+let m_upd_in = Telemetry.Registry.counter "bgp.updates_in"
+let m_upd_out = Telemetry.Registry.counter "bgp.updates_out"
+let m_established = Telemetry.Registry.counter "bgp.sessions_established"
+let m_down = Telemetry.Registry.counter "bgp.sessions_down"
+let m_resumed = Telemetry.Registry.counter "bgp.sessions_resumed"
+
 type state = Idle | Connecting | Open_sent | Open_confirm | Established | Down
 
 let pp_state fmt s =
@@ -134,7 +142,9 @@ let raw_write t msg =
   | Some c ->
       if Tcp.state c = Tcp.Established then begin
         t.n_out <- t.n_out + 1;
+        Telemetry.Registry.incr m_msgs_out;
         t.upd_out <- t.upd_out + Msg.update_count msg;
+        Telemetry.Registry.add m_upd_out (Msg.update_count msg);
         (match msg with
         | Msg.Update _ -> t.last_write_at <- Engine.now t.eng
         | Msg.Open _ | Msg.Notification _ | Msg.Keepalive | Msg.Route_refresh _
@@ -160,9 +170,27 @@ let stop_keepalive t =
       t.keepalive_timer <- None
   | None -> ()
 
+let session_ident t =
+  ( Netsim.Node.name (Tcp.stack_node t.stack),
+    Netsim.Addr.to_string t.cfg.peer_addr )
+
 let teardown t reason =
   if t.st <> Down then begin
+    let was_established = t.st = Established in
     t.st <- Down;
+    if was_established then begin
+      Telemetry.Registry.incr m_down;
+      if Telemetry.Gate.on () then begin
+        let node, peer = session_ident t in
+        Telemetry.Bus.emit t.eng
+          (Telemetry.Event.Session_down
+             {
+               node;
+               peer;
+               reason = Format.asprintf "%a" pp_down_reason reason;
+             })
+      end
+    end;
     cancel_hold t;
     stop_keepalive t;
     (match t.tcp with
@@ -249,6 +277,12 @@ let handle_open t o =
 
 let establish t =
   t.st <- Established;
+  Telemetry.Registry.incr m_established;
+  if Telemetry.Gate.on () then begin
+    let node, peer = session_ident t in
+    Telemetry.Bus.emit t.eng
+      (Telemetry.Event.Session_established { node; peer })
+  end;
   reset_hold t;
   start_keepalives t;
   match t.neg with
@@ -257,6 +291,7 @@ let establish t =
 
 let handle_message t msg size =
   t.n_in <- t.n_in + 1;
+  Telemetry.Registry.incr m_msgs_in;
   t.on_message msg ~size;
   reset_hold t;
   match (t.st, msg) with
@@ -273,6 +308,8 @@ let handle_message t msg size =
   | Established, Msg.Keepalive -> t.ka_in <- t.ka_in + 1
   | Established, Msg.Update u ->
       t.upd_in <- t.upd_in + List.length u.nlri + List.length u.withdrawn;
+      Telemetry.Registry.add m_upd_in
+        (List.length u.nlri + List.length u.withdrawn);
       t.cb t (Message_received (msg, size))
   | Established, Msg.Route_refresh _ -> t.cb t (Message_received (msg, size))
   | Established, Msg.Open _ -> send_notification_and_die t 5 0
@@ -359,6 +396,12 @@ let resume stack cfg ~repair ~negotiated:neg ~framer_seed ~cb =
   let c = Tcp.import_repair stack repair in
   bind_tcp t c;
   t.st <- Established;
+  Telemetry.Registry.incr m_resumed;
+  if Telemetry.Gate.on () then begin
+    let node, peer = session_ident t in
+    Telemetry.Bus.emit t.eng
+      (Telemetry.Event.Session_resumed { node; peer })
+  end;
   t.parsed <-
     repair.Tcp.Repair.rcv_nxt - repair.Tcp.Repair.irs - 1
     - String.length framer_seed;

@@ -1,5 +1,11 @@
 type verdict = Accept | Drop | Queue of int
 
+let m_accepted = Telemetry.Registry.counter "netfilter.accepted"
+let m_dropped = Telemetry.Registry.counter "netfilter.dropped"
+let m_queued = Telemetry.Registry.counter "netfilter.queued"
+let m_depth = Telemetry.Registry.gauge "netfilter.queue_depth"
+let m_depth_peak = Telemetry.Registry.gauge "netfilter.queue_depth_peak"
+
 type rule = {
   priority : int;
   order : int;
@@ -61,31 +67,42 @@ let rec apply t rules pkt ~emit =
   match rules with
   | [] ->
       t.n_accepted <- t.n_accepted + 1;
+      Telemetry.Registry.incr m_accepted;
       emit pkt
   | rule :: rest -> (
       match rule.judge pkt with
       | Accept -> apply t rest pkt ~emit
-      | Drop -> t.n_dropped <- t.n_dropped + 1
+      | Drop ->
+          t.n_dropped <- t.n_dropped + 1;
+          Telemetry.Registry.incr m_dropped
       | Queue n -> (
           let q = queue t n in
           match q.consumer with
           | None ->
               (* Real NFQUEUE semantics: no userspace reader, packet is
                  dropped. *)
-              t.n_dropped <- t.n_dropped + 1
+              t.n_dropped <- t.n_dropped + 1;
+              Telemetry.Registry.incr m_dropped
           | Some consumer ->
               t.n_queued <- t.n_queued + 1;
+              Telemetry.Registry.incr m_queued;
               q.pending <- q.pending + 1;
+              Telemetry.Registry.set m_depth (float_of_int q.pending);
+              Telemetry.Registry.set_max m_depth_peak (float_of_int q.pending);
               let decided = ref false in
               let reinject verdict =
                 if not !decided then begin
                   decided := true;
                   q.pending <- q.pending - 1;
+                  Telemetry.Registry.set m_depth (float_of_int q.pending);
                   match verdict with
                   | Accept | Queue _ ->
                       t.n_accepted <- t.n_accepted + 1;
+                      Telemetry.Registry.incr m_accepted;
                       emit pkt
-                  | Drop -> t.n_dropped <- t.n_dropped + 1
+                  | Drop ->
+                      t.n_dropped <- t.n_dropped + 1;
+                      Telemetry.Registry.incr m_dropped
                 end
               in
               consumer pkt ~reinject))

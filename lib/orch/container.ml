@@ -3,6 +3,11 @@ open Netsim
 
 type state = Created | Booting | Running | Failed | Stopped
 
+let m_booted = Telemetry.Registry.counter "orch.containers_booted"
+let m_failed = Telemetry.Registry.counter "orch.containers_failed"
+let m_stopped = Telemetry.Registry.counter "orch.containers_stopped"
+
+
 let pp_state fmt s =
   Format.pp_print_string fmt
     (match s with
@@ -76,16 +81,31 @@ let boot t =
                Node.set_up t.cnode true;
                Rpc.serve_ping (Rpc.endpoint t.cnode) ~service:"health";
                t.st <- Running;
+               Telemetry.Registry.incr m_booted;
+               if Telemetry.Gate.on () then
+                 Telemetry.Bus.emit eng
+                   (Telemetry.Event.Container_state
+                      { id = t.cid; state = "running" });
                List.iter (fun f -> f t) t.hooks
              end))
 
 let fail t =
   if t.st <> Stopped then begin
     t.st <- Failed;
+    Telemetry.Registry.incr m_failed;
+    if Telemetry.Gate.on () then
+      Telemetry.Bus.emit (Node.engine t.cnode)
+        (Telemetry.Event.Container_state { id = t.cid; state = "failed" });
     Node.set_up t.cnode false
   end
 
 let stop t =
+  if t.st <> Stopped then begin
+    Telemetry.Registry.incr m_stopped;
+    if Telemetry.Gate.on () then
+      Telemetry.Bus.emit (Node.engine t.cnode)
+        (Telemetry.Event.Container_state { id = t.cid; state = "stopped" })
+  end;
   t.st <- Stopped;
   Node.set_up t.cnode false
 

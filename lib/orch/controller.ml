@@ -7,6 +7,10 @@ type failure_kind =
   | Host_failure
   | Host_network_failure
 
+let m_failures = Telemetry.Registry.counter "orch.failures_detected"
+let m_migrations = Telemetry.Registry.counter "orch.migrations"
+let m_hosts_failed = Telemetry.Registry.counter "orch.hosts_failed"
+
 let pp_failure_kind fmt k =
   Format.pp_print_string fmt
     (match k with
@@ -92,15 +96,27 @@ let start_migration t m reason =
       | Host_failure | Host_network_failure -> t.cfg.initiate_host
       | App_failure | Container_failure -> t.cfg.initiate_container
     in
-    Trace.emitf t.tr t.eng "detect" "%s %a" m.mid pp_failure_kind reason;
+    Telemetry.Registry.incr m_failures;
+    Telemetry.Bus.emit ~legacy:t.tr t.eng
+      (Telemetry.Event.Failure_detected
+         {
+           id = m.mid;
+           kind = Format.asprintf "%a" pp_failure_kind reason;
+         });
     ignore
       (Engine.schedule_after t.eng initiate_delay (fun () ->
-           Trace.emitf t.tr t.eng "initiate" "%s" m.mid;
+           Telemetry.Bus.emit ~legacy:t.tr t.eng
+             (Telemetry.Event.Migration_initiated { id = m.mid });
            t.migrator ~reason ~id:m.mid ~failed:m.cont
              ~done_:(fun replacement ->
-               Trace.emitf t.tr t.eng "migrate" "%s -> %s/%s" m.mid
-                 (Container.host_name replacement)
-                 (Container.id replacement);
+               Telemetry.Registry.incr m_migrations;
+               Telemetry.Bus.emit ~legacy:t.tr t.eng
+                 (Telemetry.Event.Migration_done
+                    {
+                      id = m.mid;
+                      host = Container.host_name replacement;
+                      container = Container.id replacement;
+                    });
                m.cont <- replacement;
                m.phase <- `Healthy)))
   end
@@ -129,7 +145,9 @@ let verify_host t (he : host_entry) k =
 let declare_host_failed t (he : host_entry) =
   he.hphase <- `Failed;
   t.quarantine <- Host.name he.host :: t.quarantine;
-  Trace.emitf t.tr t.eng "host-failed" "%s" (Host.name he.host);
+  Telemetry.Registry.incr m_hosts_failed;
+  Telemetry.Bus.emit ~legacy:t.tr t.eng
+    (Telemetry.Event.Host_failed { host = Host.name he.host });
   (* Best-effort fence; unreachable hosts fence themselves via the
      lease. *)
   Rpc.call t.ep ~timeout:(Time.ms 300) ~dst:(Host.addr he.host)
@@ -144,7 +162,8 @@ let declare_host_failed t (he : host_entry) =
 let suspect_host t (he : host_entry) =
   if he.hphase = `Healthy then begin
     he.hphase <- `Confirming;
-    Trace.emitf t.tr t.eng "host-suspect" "%s" (Host.name he.host);
+    Telemetry.Bus.emit ~legacy:t.tr t.eng
+      (Telemetry.Event.Host_suspect { host = Host.name he.host });
     (* The 3-second confirmation timer starts at suspicion; verification
        runs concurrently and can clear the suspicion early, so transient
        network jitter never triggers migration (§3.3.3). *)

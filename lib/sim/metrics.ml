@@ -63,7 +63,7 @@ let min_value s = if s.len = 0 then nan else (sorted s).(0)
 let max_value s = if s.len = 0 then nan else (sorted s).(s.len - 1)
 
 let quantile s q =
-  if s.len = 0 then nan
+  if s.len = 0 || Float.is_nan q then nan
   else begin
     let arr = sorted s in
     let q = Float.max 0.0 (Float.min 1.0 q) in

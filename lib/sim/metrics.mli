@@ -41,8 +41,8 @@ val min_value : samples -> float
 val max_value : samples -> float
 
 val quantile : samples -> float -> float
-(** [quantile s q] with [q] in [\[0,1\]]; linear interpolation between
-    order statistics. [nan] when empty. *)
+(** [quantile s q] with [q] in [\[0,1\]] (clamped); linear interpolation
+    between order statistics. [nan] when empty or when [q] is [nan]. *)
 
 val median : samples -> float
 

@@ -7,6 +7,14 @@ module Stream_buf = Stream_buf
 module Quad = Quad
 module Repair = Repair
 
+let m_seg_out = Telemetry.Registry.counter "tcp.segments_out"
+let m_seg_in = Telemetry.Registry.counter "tcp.segments_in"
+let m_retx = Telemetry.Registry.counter "tcp.retransmits"
+let m_rto = Telemetry.Registry.counter "tcp.rto_fires"
+let m_repair_export = Telemetry.Registry.counter "tcp.repair_exports"
+let m_repair_import = Telemetry.Registry.counter "tcp.repair_imports"
+let m_rtt = Telemetry.Registry.histogram "tcp.rtt_s"
+
 type state =
   | Syn_sent
   | Syn_received
@@ -159,6 +167,7 @@ let send_seg c ?(flags = Segment.flag_ack) ?seq ?(payload = "") () =
     }
   in
   c.n_out <- c.n_out + 1;
+  Telemetry.Registry.incr m_seg_out;
   raw_send c.stack ~src:c.cquad.local_addr ~dst:c.cquad.remote_addr seg
 
 let send_ack c = send_seg c ()
@@ -173,6 +182,7 @@ let cancel_rto c =
   | None -> ()
 
 let update_rtt c sample_s =
+  Telemetry.Registry.observe m_rtt sample_s;
   if c.srtt_v = 0.0 then begin
     c.srtt_v <- sample_s;
     c.rttvar <- sample_s /. 2.0
@@ -199,12 +209,22 @@ let retransmit_head c =
     match c.fin_seq with
     | Some fs when c.snd_una_v = fs ->
         c.rtx <- c.rtx + 1;
+        Telemetry.Registry.incr m_retx;
+        if Telemetry.Gate.on () then
+          Telemetry.Bus.emit c.stack.eng
+            (Telemetry.Event.Seg_retransmit
+               { conn = Quad.to_string c.cquad; seq = fs; len = 0 });
         send_seg c ~flags:Segment.flag_fin_ack ~seq:fs ()
     | _ ->
         let data_end = Stream_buf.end_seq c.sndbuf in
         let len = min c.cmss (data_end - c.snd_una_v) in
         if len > 0 then begin
           c.rtx <- c.rtx + 1;
+          Telemetry.Registry.incr m_retx;
+          if Telemetry.Gate.on () then
+            Telemetry.Bus.emit c.stack.eng
+              (Telemetry.Event.Seg_retransmit
+                 { conn = Quad.to_string c.cquad; seq = c.snd_una_v; len });
           let payload = Stream_buf.read c.sndbuf ~seq:c.snd_una_v ~len in
           send_seg c ~seq:c.snd_una_v ~payload ()
         end
@@ -222,6 +242,17 @@ let rec arm_rto c =
            handle_rto c))
 
 and handle_rto c =
+  if c.st <> Closed then begin
+    Telemetry.Registry.incr m_rto;
+    if Telemetry.Gate.on () then
+      Telemetry.Bus.emit c.stack.eng
+        (Telemetry.Event.Rto_fired
+           {
+             conn = Quad.to_string c.cquad;
+             backoff = c.backoff;
+             rto_s = Time.to_sec_f (effective_rto c);
+           })
+  end;
   match c.st with
   | Closed -> ()
   | Syn_sent ->
@@ -265,6 +296,7 @@ and retransmit_burst c ~upto =
     let len = min c.cmss (stop - !seq) in
     let payload = Stream_buf.read c.sndbuf ~seq:!seq ~len in
     c.rtx <- c.rtx + 1;
+    Telemetry.Registry.incr m_retx;
     send_seg c ~seq:!seq ~payload ();
     seq := !seq + len
   done
@@ -434,6 +466,7 @@ let established_process c seg =
 
 let conn_rx c (seg : Segment.t) =
   c.n_in <- c.n_in + 1;
+  Telemetry.Registry.incr m_seg_in;
   if seg.flags.rst then teardown c Reset
   else
     match c.st with
@@ -602,7 +635,12 @@ let create_stack ?(proc_cost = Time.us 2) ?(proc_cost_per_kb = 0)
       | _ -> false);
   stack
 
-let freeze_stack stack = stack.frozen <- true
+let freeze_stack stack =
+  stack.frozen <- true;
+  if Telemetry.Gate.on () then
+    Telemetry.Bus.emit stack.eng
+      (Telemetry.Event.Session_frozen
+         { node = Node.name stack.node; conns = Hashtbl.length stack.conns })
 let is_frozen stack = stack.frozen
 
 let listen stack ~port accept_cb = Hashtbl.replace stack.listeners port accept_cb
@@ -688,6 +726,14 @@ let segments_out c = c.n_out
 let srtt c = if c.srtt_v = 0.0 then None else Some c.srtt_v
 
 let export_repair c =
+  Telemetry.Registry.incr m_repair_export;
+  if Telemetry.Gate.on () then
+    Telemetry.Bus.emit c.stack.eng
+      (Telemetry.Event.Repair_export
+         {
+           conn = Quad.to_string c.cquad;
+           unacked = Stream_buf.end_seq c.sndbuf - c.snd_una_v;
+         });
   {
     Repair.quad = c.cquad;
     mss = c.cmss;
@@ -730,6 +776,17 @@ let import_repair stack (r : Repair.t) =
   List.iter (fun (_, data) -> Stream_buf.append sndbuf data) r.unacked;
   let c = { c with sndbuf } in
   Hashtbl.replace stack.conns r.quad c;
+  Telemetry.Registry.incr m_repair_import;
+  if Telemetry.Gate.on () then
+    Telemetry.Bus.emit stack.eng
+      (Telemetry.Event.Repair_import
+         {
+           conn = Quad.to_string r.quad;
+           unacked =
+             List.fold_left
+               (fun acc (_, d) -> acc + String.length d)
+               0 r.unacked;
+         });
   (* Announce ourselves: a pure ACK resynchronizes the peer (it will
      retransmit anything above our rcv_nxt), and our unacked data is
      retransmitted by the normal send machinery. *)

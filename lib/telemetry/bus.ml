@@ -1,0 +1,93 @@
+type entry = { seq : int; at : Sim.Time.t; event : Event.t }
+
+type ring = {
+  mutable arr : entry array; (* [||] until first emit *)
+  mutable start : int; (* index of oldest entry *)
+  mutable len : int;
+  mutable total : int;
+}
+
+let capacity = ref 8192
+let seq_counter = ref 0
+
+let ncats = List.length Event.categories
+
+let cat_index c =
+  let rec find i = function
+    | [] -> 0
+    | c' :: rest -> if c' = c then i else find (i + 1) rest
+  in
+  find 0 Event.categories
+
+let rings =
+  Array.init ncats (fun _ -> { arr = [||]; start = 0; len = 0; total = 0 })
+
+let push r e =
+  if Array.length r.arr = 0 then r.arr <- Array.make !capacity e;
+  let cap = Array.length r.arr in
+  if r.len < cap then begin
+    r.arr.((r.start + r.len) mod cap) <- e;
+    r.len <- r.len + 1
+  end
+  else begin
+    r.arr.(r.start) <- e;
+    r.start <- (r.start + 1) mod cap
+  end;
+  r.total <- r.total + 1
+
+let emit ?legacy eng event =
+  (match legacy with
+  | Some tr ->
+      let cat, msg = Event.legacy event in
+      Sim.Trace.emit tr eng cat msg
+  | None -> ());
+  if Gate.on () then begin
+    incr seq_counter;
+    let e = { seq = !seq_counter; at = Sim.Engine.now eng; event } in
+    push rings.(cat_index (Event.category event)) e
+  end
+
+let ring_entries r =
+  List.init r.len (fun i -> r.arr.((r.start + i) mod Array.length r.arr))
+
+let events ?category () =
+  match category with
+  | Some c -> ring_entries rings.(cat_index c)
+  | None ->
+      Array.to_list rings
+      |> List.concat_map ring_entries
+      |> List.sort (fun a b -> Int.compare a.seq b.seq)
+
+let total c = rings.(cat_index c).total
+let dropped c =
+  let r = rings.(cat_index c) in
+  r.total - r.len
+
+let clear () =
+  Array.iter
+    (fun r ->
+      r.arr <- [||];
+      r.start <- 0;
+      r.len <- 0;
+      r.total <- 0)
+    rings;
+  seq_counter := 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Bus.set_capacity: capacity must be positive";
+  capacity := n;
+  clear ()
+
+let pp_entry fmt e =
+  let cat, msg = Event.legacy e.event in
+  Format.fprintf fmt "#%d [%a] %s: %s" e.seq Sim.Time.pp e.at cat msg
+
+let to_jsonl buf =
+  List.iter
+    (fun e ->
+      let body = Event.to_json e.event in
+      (* body = {"cat":...}; splice seq/time in front. *)
+      Buffer.add_string buf
+        (Printf.sprintf "{\"seq\":%d,\"t_ns\":%d,%s\n" e.seq e.at
+           (String.sub body 1 (String.length body - 1))))
+    (events ())

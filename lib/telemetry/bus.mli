@@ -1,0 +1,40 @@
+(** The process-wide structured-event bus.
+
+    One bounded ring buffer per {!Event.category}: when a category's
+    buffer is full the oldest entry is overwritten (and counted in
+    {!dropped}), so a long run can keep telemetry on without unbounded
+    memory. A global sequence number totally orders entries across
+    categories, including events emitted at the same simulated instant
+    (emission order wins, matching the engine's FIFO tie-break).
+
+    Recording is gated on {!Gate}; the [?legacy] mirror is NOT gated:
+    an event carrying a legacy trace always lands in that trace, so
+    pre-existing [Sim.Trace] consumers behave identically whether
+    telemetry is on, off, or never touched. *)
+
+type entry = { seq : int; at : Sim.Time.t; event : Event.t }
+
+val emit : ?legacy:Sim.Trace.t -> Sim.Engine.t -> Event.t -> unit
+(** Records [event] at the engine's current instant (when {!Gate.on})
+    and mirrors its {!Event.legacy} rendering into [legacy] (always). *)
+
+val events : ?category:Event.category -> unit -> entry list
+(** Buffered entries, oldest first (globally ordered by [seq]). *)
+
+val total : Event.category -> int
+(** Events ever emitted to the category, including overwritten ones. *)
+
+val dropped : Event.category -> int
+(** Events lost to ring-buffer overwrite. *)
+
+val set_capacity : int -> unit
+(** Per-category ring capacity (default 8192). Clears all buffers. *)
+
+val clear : unit -> unit
+(** Drops all buffered entries and resets counters. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val to_jsonl : Buffer.t -> unit
+(** Appends one JSON object per buffered entry:
+    [{"seq":..,"t_ns":..,"cat":..,"ev":..,"f":{..}}]. *)

@@ -1,0 +1,23 @@
+let set_enabled = Gate.set
+let enabled = Gate.on
+
+let reset () =
+  Bus.clear ();
+  Span.clear ();
+  Registry.reset_values ()
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let export_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  write_file (Filename.concat dir "metrics.csv") (Registry.to_csv ());
+  write_file (Filename.concat dir "metrics.json") (Registry.to_json ());
+  let buf = Buffer.create 4096 in
+  Bus.to_jsonl buf;
+  write_file (Filename.concat dir "events.jsonl") (Buffer.contents buf);
+  Buffer.clear buf;
+  Span.to_jsonl buf;
+  write_file (Filename.concat dir "spans.jsonl") (Buffer.contents buf)

@@ -1,0 +1,14 @@
+(** Run-level control: one switch, one reset, one export. *)
+
+val set_enabled : bool -> unit
+(** Turns event and span recording on or off (see {!Gate}). *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Clears buffered events and spans and zeroes all registered metric
+    values. Registrations survive. Call between independent runs. *)
+
+val export_dir : string -> unit
+(** Writes [metrics.csv], [metrics.json], [events.jsonl] and
+    [spans.jsonl] into the directory, creating it if needed. *)

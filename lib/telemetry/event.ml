@@ -1,0 +1,204 @@
+type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch
+
+let categories = [ Tcp; Bgp; Bfd; Netfilter; Replicator; Orch ]
+
+let category_name = function
+  | Tcp -> "tcp"
+  | Bgp -> "bgp"
+  | Bfd -> "bfd"
+  | Netfilter -> "netfilter"
+  | Replicator -> "replicator"
+  | Orch -> "orch"
+
+let category_of_name = function
+  | "tcp" -> Some Tcp
+  | "bgp" -> Some Bgp
+  | "bfd" -> Some Bfd
+  | "netfilter" -> Some Netfilter
+  | "replicator" -> Some Replicator
+  | "orch" -> Some Orch
+  | _ -> None
+
+type t =
+  | Seg_retransmit of { conn : string; seq : int; len : int }
+  | Rto_fired of { conn : string; backoff : int; rto_s : float }
+  | Repair_export of { conn : string; unacked : int }
+  | Repair_import of { conn : string; unacked : int }
+  | Session_frozen of { node : string; conns : int }
+  | Session_established of { node : string; peer : string }
+  | Session_down of { node : string; peer : string; reason : string }
+  | Session_resumed of { node : string; peer : string }
+  | Bfd_up of { node : string; peer : string; vrf : string }
+  | Bfd_down of { node : string; peer : string; vrf : string; silent_s : float }
+  | Queue_dropped of { qnum : int }
+  | Ack_held of { ack : int; depth : int }
+  | Ack_released of { ack : int; held_s : float }
+  | Catchup_start of { service : string; vrf : string }
+  | Catchup_done of { service : string; vrf : string; msgs : int; bytes : int }
+  | Replica_promoted of { service : string; container : string }
+  | Container_state of { id : string; state : string }
+  | Failure_detected of { id : string; kind : string }
+  | Migration_initiated of { id : string }
+  | Migration_done of { id : string; host : string; container : string }
+  | Host_suspect of { host : string }
+  | Host_failed of { host : string }
+  | Failure_injected of { service : string; kind : string }
+  | Planned_migration of { service : string }
+  | Tcp_synced of { service : string; vrf : string }
+  | Generic of { cat : category; name : string; detail : string }
+
+let category = function
+  | Seg_retransmit _ | Rto_fired _ | Repair_export _ | Repair_import _
+  | Session_frozen _ ->
+      Tcp
+  | Session_established _ | Session_down _ | Session_resumed _ -> Bgp
+  | Bfd_up _ | Bfd_down _ -> Bfd
+  | Queue_dropped _ -> Netfilter
+  | Ack_held _ | Ack_released _ | Catchup_start _ | Catchup_done _
+  | Replica_promoted _ ->
+      Replicator
+  | Container_state _ | Failure_detected _ | Migration_initiated _
+  | Migration_done _ | Host_suspect _ | Host_failed _ | Failure_injected _
+  | Planned_migration _ | Tcp_synced _ ->
+      Orch
+  | Generic { cat; _ } -> cat
+
+let name = function
+  | Seg_retransmit _ -> "seg_retransmit"
+  | Rto_fired _ -> "rto_fired"
+  | Repair_export _ -> "repair_export"
+  | Repair_import _ -> "repair_import"
+  | Session_frozen _ -> "session_frozen"
+  | Session_established _ -> "session_established"
+  | Session_down _ -> "session_down"
+  | Session_resumed _ -> "session_resumed"
+  | Bfd_up _ -> "bfd_up"
+  | Bfd_down _ -> "bfd_down"
+  | Queue_dropped _ -> "queue_dropped"
+  | Ack_held _ -> "ack_held"
+  | Ack_released _ -> "ack_released"
+  | Catchup_start _ -> "catchup_start"
+  | Catchup_done _ -> "catchup_done"
+  | Replica_promoted _ -> "replica_promoted"
+  | Container_state _ -> "container_state"
+  | Failure_detected _ -> "failure_detected"
+  | Migration_initiated _ -> "migration_initiated"
+  | Migration_done _ -> "migration_done"
+  | Host_suspect _ -> "host_suspect"
+  | Host_failed _ -> "host_failed"
+  | Failure_injected _ -> "failure_injected"
+  | Planned_migration _ -> "planned_migration"
+  | Tcp_synced _ -> "tcp_synced"
+  | Generic { name; _ } -> name
+
+type field = Int of int | Float of float | Str of string
+
+let fields = function
+  | Seg_retransmit { conn; seq; len } ->
+      [ ("conn", Str conn); ("seq", Int seq); ("len", Int len) ]
+  | Rto_fired { conn; backoff; rto_s } ->
+      [ ("conn", Str conn); ("backoff", Int backoff); ("rto_s", Float rto_s) ]
+  | Repair_export { conn; unacked } ->
+      [ ("conn", Str conn); ("unacked", Int unacked) ]
+  | Repair_import { conn; unacked } ->
+      [ ("conn", Str conn); ("unacked", Int unacked) ]
+  | Session_frozen { node; conns } ->
+      [ ("node", Str node); ("conns", Int conns) ]
+  | Session_established { node; peer } ->
+      [ ("node", Str node); ("peer", Str peer) ]
+  | Session_down { node; peer; reason } ->
+      [ ("node", Str node); ("peer", Str peer); ("reason", Str reason) ]
+  | Session_resumed { node; peer } -> [ ("node", Str node); ("peer", Str peer) ]
+  | Bfd_up { node; peer; vrf } ->
+      [ ("node", Str node); ("peer", Str peer); ("vrf", Str vrf) ]
+  | Bfd_down { node; peer; vrf; silent_s } ->
+      [
+        ("node", Str node); ("peer", Str peer); ("vrf", Str vrf);
+        ("silent_s", Float silent_s);
+      ]
+  | Queue_dropped { qnum } -> [ ("qnum", Int qnum) ]
+  | Ack_held { ack; depth } -> [ ("ack", Int ack); ("depth", Int depth) ]
+  | Ack_released { ack; held_s } ->
+      [ ("ack", Int ack); ("held_s", Float held_s) ]
+  | Catchup_start { service; vrf } ->
+      [ ("service", Str service); ("vrf", Str vrf) ]
+  | Catchup_done { service; vrf; msgs; bytes } ->
+      [
+        ("service", Str service); ("vrf", Str vrf); ("msgs", Int msgs);
+        ("bytes", Int bytes);
+      ]
+  | Replica_promoted { service; container } ->
+      [ ("service", Str service); ("container", Str container) ]
+  | Container_state { id; state } -> [ ("id", Str id); ("state", Str state) ]
+  | Failure_detected { id; kind } -> [ ("id", Str id); ("kind", Str kind) ]
+  | Migration_initiated { id } -> [ ("id", Str id) ]
+  | Migration_done { id; host; container } ->
+      [ ("id", Str id); ("host", Str host); ("container", Str container) ]
+  | Host_suspect { host } -> [ ("host", Str host) ]
+  | Host_failed { host } -> [ ("host", Str host) ]
+  | Failure_injected { service; kind } ->
+      [ ("service", Str service); ("kind", Str kind) ]
+  | Planned_migration { service } -> [ ("service", Str service) ]
+  | Tcp_synced { service; vrf } ->
+      [ ("service", Str service); ("vrf", Str vrf) ]
+  | Generic { detail; _ } -> [ ("detail", Str detail) ]
+
+(* The first group must stay byte-identical to the Trace.emitf strings
+   they replaced: experiments and examples query these categories. *)
+let legacy ev =
+  match ev with
+  | Failure_detected { id; kind } -> ("detect", id ^ " " ^ kind)
+  | Migration_initiated { id } -> ("initiate", id)
+  | Migration_done { id; host; container } ->
+      ("migrate", Printf.sprintf "%s -> %s/%s" id host container)
+  | Host_suspect { host } -> ("host-suspect", host)
+  | Host_failed { host } -> ("host-failed", host)
+  | Failure_injected { service; kind } -> ("inject", service ^ " " ^ kind)
+  | Planned_migration { service } -> ("planned", service)
+  | Tcp_synced { service; vrf } -> ("tcp-synced", service ^ "/" ^ vrf)
+  | Generic { name; detail; _ } -> (name, detail)
+  | _ ->
+      ( category_name (category ev),
+        String.concat " "
+          (name ev
+          :: List.map
+               (fun (k, v) ->
+                 k ^ "="
+                 ^
+                 match v with
+                 | Int i -> string_of_int i
+                 | Float f -> Printf.sprintf "%g" f
+                 | Str s -> s)
+               (fields ev)) )
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let field_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.1f" f
+      else Printf.sprintf "%.9g" f
+  | Str s -> "\"" ^ json_escape s ^ "\""
+
+let to_json ev =
+  Printf.sprintf "{\"cat\":\"%s\",\"ev\":\"%s\",\"f\":{%s}}"
+    (category_name (category ev))
+    (name ev)
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\":%s" k (field_json v))
+          (fields ev)))

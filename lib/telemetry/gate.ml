@@ -1,0 +1,3 @@
+let enabled = ref false
+let on () = !enabled
+let set flag = enabled := flag

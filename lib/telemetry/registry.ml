@@ -1,0 +1,150 @@
+type counter = { cname : string; mutable c : int }
+type gauge = { gname : string; mutable g : float }
+
+(* Bucket 0 holds non-positive observations; bucket i >= 1 covers
+   [2^(min_e+i-2), 2^(min_e+i-1)), i.e. has exclusive upper bound
+   2^(min_e+i-1). min_e = -30 puts the finest bound at ~1 ns when
+   observations are in seconds. *)
+let min_e = -30
+let max_e = 33
+let nbuckets = max_e - min_e + 2
+
+type histogram = {
+  hname : string;
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+}
+
+type metric =
+  | Counter of string * counter
+  | Gauge of string * gauge
+  | Histogram of string * histogram
+
+let metric_name = function
+  | Counter (n, _) | Gauge (n, _) | Histogram (n, _) -> n
+
+let by_name : (string, metric) Hashtbl.t = Hashtbl.create 64
+let rev_order : metric list ref = ref []
+
+let register name m =
+  Hashtbl.replace by_name name m;
+  rev_order := m :: !rev_order
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Telemetry.Registry: %S already registered as another kind"
+       name)
+
+let counter name =
+  match Hashtbl.find_opt by_name name with
+  | Some (Counter (_, c)) -> c
+  | Some _ -> kind_error name
+  | None ->
+      let c = { cname = name; c = 0 } in
+      register name (Counter (name, c));
+      c
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+
+let gauge name =
+  match Hashtbl.find_opt by_name name with
+  | Some (Gauge (_, g)) -> g
+  | Some _ -> kind_error name
+  | None ->
+      let g = { gname = name; g = 0.0 } in
+      register name (Gauge (name, g));
+      g
+
+let set g v = g.g <- v
+let set_max g v = if v > g.g then g.g <- v
+let gauge_value g = g.g
+
+let histogram name =
+  match Hashtbl.find_opt by_name name with
+  | Some (Histogram (_, h)) -> h
+  | Some _ -> kind_error name
+  | None ->
+      let h = { hname = name; counts = Array.make nbuckets 0; n = 0; sum = 0.0 } in
+      register name (Histogram (name, h));
+      h
+
+let bucket_index v =
+  if v <= 0.0 || Float.is_nan v then 0
+  else
+    let _, e = Float.frexp v in
+    (* v in [2^(e-1), 2^e) *)
+    let e = max min_e (min max_e e) in
+    e - min_e + 1
+
+let bucket_bound i =
+  if i = 0 then 0.0 else Float.ldexp 1.0 (min_e + i - 1)
+
+let observe h v =
+  h.counts.(bucket_index v) <- h.counts.(bucket_index v) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+
+let buckets h =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.counts.(i) > 0 then acc := (bucket_bound i, h.counts.(i)) :: !acc
+  done;
+  !acc
+
+let all () = List.rev !rev_order
+
+let reset_values () =
+  List.iter
+    (function
+      | Counter (_, c) -> c.c <- 0
+      | Gauge (_, g) -> g.g <- 0.0
+      | Histogram (_, h) ->
+          Array.fill h.counts 0 nbuckets 0;
+          h.n <- 0;
+          h.sum <- 0.0)
+    (all ())
+
+let float_str f = Printf.sprintf "%.9g" f
+
+let to_csv () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "name,kind,count,sum\n";
+  List.iter
+    (fun m ->
+      let line =
+        match m with
+        | Counter (n, c) -> Printf.sprintf "%s,counter,%d,\n" n c.c
+        | Gauge (n, g) -> Printf.sprintf "%s,gauge,,%s\n" n (float_str g.g)
+        | Histogram (n, h) ->
+            Printf.sprintf "%s,histogram,%d,%s\n" n h.n (float_str h.sum)
+      in
+      Buffer.add_string buf line)
+    (all ());
+  Buffer.contents buf
+
+let to_json () =
+  let metric_json = function
+    | Counter (n, c) ->
+        Printf.sprintf "{\"name\":\"%s\",\"kind\":\"counter\",\"value\":%d}"
+          (Event.json_escape n) c.c
+    | Gauge (n, g) ->
+        Printf.sprintf "{\"name\":\"%s\",\"kind\":\"gauge\",\"value\":%s}"
+          (Event.json_escape n) (float_str g.g)
+    | Histogram (n, h) ->
+        Printf.sprintf
+          "{\"name\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+          (Event.json_escape n) h.n (float_str h.sum)
+          (String.concat ","
+             (List.map
+                (fun (ub, c) -> Printf.sprintf "[%s,%d]" (float_str ub) c)
+                (buckets h)))
+  in
+  "{\"metrics\":["
+  ^ String.concat "," (List.map metric_json (all ()))
+  ^ "]}"

@@ -1,0 +1,75 @@
+(** The global metrics registry.
+
+    Named counters, gauges and log-bucketed histograms that register
+    themselves on creation (typically as module toplevels next to the
+    code they instrument) and export en masse to CSV or JSON. Creation
+    is idempotent by name — asking for an existing metric of the same
+    kind returns it — so instrumented libraries can be (re)initialized
+    freely; a name collision across kinds is a programming error and
+    raises [Invalid_argument].
+
+    Updates are deliberately NOT gated on {!Gate}: bumping an [int ref]
+    is as cheap as the gate check would be, so registered metrics are
+    always live (like the per-connection stats that predate this
+    module). {!reset_values} zeroes everything between runs. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** [set_max g v] raises the gauge to [v] if above its current value —
+    a high-water mark. *)
+
+val gauge_value : gauge -> float
+
+(** {1 Log-bucketed histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Buckets are powers of two: an observation [v] falls in the bucket
+    with exclusive upper bound [2^k] where [2^(k-1) <= v < 2^k];
+    non-positive observations land in a dedicated bucket with upper
+    bound [0]. Bounds span [2^-30, 2^33] seconds-ish; values outside
+    clamp to the extreme buckets. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val buckets : histogram -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], bounds increasing. *)
+
+(** {1 Enumeration and export} *)
+
+type metric =
+  | Counter of string * counter
+  | Gauge of string * gauge
+  | Histogram of string * histogram
+
+val all : unit -> metric list
+(** Every registered metric, in registration order. *)
+
+val metric_name : metric -> string
+
+val to_csv : unit -> string
+(** Header [name,kind,count,sum] — counters fill [count], gauges and
+    histogram sums fill [sum], histograms fill both. *)
+
+val to_json : unit -> string
+(** [{"metrics":[{"name":..,"kind":..,..}, ...]}] with histogram
+    buckets included. *)
+
+val reset_values : unit -> unit
+(** Zeroes every metric, keeping registrations. *)

@@ -1,0 +1,93 @@
+type id = int
+
+let none = -1
+
+type span = {
+  sid : id;
+  name : string;
+  parent : id option;
+  start_at : Sim.Time.t;
+  mutable stop_at : Sim.Time.t option;
+}
+
+let next_id = ref 0
+let by_id : (id, span) Hashtbl.t = Hashtbl.create 64
+let rev_order : span list ref = ref []
+let ambient_span = ref None
+
+let set_ambient v = ambient_span := v
+let ambient () = !ambient_span
+
+let record name parent start_at stop_at =
+  incr next_id;
+  let parent =
+    match parent with
+    | Some p when p <> none -> Some p
+    | Some _ -> None
+    | None -> !ambient_span
+  in
+  let s = { sid = !next_id; name; parent; start_at; stop_at } in
+  Hashtbl.replace by_id s.sid s;
+  rev_order := s :: !rev_order;
+  s.sid
+
+let start ?parent eng name =
+  if not (Gate.on ()) then none
+  else record name parent (Sim.Engine.now eng) None
+
+let finish eng sid =
+  match Hashtbl.find_opt by_id sid with
+  | Some s when s.stop_at = None -> s.stop_at <- Some (Sim.Engine.now eng)
+  | Some _ | None -> ()
+
+let add ?parent _eng name ~start_at ~stop_at =
+  if not (Gate.on ()) then none
+  else record name parent start_at (Some stop_at)
+
+let spans () = List.rev !rev_order
+let find ~name = List.filter (fun s -> String.equal s.name name) (spans ())
+let children sid = List.filter (fun s -> s.parent = Some sid) (spans ())
+
+let roots () =
+  List.filter
+    (fun s ->
+      match s.parent with
+      | None -> true
+      | Some p -> not (Hashtbl.mem by_id p))
+    (spans ())
+
+let clear () =
+  Hashtbl.reset by_id;
+  rev_order := [];
+  next_id := 0;
+  ambient_span := None
+
+let to_jsonl buf =
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":%d,\"parent\":%s,\"name\":\"%s\",\"start_ns\":%d,\"stop_ns\":%s,\"dur_ns\":%s}\n"
+           s.sid
+           (match s.parent with Some p -> string_of_int p | None -> "null")
+           (Event.json_escape s.name)
+           s.start_at
+           (match s.stop_at with Some t -> string_of_int t | None -> "null")
+           (match s.stop_at with
+           | Some t -> string_of_int (Sim.Time.diff t s.start_at)
+           | None -> "null")))
+    (spans ())
+
+let pp_tree fmt () =
+  let rec render indent s =
+    (match s.stop_at with
+    | Some stop ->
+        Format.fprintf fmt "%s%s  [%a → %a]  (%a)@." indent s.name Sim.Time.pp
+          s.start_at Sim.Time.pp stop Sim.Time.pp_span
+          (Sim.Time.diff stop s.start_at)
+    | None ->
+        Format.fprintf fmt "%s%s  [%a → …]  (open)@." indent s.name Sim.Time.pp
+          s.start_at);
+    List.iter (render (indent ^ "  ")) (children s.sid)
+  in
+  List.iter (render "") (roots ())

@@ -1,6 +1,10 @@
 open Sim
 open Netsim
 
+let m_catchup_msgs = Telemetry.Registry.counter "replicator.catchup_msgs"
+let m_catchup_bytes = Telemetry.Registry.counter "replicator.catchup_bytes"
+let m_catchup_s = Telemetry.Registry.histogram "replicator.catchup_s"
+
 type vrf_spec = {
   vrf : string;
   vip : Addr.t;
@@ -280,7 +284,7 @@ let start_bfd t pv ?resume () =
 
 (* Poll until the resumed connection's send stream is fully acknowledged:
    the "TCP recovery" completion instant of Table 1. *)
-let watch_tcp_sync t pv =
+let watch_tcp_sync ?(span = Telemetry.Span.none) t pv =
   let eng = engine t in
   let rec poll () =
     if not t.crashed then
@@ -294,7 +298,10 @@ let watch_tcp_sync t pv =
                     Tcp.state c = Tcp.Established
                     && Tcp.snd_una c = Tcp.snd_nxt c
                     && Tcp.snd_nxt c > Tcp.iss c + 1
-                  then t.tcp_synced_cb ~vrf:pv.spec.vrf
+                  then begin
+                    Telemetry.Span.finish eng span;
+                    t.tcp_synced_cb ~vrf:pv.spec.vrf
+                  end
                   else ignore (Engine.schedule_after eng (Time.ms 50) poll)
               | None -> ignore (Engine.schedule_after eng (Time.ms 50) poll))
           | None -> ())
@@ -540,7 +547,8 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
                | Some s when Bgp.Session.state s = Bgp.Session.Established ->
                    Bgp.Session.send s Bgp.Msg.Keepalive
                | _ -> ());
-               watch_tcp_sync t pv
+               let span = Telemetry.Span.start (engine t) "tcp_replay" in
+               watch_tcp_sync ~span t pv
              end));
       Ok ()
   | Ok _ -> Error "metadata OPEN is not an OPEN"
@@ -548,6 +556,27 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
 
 let recover_vrf t spk stack client pv k =
   let cid = Keys.conn_id ~service:t.cfg.service_id ~vrf:pv.spec.vrf in
+  let eng = engine t in
+  let t0 = Engine.now eng in
+  let span = Telemetry.Span.start eng "replica_catchup" in
+  if Telemetry.Gate.on () then
+    Telemetry.Bus.emit eng
+      (Telemetry.Event.Catchup_start
+         { service = t.cfg.service_id; vrf = pv.spec.vrf });
+  let finish_catchup result =
+    (match result with
+    | Ok (msgs, bytes) ->
+        Telemetry.Registry.add m_catchup_msgs msgs;
+        Telemetry.Registry.add m_catchup_bytes bytes;
+        Telemetry.Registry.observe m_catchup_s
+          (Time.to_sec_f (Time.diff (Engine.now eng) t0));
+        if Telemetry.Gate.on () then
+          Telemetry.Bus.emit eng
+            (Telemetry.Event.Catchup_done
+               { service = t.cfg.service_id; vrf = pv.spec.vrf; msgs; bytes })
+    | Error _ -> ());
+    Telemetry.Span.finish eng span
+  in
   (* One batched point-read plus two scans: the state download of the
      migration path. *)
   Store.Client.get client
@@ -558,8 +587,22 @@ let recover_vrf t spk stack client pv k =
       Store.Client.scan client ~prefix:(Keys.out_prefix cid) (fun outs ->
           Store.Client.scan client ~prefix:(Keys.in_prefix cid) (fun ins ->
               match parse_recovery cid point_reads outs ins with
-              | Error e -> k (Error e)
-              | Ok r -> k (resume_from_recovered t spk stack client pv r))))
+              | Error e ->
+                  finish_catchup (Error e);
+                  k (Error e)
+              | Ok r ->
+                  let msgs = List.length r.r_in in
+                  let bytes =
+                    List.fold_left
+                      (fun acc (_, _, raw) -> acc + String.length raw)
+                      0 r.r_in
+                    + List.fold_left
+                        (fun acc (_, raw) -> acc + String.length raw)
+                        0 r.r_out
+                  in
+                  let result = resume_from_recovered t spk stack client pv r in
+                  finish_catchup (Ok (msgs, bytes));
+                  k result)))
 
 
 let bootstrap_recover t spk stack client =

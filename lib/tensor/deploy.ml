@@ -134,8 +134,18 @@ let migrate t svc ~(reason : Orch.Controller.failure_kind) ~done_ =
             ~your_disc:(Bfd.your_disc session)
       | None -> ());
   App.on_tcp_synced app (fun ~vrf ->
-      Trace.emitf t.trace t.eng "tcp-synced" "%s/%s" svc.sid vrf);
+      Telemetry.Bus.emit ~legacy:t.trace t.eng
+        (Telemetry.Event.Tcp_synced { service = svc.sid; vrf });
+      match Telemetry.Span.ambient () with
+      | Some root ->
+          Telemetry.Span.finish t.eng root;
+          Telemetry.Span.set_ambient None
+      | None -> ());
   App.on_recovered app (fun () ->
+      if Telemetry.Gate.on () then
+        Telemetry.Bus.emit t.eng
+          (Telemetry.Event.Replica_promoted
+             { service = svc.sid; container = Orch.Container.id cont });
       svc.primary <- cont;
       svc.app <- app;
       (* Keep a standby warm for the next failure. *)
@@ -317,7 +327,13 @@ let wait_established t svc ?(timeout = Time.sec 30) () =
 let service_routes svc ~vrf = App.routes svc.app ~vrf
 
 let planned_migration t svc =
-  Trace.emitf t.trace t.eng "planned" "%s" svc.sid;
+  if Telemetry.Gate.on () then begin
+    Telemetry.Span.set_ambient None;
+    let sp = Telemetry.Span.start t.eng "planned_migration" in
+    Telemetry.Span.set_ambient (Some sp)
+  end;
+  Telemetry.Bus.emit ~legacy:t.trace t.eng
+    (Telemetry.Event.Planned_migration { service = svc.sid });
   Orch.Controller.begin_planned t.ctrl ~id:svc.sid;
   App.freeze_for_migration svc.app (fun () ->
       migrate t svc ~reason:Orch.Controller.App_failure
@@ -326,23 +342,39 @@ let planned_migration t svc =
 
 (* --- Failure injection ----------------------------------------------------------------- *)
 
+let start_failover_span t =
+  if Telemetry.Gate.on () then begin
+    Telemetry.Span.set_ambient None;
+    let sp = Telemetry.Span.start t.eng "failover" in
+    Telemetry.Span.set_ambient (Some sp)
+  end
+
 let inject_app_failure t svc =
-  Trace.emitf t.trace t.eng "inject" "%s app" svc.sid;
+  start_failover_span t;
+  Telemetry.Bus.emit ~legacy:t.trace t.eng
+    (Telemetry.Event.Failure_injected { service = svc.sid; kind = "app" });
   App.crash_bgp svc.app
 
 let inject_container_failure t svc =
-  Trace.emitf t.trace t.eng "inject" "%s container" svc.sid;
+  start_failover_span t;
+  Telemetry.Bus.emit ~legacy:t.trace t.eng
+    (Telemetry.Event.Failure_injected { service = svc.sid; kind = "container" });
   Orch.Container.fail svc.primary
 
 let inject_host_failure t svc =
-  Trace.emitf t.trace t.eng "inject" "%s host" svc.sid;
+  start_failover_span t;
+  Telemetry.Bus.emit ~legacy:t.trace t.eng
+    (Telemetry.Event.Failure_injected { service = svc.sid; kind = "host" });
   let name = Orch.Container.host_name svc.primary in
   Array.iter
     (fun h -> if String.equal (Orch.Host.name h) name then Orch.Host.fail h)
     t.hosts
 
 let inject_host_network_failure t svc =
-  Trace.emitf t.trace t.eng "inject" "%s host-network" svc.sid;
+  start_failover_span t;
+  Telemetry.Bus.emit ~legacy:t.trace t.eng
+    (Telemetry.Event.Failure_injected
+       { service = svc.sid; kind = "host-network" });
   let name = Orch.Container.host_name svc.primary in
   Array.iter
     (fun h ->

@@ -1,6 +1,13 @@
 open Sim
 open Netsim
 
+let m_rx_repl = Telemetry.Registry.counter "replicator.rx_replicated"
+let m_tx_repl = Telemetry.Registry.counter "replicator.tx_replicated"
+let m_acks_held = Telemetry.Registry.counter "replicator.acks_held"
+let m_acks_released = Telemetry.Registry.counter "replicator.acks_released"
+let m_store_retries = Telemetry.Registry.counter "replicator.store_retries"
+let m_hold_s = Telemetry.Registry.histogram "replicator.ack_hold_s"
+
 (* A strictly ordered, depth-one-pipelined stream of store operations.
    Consecutive sets (and consecutive deletes) coalesce into batches, which
    is what keeps the per-message replication cost on the cheap side of the
@@ -128,6 +135,7 @@ let rec pump t lane =
                       List.iter (fun k -> k ()) ks;
                       finish ()
                   | Error `Timeout ->
+                      Telemetry.Registry.incr m_store_retries;
                       ignore
                         (Engine.schedule_after t.eng (Time.ms 100) attempt))
             | Del keys ->
@@ -135,6 +143,7 @@ let rec pump t lane =
                   (function
                   | Ok _ -> finish ()
                   | Error `Timeout ->
+                      Telemetry.Registry.incr m_store_retries;
                       ignore
                         (Engine.schedule_after t.eng (Time.ms 100) attempt))
         in
@@ -159,8 +168,13 @@ let release_ready t =
         let ack, _, _ = Queue.peek t.held in
         if ack <= wm then begin
           let _, since, reinject = Queue.pop t.held in
-          Metrics.record t.holds
-            (Time.to_sec_f (Time.diff (Engine.now t.eng) since));
+          let held_s = Time.to_sec_f (Time.diff (Engine.now t.eng) since) in
+          Metrics.record t.holds held_s;
+          Telemetry.Registry.incr m_acks_released;
+          Telemetry.Registry.observe m_hold_s held_s;
+          if Telemetry.Gate.on () then
+            Telemetry.Bus.emit t.eng
+              (Telemetry.Event.Ack_released { ack; held_s });
           reinject Netfilter.Accept
         end
         else continue := false
@@ -229,10 +243,19 @@ let attach_output_chain t chain ~local ~remote =
               | Some wm ->
                   if seg.Tcp.Segment.flags.Tcp.Segment.ack
                      && seg.Tcp.Segment.ack > wm
-                  then
+                  then begin
                     Queue.push
                       (seg.Tcp.Segment.ack, Engine.now t.eng, reinject)
-                      t.held
+                      t.held;
+                    Telemetry.Registry.incr m_acks_held;
+                    if Telemetry.Gate.on () then
+                      Telemetry.Bus.emit t.eng
+                        (Telemetry.Event.Ack_held
+                           {
+                             ack = seg.Tcp.Segment.ack;
+                             depth = Queue.length t.held;
+                           })
+                  end
                   else reinject Netfilter.Accept)
         | _ -> reinject Netfilter.Accept)
   end
@@ -282,6 +305,7 @@ let set_tail_source t source =
 
 let on_rx_message t msg ~inferred_ack =
   if t.replicate && not t.stopped then begin
+    Telemetry.Registry.incr m_rx_repl;
     let raw = Bgp.Msg.encode msg in
     let seq = t.in_seq in
     t.in_seq <- seq + 1;
@@ -329,6 +353,7 @@ let on_rx_applied t =
 let on_tx_message t ~raw ~release =
   if (not t.replicate) || t.stopped then release ()
   else begin
+    Telemetry.Registry.incr m_tx_repl;
     let offset = t.written in
     let len = String.length raw in
     t.written <- offset + len;

@@ -1,0 +1,100 @@
+(* Edge cases of the Sim.Metrics sample/quantile machinery: empty and
+   single-observation collections, clamped and NaN quantile arguments,
+   degenerate CDF requests, and span-recorder misuse. *)
+
+open Sim
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_quantile_empty () =
+  let s = Metrics.samples "empty" in
+  checkb "quantile of empty is nan" true (Float.is_nan (Metrics.quantile s 0.5));
+  checkb "median of empty is nan" true (Float.is_nan (Metrics.median s));
+  checkb "mean of empty is nan" true (Float.is_nan (Metrics.mean s));
+  checkb "min of empty is nan" true (Float.is_nan (Metrics.min_value s));
+  checkb "max of empty is nan" true (Float.is_nan (Metrics.max_value s))
+
+let test_quantile_single () =
+  let s = Metrics.samples "one" in
+  Metrics.record s 42.0;
+  checkf "q=0" 42.0 (Metrics.quantile s 0.0);
+  checkf "q=0.5" 42.0 (Metrics.quantile s 0.5);
+  checkf "q=1" 42.0 (Metrics.quantile s 1.0)
+
+let test_quantile_bounds () =
+  let s = Metrics.samples "bounds" in
+  List.iter (Metrics.record s) [ 3.0; 1.0; 2.0; 4.0 ];
+  checkf "q=0 is the minimum" 1.0 (Metrics.quantile s 0.0);
+  checkf "q=1 is the maximum" 4.0 (Metrics.quantile s 1.0);
+  (* Out-of-range arguments clamp rather than raise or index out of
+     bounds. *)
+  checkf "q<0 clamps to 0" 1.0 (Metrics.quantile s (-0.3));
+  checkf "q>1 clamps to 1" 4.0 (Metrics.quantile s 1.7);
+  checkf "interpolates" 2.5 (Metrics.quantile s 0.5)
+
+let test_quantile_nan () =
+  let s = Metrics.samples "nanq" in
+  List.iter (Metrics.record s) [ 1.0; 2.0 ];
+  checkb "nan q yields nan" true (Float.is_nan (Metrics.quantile s nan))
+
+let test_cdf_degenerate () =
+  let s = Metrics.samples "cdf" in
+  checki "empty samples: no points" 0 (List.length (Metrics.cdf s 10));
+  Metrics.record s 5.0;
+  checki "points = 0" 0 (List.length (Metrics.cdf s 0));
+  checki "points < 0" 0 (List.length (Metrics.cdf s (-3)));
+  match Metrics.cdf s 1 with
+  | [ (v, p) ] ->
+      checkf "single point value" 5.0 v;
+      checkf "single point probability" 1.0 p
+  | l -> Alcotest.failf "expected 1 cdf point, got %d" (List.length l)
+
+let test_cdf_monotone () =
+  let s = Metrics.samples "mono" in
+  List.iter (Metrics.record s) [ 9.0; 1.0; 5.0; 3.0; 7.0 ];
+  let pts = Metrics.cdf s 20 in
+  checki "requested points" 20 (List.length pts);
+  let rec monotone = function
+    | (v1, p1) :: ((v2, p2) :: _ as rest) ->
+        v1 <= v2 && p1 <= p2 && monotone rest
+    | _ -> true
+  in
+  checkb "values and probabilities nondecreasing" true (monotone pts);
+  checkf "last point is the maximum" 9.0 (fst (List.nth pts 19))
+
+let test_span_stop_unknown () =
+  let eng = Engine.create () in
+  let r = Metrics.span_recorder "spans" in
+  (* Stopping an id that was never started must be a silent no-op. *)
+  Metrics.span_stop r eng 99;
+  checki "nothing recorded" 0 (Metrics.n (Metrics.span_samples r));
+  Metrics.span_start r eng 1;
+  ignore (Engine.schedule_after eng (Time.ms 10) (fun () -> ()));
+  Engine.run_for eng (Time.ms 10);
+  Metrics.span_stop r eng 1;
+  (* A second stop of the same id is also a no-op. *)
+  Metrics.span_stop r eng 1;
+  checki "one span recorded" 1 (Metrics.n (Metrics.span_samples r));
+  checkf "span duration" 0.010
+    (Metrics.quantile (Metrics.span_samples r) 0.5)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "quantile",
+        [
+          Alcotest.test_case "empty" `Quick test_quantile_empty;
+          Alcotest.test_case "single" `Quick test_quantile_single;
+          Alcotest.test_case "bounds" `Quick test_quantile_bounds;
+          Alcotest.test_case "nan-q" `Quick test_quantile_nan;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "degenerate" `Quick test_cdf_degenerate;
+          Alcotest.test_case "monotone" `Quick test_cdf_monotone;
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "stop-unknown" `Quick test_span_stop_unknown ] );
+    ]
