@@ -1,0 +1,110 @@
+(* Diff two --emit-bench snapshots and flag wall-clock regressions.
+
+     dune exec bench/compare.exe -- BENCH_old.json BENCH_new.json
+     dune exec bench/compare.exe -- --threshold 1.3 old.json new.json
+
+   An experiment regresses when new_wall / old_wall exceeds the
+   threshold (default 1.5x) AND the absolute slowdown is over 50 ms —
+   sub-millisecond experiments are pure noise. Exit 1 on any
+   regression, 2 on unreadable/incomparable snapshots. *)
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> prerr_endline e; exit 2 in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse path =
+  match Monitor.Json.parse (read_file path) with
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "%s: malformed snapshot: %s\n" path msg;
+      exit 2
+
+let experiments j =
+  match Option.bind (Monitor.Json.member "experiments" j) Monitor.Json.to_list with
+  | Some l ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (Monitor.Json.member "id" e) Monitor.Json.to_str,
+              Option.bind (Monitor.Json.member "wall_s" e) Monitor.Json.to_float,
+              Option.bind (Monitor.Json.member "sim_events_per_s" e)
+                Monitor.Json.to_float )
+          with
+          | Some id, Some wall, eps -> Some (id, (wall, eps))
+          | _ -> None)
+        l
+  | None ->
+      prerr_endline "snapshot has no \"experiments\" array";
+      exit 2
+
+let () =
+  let threshold = ref 1.5 in
+  let min_delta_s = 0.05 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 1.0 -> threshold := f
+        | _ ->
+            prerr_endline "--threshold expects a float > 1.0";
+            exit 2);
+        parse_args rest
+    | a :: rest ->
+        files := a :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_file, new_file =
+    match List.rev !files with
+    | [ a; b ] -> (a, b)
+    | _ ->
+        prerr_endline "usage: compare [--threshold R] OLD.json NEW.json";
+        exit 2
+  in
+  let old_j = parse old_file and new_j = parse new_file in
+  let quick j =
+    Option.bind (Monitor.Json.member "quick" j) Monitor.Json.to_bool
+  in
+  if quick old_j <> quick new_j then
+    Printf.eprintf
+      "warning: snapshots mix quick and full runs — ratios are not \
+       meaningful\n";
+  let old_e = experiments old_j and new_e = experiments new_j in
+  let regressions = ref 0 and compared = ref 0 in
+  Printf.printf "%-12s %12s %12s %8s\n" "experiment" "old wall" "new wall"
+    "ratio";
+  List.iter
+    (fun (id, (old_wall, _)) ->
+      match List.assoc_opt id new_e with
+      | None -> Printf.printf "%-12s %12.3f %12s %8s\n" id old_wall "-" "gone"
+      | Some (new_wall, _) ->
+          incr compared;
+          let ratio =
+            if old_wall > 1e-9 then new_wall /. old_wall else Float.infinity
+          in
+          let slow =
+            ratio > !threshold && new_wall -. old_wall > min_delta_s
+          in
+          if slow then incr regressions;
+          Printf.printf "%-12s %12.3f %12.3f %7.2fx%s\n" id old_wall new_wall
+            ratio
+            (if slow then "  << REGRESSION" else ""))
+    old_e;
+  List.iter
+    (fun (id, (new_wall, _)) ->
+      if not (List.mem_assoc id old_e) then
+        Printf.printf "%-12s %12s %12.3f %8s\n" id "-" new_wall "new")
+    new_e;
+  if !compared = 0 then begin
+    prerr_endline "no common experiments between the two snapshots";
+    exit 2
+  end;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d regression(s) beyond %.2fx.\n" !regressions !threshold;
+    exit 1
+  end
+  else Printf.printf "\nNo regressions beyond %.2fx.\n" !threshold

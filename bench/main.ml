@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- fig6a table1 ...   # a subset
      dune exec bench/main.exe -- --csv-dir out fig6a  # also write CSVs
      dune exec bench/main.exe -- --telemetry-dir out fig6a  # + telemetry export
+     dune exec bench/main.exe -- --emit-bench BENCH_rev.json  # perf snapshot
+       (diff two snapshots with: dune exec bench/compare.exe -- OLD NEW)
 
    Experiment ids: fig5a fig5b fig6a fig6b fig6c fig6d table1 fig7a fig7b
    table2 micro. Simulated measurements are deterministic (fixed seeds);
@@ -15,6 +17,31 @@
 
 let quick = ref false
 let telemetry_dir = ref None
+let emit_bench = ref None
+
+(* (id, wall seconds, simulation events executed) per experiment, for
+   the --emit-bench snapshot. *)
+let bench_rows : (string * float * int) list ref = ref []
+
+let write_bench_snapshot file ~total_wall =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\"schema_version\":1,\"quick\":%b,\"experiments\":["
+    !quick;
+  List.iteri
+    (fun i (id, wall, events) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"id\":\"%s\",\"wall_s\":%.6f,\"sim_events\":%d,\"sim_events_per_s\":%.1f}"
+        (Telemetry.Event.json_escape id)
+        wall events
+        (if wall > 1e-9 then float_of_int events /. wall else 0.0))
+    (List.rev !bench_rows);
+  Printf.bprintf buf "],\"total_wall_s\":%.3f,\"metrics\":%s}" total_wall
+    (Telemetry.Registry.to_json ());
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc
 
 let fig5a () =
   let results =
@@ -210,6 +237,9 @@ let () =
         telemetry_dir := Some dir;
         Telemetry.Control.set_enabled true;
         strip_flags acc rest
+    | "--emit-bench" :: file :: rest ->
+        emit_bench := Some file;
+        strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
   in
   let args = strip_flags [] args in
@@ -234,11 +264,20 @@ let () =
   List.iter
     (fun (id, f) ->
       let t = Unix.gettimeofday () in
+      let e0 = Sim.Engine.global_processed_events () in
       f ();
-      Format.printf "@.[%s done in %.1fs wall]@." id (Unix.gettimeofday () -. t))
+      let wall = Unix.gettimeofday () -. t in
+      bench_rows :=
+        (id, wall, Sim.Engine.global_processed_events () - e0) :: !bench_rows;
+      Format.printf "@.[%s done in %.1fs wall]@." id wall)
     selected;
-  Format.printf "@.All selected experiments done in %.1fs wall.@."
-    (Unix.gettimeofday () -. t0);
+  let total_wall = Unix.gettimeofday () -. t0 in
+  Format.printf "@.All selected experiments done in %.1fs wall.@." total_wall;
+  (match !emit_bench with
+  | Some file ->
+      write_bench_snapshot file ~total_wall;
+      Format.printf "Bench snapshot written to %s@." file
+  | None -> ());
   match !telemetry_dir with
   | Some dir ->
       Telemetry.Control.export_dir dir;

@@ -247,6 +247,59 @@ let metrics_cmd =
           gauges, histograms).")
     Term.(const run $ json $ no_run $ kind_opt)
 
+(* --- check / health commands -------------------------------------------------- *)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the health report as JSON.")
+
+let check_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "failover"
+      & info [] ~docv:"SCENARIO" ~doc:"failover | planned | split-brain")
+  in
+  let run scenario kind json =
+    match Tensor.Check.run ~kind scenario with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    | Ok report ->
+        if json then print_endline (Monitor.Health.to_json report)
+        else print_string (Monitor.Health.to_text report);
+        if not (Monitor.Health.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run one scenario with the runtime verifier attached: every NSR \
+          invariant (no peer-visible reset, stream continuity, held-ACK \
+          safety, BFD bound, RIB convergence, split-brain exclusion, flap \
+          absence, queue drain) is checked live against the telemetry bus. \
+          Non-zero exit on any violation or SLO miss.")
+    Term.(const run $ scenario $ kind_opt $ json_flag)
+
+let health_cmd =
+  let run json =
+    let reports =
+      List.filter_map
+        (fun s -> match Tensor.Check.run s with Ok r -> Some r | Error _ -> None)
+        Tensor.Check.scenarios
+    in
+    if json then
+      print_endline
+        ("[" ^ String.concat "," (List.map Monitor.Health.to_json reports) ^ "]")
+    else
+      List.iter (fun r -> print_string (Monitor.Health.to_text r)) reports;
+    if not (List.for_all Monitor.Health.ok reports) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run every checked scenario and report aggregate invariant/SLO \
+          health. Non-zero exit if any scenario is unhealthy.")
+    Term.(const run $ json_flag)
+
 (* --- list command ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -260,4 +313,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "tensor-cli" ~version:"1.0.0" ~doc)
-          [ experiment_cmd; failover_cmd; trace_cmd; metrics_cmd; cdf_cmd; list_cmd ]))
+          [ experiment_cmd; failover_cmd; trace_cmd; metrics_cmd; cdf_cmd;
+            check_cmd; health_cmd; list_cmd ]))

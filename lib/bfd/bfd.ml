@@ -105,7 +105,11 @@ let cancel_detect s =
 
 let arm_detect ep s ~remote_interval =
   cancel_detect s;
-  let window = s.detect_mult * max remote_interval (Time.ms 1) in
+  let interval = max remote_interval (Time.ms 1) in
+  let window = s.detect_mult * interval in
+  (* Seeded fault: detect twice as late as the advertised
+     interval × multiplier bound promises. *)
+  let window = if !Monitor.Faults.bfd_slow_detect then 2 * window else window in
   s.detect_handle <-
     Some
       (Engine.schedule_after ep.eng window (fun () ->
@@ -133,6 +137,8 @@ let arm_detect ep s ~remote_interval =
                       peer = Addr.to_string s.sremote;
                       vrf = s.svrf;
                       silent_s;
+                      interval_s = Time.to_sec_f interval;
+                      mult = s.detect_mult;
                     })
              end;
              transition s Down

@@ -146,6 +146,30 @@ let fold_best t ~init ~f =
       match e.best with Some p -> f acc prefix p | None -> acc)
     t.table init
 
+let best_prefixes ?source_key t =
+  fold_best t ~init:[] ~f:(fun acc prefix path ->
+      match source_key with
+      | Some k when not (String.equal path.source.key k) -> acc
+      | _ -> Netsim.Addr.prefix_to_string prefix :: acc)
+  |> List.sort String.compare
+
+(* FNV-1a over the sorted best-path prefix strings: a cheap
+   order-insensitive fingerprint for comparing two tables' coverage
+   (attributes deliberately excluded — AS paths legitimately differ
+   between the advertising and the learning side). *)
+let digest ?source_key t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix c =
+    h := Int64.logxor !h (Int64.of_int (Char.code c));
+    h := Int64.mul !h 0x100000001b3L
+  in
+  List.iter
+    (fun p ->
+      String.iter mix p;
+      mix '\n')
+    (best_prefixes ?source_key t);
+  Printf.sprintf "%016Lx" !h
+
 let transform_source t ~key ~f =
   (* Apply [f] to each (prefix, entry) holding a path from [key]; collect
      best-path changes. *)

@@ -53,6 +53,16 @@ val path_count : t -> int
 val fold_best : t -> init:'a -> f:('a -> Netsim.Addr.prefix -> path -> 'a) -> 'a
 (** Folds over the Loc-RIB (best path per prefix). *)
 
+val best_prefixes : ?source_key:string -> t -> string list
+(** Sorted best-path prefixes, optionally restricted to entries whose
+    best path was learned from [source_key]. *)
+
+val digest : ?source_key:string -> t -> string
+(** Order-insensitive fingerprint (FNV-1a, hex) of {!best_prefixes}:
+    two tables covering the same prefix set digest equally regardless
+    of path attributes, which legitimately differ between the
+    advertising and the learning side. *)
+
 val remove_source : t -> key:string -> change list
 (** Session death without graceful restart: drop every path from the
     source and report all best-path changes. *)

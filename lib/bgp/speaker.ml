@@ -377,6 +377,14 @@ let apply_update t p (u : Msg.update) =
       | Some ch -> changes := ch :: !changes
       | None -> ())
     u.withdrawn;
+  if u.withdrawn <> [] && Telemetry.Gate.on () then
+    Telemetry.Bus.emit t.eng
+      (Telemetry.Event.Routes_withdrawn
+         {
+           node = Netsim.Node.name (Tcp.stack_node t.stk);
+           peer = Netsim.Addr.to_string p.pcfg.remote_addr;
+           count = List.length u.withdrawn;
+         });
   (match u.attrs with
   | Some attrs when u.nlri <> [] ->
       if Attrs.path_contains attrs t.asn then

@@ -1,0 +1,62 @@
+(* Hidden fault flags, one per checker, used by the mutation tests to
+   prove the checkers are not vacuously green: seeding a fault must trip
+   exactly the corresponding checker and nothing else.
+
+   Each flag is read at one surgical point in the product code. Faults
+   are either genuinely behavioral (skip a fence, leak a queue) when the
+   misbehavior provably does not cascade into other invariants, or they
+   corrupt the *observable signal* at the event-emission site (repair
+   byte counters) when real corruption would stall the scenario and trip
+   several checkers at once. *)
+
+type flag = { name : string; doc : string; on : bool ref }
+
+let registry : flag list ref = ref []
+
+let make name doc =
+  let on = ref false in
+  registry := !registry @ [ { name; doc; on } ];
+  on
+
+let peer_reset =
+  make "peer_reset" "bounce the resumed session with a Cease (peer-visible reset)"
+
+let repair_gap =
+  make "repair_gap" "skew rcv_nxt reported at TCP repair import by one byte"
+
+let early_ack_release =
+  make "early_ack_release" "release one held ACK beyond the durable watermark"
+
+let bfd_slow_detect =
+  make "bfd_slow_detect" "double the BFD detect window but report the nominal interval"
+
+let skip_rib_restore =
+  make "skip_rib_restore" "skip the RIB checkpoint restore in bootstrap recovery"
+
+let no_fence =
+  make "no_fence" "promote the replica without stopping the old primary"
+
+let flap_on_migration =
+  make "flap_on_migration" "withdraw and re-announce one prefix after a planned migration"
+
+let leak_held_acks =
+  make "leak_held_acks" "silently swallow one ready-to-release held ACK"
+
+let names () = List.map (fun f -> f.name) !registry
+let active () = List.filter_map (fun f -> if !(f.on) then Some f.name else None) !registry
+let doc name =
+  List.find_opt (fun f -> f.name = name) !registry
+  |> Option.map (fun f -> f.doc)
+
+let set name v =
+  match List.find_opt (fun f -> f.name = name) !registry with
+  | Some f ->
+      f.on := v;
+      true
+  | None -> false
+
+let reset () = List.iter (fun f -> f.on := false) !registry
+
+let with_fault on k =
+  on := true;
+  Fun.protect ~finally:(fun () -> on := false) k

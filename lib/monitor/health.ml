@@ -1,0 +1,165 @@
+(* Per-run health report: checker verdicts + SLO budgets over the
+   recorded causal spans, rendered as text or JSON. *)
+
+type slo = {
+  slo_name : string;
+  budget_s : float;
+  actual_s : float option; (* worst (longest) instance; None if a span
+                              of that name never finished *)
+  instances : int;
+  slo_ok : bool;
+}
+
+type report = {
+  scenario : string;
+  checkers : (string * Checker.result) list;
+  slos : slo list;
+  events_seen : int;
+  queue_drops : int;
+  faults : string list;
+}
+
+(* Budgets are generous upper bounds, not the paper's means: Table 1's
+   worst total is ~9.2 s (host failure, cold boot), so 15 s flags only a
+   real regression. Budgets apply per span name and are skipped when no
+   span of that name was recorded. *)
+let default_budgets =
+  [
+    ("failover", 15.0);
+    ("planned_migration", 15.0);
+    ("replica_catchup", 5.0);
+    ("tcp_replay", 10.0);
+    ("bfd_detect", 1.0);
+  ]
+
+let slos_of_spans ?(budgets = default_budgets) () =
+  List.filter_map
+    (fun (name, budget_s) ->
+      match Telemetry.Span.find ~name with
+      | [] -> None
+      | spans ->
+          let unfinished =
+            List.exists (fun s -> s.Telemetry.Span.stop_at = None) spans
+          in
+          let worst =
+            List.fold_left
+              (fun acc s ->
+                match s.Telemetry.Span.stop_at with
+                | None -> acc
+                | Some stop ->
+                    Float.max acc
+                      (Sim.Time.to_sec_f
+                         (Sim.Time.diff stop s.Telemetry.Span.start_at)))
+              0.0 spans
+          in
+          let actual_s = if unfinished then None else Some worst in
+          let slo_ok = (not unfinished) && worst <= budget_s in
+          Some
+            {
+              slo_name = name;
+              budget_s;
+              actual_s;
+              instances = List.length spans;
+              slo_ok;
+            })
+    budgets
+
+let make ?budgets ~scenario checker =
+  let checkers = Checker.finalize checker in
+  {
+    scenario;
+    checkers;
+    slos = slos_of_spans ?budgets ();
+    events_seen = Checker.events_seen checker;
+    queue_drops = Checker.queue_drop_events checker;
+    faults = Faults.active ();
+  }
+
+let violations r =
+  List.concat_map
+    (fun (_, res) ->
+      match res with Checker.Pass -> [] | Checker.Violations vs -> vs)
+    r.checkers
+
+let ok r = violations r = [] && List.for_all (fun s -> s.slo_ok) r.slos
+
+let to_text r =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "Health report: %s — %s\n" r.scenario
+    (if ok r then "OK" else "UNHEALTHY");
+  pf "  events observed: %d" r.events_seen;
+  if r.queue_drops > 0 then
+    pf " (%d informational queue drop(s))" r.queue_drops;
+  pf "\n";
+  if r.faults <> [] then
+    pf "  !! seeded faults active: %s\n" (String.concat ", " r.faults);
+  pf "  invariants:\n";
+  List.iter
+    (fun (name, res) ->
+      match res with
+      | Checker.Pass -> pf "    %-24s pass\n" name
+      | Checker.Violations vs ->
+          pf "    %-24s VIOLATED (%d)\n" name (List.length vs);
+          List.iter
+            (fun (v : Checker.violation) ->
+              pf "      [seq %d, t=%.3fs%s] %s\n" v.event_seq
+                (Sim.Time.to_sec_f v.at)
+                (if v.span = Telemetry.Span.none then ""
+                 else Printf.sprintf ", span %d" v.span)
+                v.detail)
+            vs)
+    r.checkers;
+  if r.slos = [] then pf "  SLOs: (no budgeted spans recorded)\n"
+  else begin
+    pf "  SLOs:\n";
+    List.iter
+      (fun s ->
+        pf "    %-24s %s  %s vs budget %.2fs (%d instance(s))\n" s.slo_name
+          (if s.slo_ok then "ok " else "MISS")
+          (match s.actual_s with
+          | Some a -> Printf.sprintf "worst %.3fs" a
+          | None -> "unfinished")
+          s.budget_s s.instances)
+      r.slos
+  end;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 2048 in
+  let esc = Telemetry.Event.json_escape in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "{\"scenario\":\"%s\",\"ok\":%b,\"events_seen\":%d,\"queue_drops\":%d,"
+    (esc r.scenario) (ok r) r.events_seen r.queue_drops;
+  pf "\"faults\":[%s],"
+    (String.concat "," (List.map (fun f -> "\"" ^ esc f ^ "\"") r.faults));
+  pf "\"violations_total\":%d," (List.length (violations r));
+  pf "\"checkers\":[";
+  List.iteri
+    (fun i (name, res) ->
+      if i > 0 then pf ",";
+      let vs = match res with Checker.Pass -> [] | Checker.Violations vs -> vs in
+      pf "{\"name\":\"%s\",\"status\":\"%s\",\"violations\":[" (esc name)
+        (if vs = [] then "pass" else "violated");
+      List.iteri
+        (fun j (v : Checker.violation) ->
+          if j > 0 then pf ",";
+          pf "{\"event_seq\":%d,\"span\":%s,\"t_ns\":%d,\"detail\":\"%s\"}"
+            v.event_seq
+            (if v.span = Telemetry.Span.none then "null"
+             else string_of_int v.span)
+            v.at (esc v.detail))
+        vs;
+      pf "]}")
+    r.checkers;
+  pf "],\"slos\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then pf ",";
+      pf "{\"name\":\"%s\",\"budget_s\":%g,\"actual_s\":%s,\"instances\":%d,\"ok\":%b}"
+        (esc s.slo_name) s.budget_s
+        (match s.actual_s with Some a -> Printf.sprintf "%g" a | None -> "null")
+        s.instances s.slo_ok)
+    r.slos;
+  pf "]}";
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** Per-run health reports: checker verdicts plus SLO budgets.
+
+    A report couples the {!Checker} verdicts with budget checks over the
+    recorded {!Telemetry.Span}s (failover duration, planned-migration
+    duration, replica catch-up, TCP replay, BFD detection). Budgets are
+    only evaluated for span names that actually occur in the run, so the
+    same report works for every scenario. *)
+
+type slo = {
+  slo_name : string;  (** Span name the budget applies to. *)
+  budget_s : float;
+  actual_s : float option;
+      (** Longest instance, seconds; [None] if an instance never
+          finished (always a miss). *)
+  instances : int;
+  slo_ok : bool;
+}
+
+type report = {
+  scenario : string;
+  checkers : (string * Checker.result) list;
+  slos : slo list;
+  events_seen : int;
+  queue_drops : int;  (** Informational [Queue_dropped] count. *)
+  faults : string list;  (** Seeded faults active when the report was cut. *)
+}
+
+val default_budgets : (string * float) list
+(** [(span_name, budget_seconds)]: failover 15 s, planned_migration
+    15 s, replica_catchup 5 s, tcp_replay 10 s, bfd_detect 1 s. *)
+
+val make :
+  ?budgets:(string * float) list -> scenario:string -> Checker.t -> report
+(** Finalizes the checker set (see {!Checker.finalize}) and evaluates
+    the budgets against the current span table. *)
+
+val ok : report -> bool
+(** No violations and every evaluated SLO within budget. *)
+
+val violations : report -> Checker.violation list
+
+val to_text : report -> string
+val to_json : report -> string

@@ -1,0 +1,213 @@
+(* A minimal JSON reader for the repo's own emitters (health reports,
+   bench snapshots, JSONL telemetry). Hand-rolled because the build
+   deliberately has no third-party dependencies. Accepts standard JSON;
+   numbers become floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "at %d: %s" pos msg))
+
+let parse_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail !pos (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail !pos (Printf.sprintf "expected %s" lit)
+  in
+  let utf8_add buf code =
+    (* Encode a Unicode scalar value as UTF-8. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_str () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail !pos "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > n then fail !pos "truncated \\u escape";
+              let code =
+                try int_of_string ("0x" ^ String.sub s !pos 4)
+                with _ -> fail !pos "bad \\u escape"
+              in
+              pos := !pos + 4;
+              utf8_add buf code
+          | c -> fail !pos (Printf.sprintf "bad escape \\%c" c));
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_num () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail start (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '"' -> Str (parse_str ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_str () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail !pos "expected , or } in object"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail !pos "expected , or ] in array"
+          in
+          List (elements [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_num ()
+    | Some c -> fail !pos (Printf.sprintf "unexpected %c" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail !pos "trailing garbage";
+  v
+
+let parse s =
+  match parse_string s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error msg -> failwith ("Json.parse: " ^ msg)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let path keys v =
+  List.fold_left
+    (fun acc k -> match acc with Some v -> member k v | None -> None)
+    (Some v) keys
+
+let to_float = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_str = function
+  | Str s -> Some s
+  | _ -> None
+
+let to_bool = function
+  | Bool b -> Some b
+  | _ -> None
+
+let to_list = function
+  | List l -> Some l
+  | _ -> None
+
+let keys = function
+  | Obj kvs -> List.map fst kvs
+  | _ -> []

@@ -25,9 +25,10 @@ type t = {
   mutable n_accepted : int;
   mutable n_dropped : int;
   mutable n_queued : int;
+  eng : Sim.Engine.t option; (* for timestamping queue-drop events *)
 }
 
-let create () =
+let create ?eng () =
   {
     rules = [];
     queues = Hashtbl.create 4;
@@ -35,6 +36,7 @@ let create () =
     n_accepted = 0;
     n_dropped = 0;
     n_queued = 0;
+    eng;
   }
 
 let add_rule t ?(priority = 0) judge =
@@ -82,7 +84,13 @@ let rec apply t rules pkt ~emit =
               (* Real NFQUEUE semantics: no userspace reader, packet is
                  dropped. *)
               t.n_dropped <- t.n_dropped + 1;
-              Telemetry.Registry.incr m_dropped
+              Telemetry.Registry.incr m_dropped;
+              (match t.eng with
+              | Some eng when Telemetry.Gate.on () ->
+                  Telemetry.Bus.emit eng
+                    (Telemetry.Event.Queue_dropped
+                       { qnum = n; depth = q.pending })
+              | _ -> ())
           | Some consumer ->
               t.n_queued <- t.n_queued + 1;
               Telemetry.Registry.incr m_queued;

@@ -22,8 +22,10 @@ type t
 type rule
 (** Handle for removing an installed rule. *)
 
-val create : unit -> t
-(** An empty chain: every packet is accepted. *)
+val create : ?eng:Sim.Engine.t -> unit -> t
+(** An empty chain: every packet is accepted. With [eng], packets
+    dropped at a reader-less queue are reported to the telemetry bus
+    as [Queue_dropped] events. *)
 
 val add_rule : t -> ?priority:int -> (Netsim.Packet.t -> verdict) -> rule
 (** Installs a rule. Lower [priority] runs earlier (default 0); equal

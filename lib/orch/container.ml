@@ -85,7 +85,7 @@ let boot t =
                if Telemetry.Gate.on () then
                  Telemetry.Bus.emit eng
                    (Telemetry.Event.Container_state
-                      { id = t.cid; state = "running" });
+                      { id = t.cid; host = t.hname; state = "running" });
                List.iter (fun f -> f t) t.hooks
              end))
 
@@ -95,7 +95,8 @@ let fail t =
     Telemetry.Registry.incr m_failed;
     if Telemetry.Gate.on () then
       Telemetry.Bus.emit (Node.engine t.cnode)
-        (Telemetry.Event.Container_state { id = t.cid; state = "failed" });
+        (Telemetry.Event.Container_state
+           { id = t.cid; host = t.hname; state = "failed" });
     Node.set_up t.cnode false
   end
 
@@ -104,7 +105,8 @@ let stop t =
     Telemetry.Registry.incr m_stopped;
     if Telemetry.Gate.on () then
       Telemetry.Bus.emit (Node.engine t.cnode)
-        (Telemetry.Event.Container_state { id = t.cid; state = "stopped" })
+        (Telemetry.Event.Container_state
+           { id = t.cid; host = t.hname; state = "stopped" })
   end;
   t.st <- Stopped;
   Node.set_up t.cnode false

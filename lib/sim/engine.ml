@@ -121,11 +121,17 @@ let cancel (e : handle) =
 
 let is_pending (e : handle) = not e.cancelled
 
+(* Events executed by every engine ever created in this process: lets a
+   harness meter simulation throughput across experiments that build
+   their own engines internally. *)
+let global_processed = ref 0
+
 let exec t e =
   e.cancelled <- true;
   t.live <- t.live - 1;
   t.clock <- e.time;
   t.processed <- t.processed + 1;
+  incr global_processed;
   e.action ()
 
 let step t =
@@ -155,6 +161,7 @@ let run_until t limit =
 let run_for t span = run_until t (Time.add t.clock span)
 let pending_events t = t.live
 let processed_events t = t.processed
+let global_processed_events () = !global_processed
 
 type timer = { mutable pending : handle option; mutable stopped : bool }
 

@@ -57,6 +57,11 @@ val pending_events : t -> int
 val processed_events : t -> int
 (** Total number of events executed so far. *)
 
+val global_processed_events : unit -> int
+(** Events executed by every engine created in this process, ever — a
+    monotonic throughput meter for harnesses whose experiments build
+    engines internally. *)
+
 (** {2 Periodic timers} *)
 
 type timer

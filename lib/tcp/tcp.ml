@@ -733,6 +733,9 @@ let export_repair c =
          {
            conn = Quad.to_string c.cquad;
            unacked = Stream_buf.end_seq c.sndbuf - c.snd_una_v;
+           snd_una = c.snd_una_v;
+           snd_nxt = c.snd_nxt_v;
+           rcv_nxt = c.rcv_nxt_v;
          });
   {
     Repair.quad = c.cquad;
@@ -786,6 +789,15 @@ let import_repair stack (r : Repair.t) =
              List.fold_left
                (fun acc (_, d) -> acc + String.length d)
                0 r.unacked;
+           snd_una = r.snd_una;
+           snd_nxt = r.snd_nxt;
+           rcv_nxt =
+             (* The seeded repair_gap fault skews the reported receive
+                cursor one byte past what replication covered; the
+                imported connection itself is untouched so the scenario
+                still completes and only the continuity checker sees
+                the gap. *)
+             (r.rcv_nxt + if !Monitor.Faults.repair_gap then 1 else 0);
          });
   (* Announce ourselves: a pure ACK resynchronizes the peer (it will
      retransmit anything above our rcv_nxt), and our unacked data is

@@ -22,6 +22,23 @@ let cat_index c =
 let rings =
   Array.init ncats (fun _ -> { arr = [||]; start = 0; len = 0; total = 0 })
 
+(* Live subscribers: invoked synchronously from [emit], after the ring
+   push, so callbacks observe entries in global-seq order. A [cat] of
+   [None] is a firehose subscription. *)
+type sub = { id : int; cat : Event.category option; fn : entry -> unit }
+
+let sub_counter = ref 0
+let subs : sub list ref = ref []
+
+let subscribe ?category fn =
+  incr sub_counter;
+  let s = { id = !sub_counter; cat = category; fn } in
+  subs := !subs @ [ s ];
+  s
+
+let unsubscribe s = subs := List.filter (fun s' -> s'.id <> s.id) !subs
+let subscriber_count () = List.length !subs
+
 let push r e =
   if Array.length r.arr = 0 then r.arr <- Array.make !capacity e;
   let cap = Array.length r.arr in
@@ -43,8 +60,15 @@ let emit ?legacy eng event =
   | None -> ());
   if Gate.on () then begin
     incr seq_counter;
+    let cat = Event.category event in
     let e = { seq = !seq_counter; at = Sim.Engine.now eng; event } in
-    push rings.(cat_index (Event.category event)) e
+    push rings.(cat_index cat) e;
+    List.iter
+      (fun s ->
+        match s.cat with
+        | None -> s.fn e
+        | Some c -> if c = cat then s.fn e)
+      !subs
   end
 
 let ring_entries r =
@@ -63,6 +87,8 @@ let dropped c =
   let r = rings.(cat_index c) in
   r.total - r.len
 
+(* [clear] drops buffered entries but keeps subscribers: monitors
+   installed across a [Control.reset] keep observing the next run. *)
 let clear () =
   Array.iter
     (fun r ->

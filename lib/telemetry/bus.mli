@@ -21,6 +21,26 @@ val emit : ?legacy:Sim.Trace.t -> Sim.Engine.t -> Event.t -> unit
 val events : ?category:Event.category -> unit -> entry list
 (** Buffered entries, oldest first (globally ordered by [seq]). *)
 
+(** {1 Live subscribers}
+
+    Callbacks invoked synchronously from {!emit}, after the entry is
+    buffered, so a subscriber observes entries in global-sequence order
+    interleaved across categories. Subscribers only fire while
+    {!Gate.on}; they survive {!clear} (a new run re-observes from a
+    fresh [seq]). A callback must not raise. *)
+
+type sub
+
+val subscribe : ?category:Event.category -> (entry -> unit) -> sub
+(** [subscribe ~category f] calls [f] on every new entry of [category];
+    omitting [category] subscribes to the firehose (all categories). *)
+
+val unsubscribe : sub -> unit
+(** Idempotent. *)
+
+val subscriber_count : unit -> int
+(** Number of live subscriptions (for tests/diagnostics). *)
+
 val total : Event.category -> int
 (** Events ever emitted to the category, including overwritten ones. *)
 

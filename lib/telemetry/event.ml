@@ -22,21 +22,44 @@ let category_of_name = function
 type t =
   | Seg_retransmit of { conn : string; seq : int; len : int }
   | Rto_fired of { conn : string; backoff : int; rto_s : float }
-  | Repair_export of { conn : string; unacked : int }
-  | Repair_import of { conn : string; unacked : int }
+  | Repair_export of {
+      conn : string;
+      unacked : int;
+      snd_una : int;
+      snd_nxt : int;
+      rcv_nxt : int;
+    }
+  | Repair_import of {
+      conn : string;
+      unacked : int;
+      snd_una : int;
+      snd_nxt : int;
+      rcv_nxt : int;
+    }
   | Session_frozen of { node : string; conns : int }
   | Session_established of { node : string; peer : string }
   | Session_down of { node : string; peer : string; reason : string }
   | Session_resumed of { node : string; peer : string }
+  | Rib_snapshot of { node : string; vrf : string; size : int; digest : string }
+  | Routes_withdrawn of { node : string; peer : string; count : int }
   | Bfd_up of { node : string; peer : string; vrf : string }
-  | Bfd_down of { node : string; peer : string; vrf : string; silent_s : float }
-  | Queue_dropped of { qnum : int }
-  | Ack_held of { ack : int; depth : int }
-  | Ack_released of { ack : int; held_s : float }
+  | Bfd_down of {
+      node : string;
+      peer : string;
+      vrf : string;
+      silent_s : float;
+      interval_s : float;
+      mult : int;
+    }
+  | Queue_dropped of { qnum : int; depth : int }
+  | Ack_held of { conn : string; ack : int; depth : int }
+  | Ack_released of { conn : string; ack : int; held_s : float }
+  | Ack_dropped of { conn : string; ack : int }
+  | Wm_durable of { conn : string; ack : int }
   | Catchup_start of { service : string; vrf : string }
   | Catchup_done of { service : string; vrf : string; msgs : int; bytes : int }
   | Replica_promoted of { service : string; container : string }
-  | Container_state of { id : string; state : string }
+  | Container_state of { id : string; host : string; state : string }
   | Failure_detected of { id : string; kind : string }
   | Migration_initiated of { id : string }
   | Migration_done of { id : string; host : string; container : string }
@@ -51,11 +74,13 @@ let category = function
   | Seg_retransmit _ | Rto_fired _ | Repair_export _ | Repair_import _
   | Session_frozen _ ->
       Tcp
-  | Session_established _ | Session_down _ | Session_resumed _ -> Bgp
+  | Session_established _ | Session_down _ | Session_resumed _
+  | Rib_snapshot _ | Routes_withdrawn _ ->
+      Bgp
   | Bfd_up _ | Bfd_down _ -> Bfd
   | Queue_dropped _ -> Netfilter
-  | Ack_held _ | Ack_released _ | Catchup_start _ | Catchup_done _
-  | Replica_promoted _ ->
+  | Ack_held _ | Ack_released _ | Ack_dropped _ | Wm_durable _
+  | Catchup_start _ | Catchup_done _ | Replica_promoted _ ->
       Replicator
   | Container_state _ | Failure_detected _ | Migration_initiated _
   | Migration_done _ | Host_suspect _ | Host_failed _ | Failure_injected _
@@ -72,11 +97,15 @@ let name = function
   | Session_established _ -> "session_established"
   | Session_down _ -> "session_down"
   | Session_resumed _ -> "session_resumed"
+  | Rib_snapshot _ -> "rib_snapshot"
+  | Routes_withdrawn _ -> "routes_withdrawn"
   | Bfd_up _ -> "bfd_up"
   | Bfd_down _ -> "bfd_down"
   | Queue_dropped _ -> "queue_dropped"
   | Ack_held _ -> "ack_held"
   | Ack_released _ -> "ack_released"
+  | Ack_dropped _ -> "ack_dropped"
+  | Wm_durable _ -> "wm_durable"
   | Catchup_start _ -> "catchup_start"
   | Catchup_done _ -> "catchup_done"
   | Replica_promoted _ -> "replica_promoted"
@@ -98,10 +127,18 @@ let fields = function
       [ ("conn", Str conn); ("seq", Int seq); ("len", Int len) ]
   | Rto_fired { conn; backoff; rto_s } ->
       [ ("conn", Str conn); ("backoff", Int backoff); ("rto_s", Float rto_s) ]
-  | Repair_export { conn; unacked } ->
-      [ ("conn", Str conn); ("unacked", Int unacked) ]
-  | Repair_import { conn; unacked } ->
-      [ ("conn", Str conn); ("unacked", Int unacked) ]
+  | Repair_export { conn; unacked; snd_una; snd_nxt; rcv_nxt } ->
+      [
+        ("conn", Str conn); ("unacked", Int unacked);
+        ("snd_una", Int snd_una); ("snd_nxt", Int snd_nxt);
+        ("rcv_nxt", Int rcv_nxt);
+      ]
+  | Repair_import { conn; unacked; snd_una; snd_nxt; rcv_nxt } ->
+      [
+        ("conn", Str conn); ("unacked", Int unacked);
+        ("snd_una", Int snd_una); ("snd_nxt", Int snd_nxt);
+        ("rcv_nxt", Int rcv_nxt);
+      ]
   | Session_frozen { node; conns } ->
       [ ("node", Str node); ("conns", Int conns) ]
   | Session_established { node; peer } ->
@@ -109,17 +146,28 @@ let fields = function
   | Session_down { node; peer; reason } ->
       [ ("node", Str node); ("peer", Str peer); ("reason", Str reason) ]
   | Session_resumed { node; peer } -> [ ("node", Str node); ("peer", Str peer) ]
+  | Rib_snapshot { node; vrf; size; digest } ->
+      [
+        ("node", Str node); ("vrf", Str vrf); ("size", Int size);
+        ("digest", Str digest);
+      ]
+  | Routes_withdrawn { node; peer; count } ->
+      [ ("node", Str node); ("peer", Str peer); ("count", Int count) ]
   | Bfd_up { node; peer; vrf } ->
       [ ("node", Str node); ("peer", Str peer); ("vrf", Str vrf) ]
-  | Bfd_down { node; peer; vrf; silent_s } ->
+  | Bfd_down { node; peer; vrf; silent_s; interval_s; mult } ->
       [
         ("node", Str node); ("peer", Str peer); ("vrf", Str vrf);
-        ("silent_s", Float silent_s);
+        ("silent_s", Float silent_s); ("interval_s", Float interval_s);
+        ("mult", Int mult);
       ]
-  | Queue_dropped { qnum } -> [ ("qnum", Int qnum) ]
-  | Ack_held { ack; depth } -> [ ("ack", Int ack); ("depth", Int depth) ]
-  | Ack_released { ack; held_s } ->
-      [ ("ack", Int ack); ("held_s", Float held_s) ]
+  | Queue_dropped { qnum; depth } -> [ ("qnum", Int qnum); ("depth", Int depth) ]
+  | Ack_held { conn; ack; depth } ->
+      [ ("conn", Str conn); ("ack", Int ack); ("depth", Int depth) ]
+  | Ack_released { conn; ack; held_s } ->
+      [ ("conn", Str conn); ("ack", Int ack); ("held_s", Float held_s) ]
+  | Ack_dropped { conn; ack } -> [ ("conn", Str conn); ("ack", Int ack) ]
+  | Wm_durable { conn; ack } -> [ ("conn", Str conn); ("ack", Int ack) ]
   | Catchup_start { service; vrf } ->
       [ ("service", Str service); ("vrf", Str vrf) ]
   | Catchup_done { service; vrf; msgs; bytes } ->
@@ -129,7 +177,8 @@ let fields = function
       ]
   | Replica_promoted { service; container } ->
       [ ("service", Str service); ("container", Str container) ]
-  | Container_state { id; state } -> [ ("id", Str id); ("state", Str state) ]
+  | Container_state { id; host; state } ->
+      [ ("id", Str id); ("host", Str host); ("state", Str state) ]
   | Failure_detected { id; kind } -> [ ("id", Str id); ("kind", Str kind) ]
   | Migration_initiated { id } -> [ ("id", Str id) ]
   | Migration_done { id; host; container } ->
@@ -189,16 +238,22 @@ let json_escape s =
 let field_json = function
   | Int i -> string_of_int i
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
+      (* JSON has no literal for non-finite numbers. *)
+      if Float.is_nan f then "null"
+      else if f = Float.infinity then "1e999"
+      else if f = Float.neg_infinity then "-1e999"
+      else if Float.is_integer f && Float.abs f < 1e15 then
         Printf.sprintf "%.1f" f
       else Printf.sprintf "%.9g" f
   | Str s -> "\"" ^ json_escape s ^ "\""
 
+(* Event names are usually constructor-derived, but [Generic] carries a
+   caller-supplied name — escape it like any other string. *)
 let to_json ev =
   Printf.sprintf "{\"cat\":\"%s\",\"ev\":\"%s\",\"f\":{%s}}"
     (category_name (category ev))
-    (name ev)
+    (json_escape (name ev))
     (String.concat ","
        (List.map
-          (fun (k, v) -> Printf.sprintf "\"%s\":%s" k (field_json v))
+          (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (field_json v))
           (fields ev)))

@@ -25,26 +25,49 @@ type t =
   (* tcp *)
   | Seg_retransmit of { conn : string; seq : int; len : int }
   | Rto_fired of { conn : string; backoff : int; rto_s : float }
-  | Repair_export of { conn : string; unacked : int }
-  | Repair_import of { conn : string; unacked : int }
+  | Repair_export of {
+      conn : string;
+      unacked : int;
+      snd_una : int;
+      snd_nxt : int;
+      rcv_nxt : int;
+    }
+  | Repair_import of {
+      conn : string;
+      unacked : int;
+      snd_una : int;
+      snd_nxt : int;
+      rcv_nxt : int;
+    }
   | Session_frozen of { node : string; conns : int }
   (* bgp *)
   | Session_established of { node : string; peer : string }
   | Session_down of { node : string; peer : string; reason : string }
   | Session_resumed of { node : string; peer : string }
+  | Rib_snapshot of { node : string; vrf : string; size : int; digest : string }
+  | Routes_withdrawn of { node : string; peer : string; count : int }
   (* bfd *)
   | Bfd_up of { node : string; peer : string; vrf : string }
-  | Bfd_down of { node : string; peer : string; vrf : string; silent_s : float }
+  | Bfd_down of {
+      node : string;
+      peer : string;
+      vrf : string;
+      silent_s : float;
+      interval_s : float;
+      mult : int;
+    }
   (* netfilter *)
-  | Queue_dropped of { qnum : int }
+  | Queue_dropped of { qnum : int; depth : int }
   (* replicator *)
-  | Ack_held of { ack : int; depth : int }
-  | Ack_released of { ack : int; held_s : float }
+  | Ack_held of { conn : string; ack : int; depth : int }
+  | Ack_released of { conn : string; ack : int; held_s : float }
+  | Ack_dropped of { conn : string; ack : int }
+  | Wm_durable of { conn : string; ack : int }
   | Catchup_start of { service : string; vrf : string }
   | Catchup_done of { service : string; vrf : string; msgs : int; bytes : int }
   | Replica_promoted of { service : string; container : string }
   (* orch *)
-  | Container_state of { id : string; state : string }
+  | Container_state of { id : string; host : string; state : string }
   | Failure_detected of { id : string; kind : string }
   | Migration_initiated of { id : string }
   | Migration_done of { id : string; host : string; container : string }

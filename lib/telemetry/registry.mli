@@ -48,6 +48,21 @@ val histogram : string -> histogram
 val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+val hist_min : histogram -> float
+(** Smallest observation (NaN while empty). *)
+
+val hist_max : histogram -> float
+(** Largest observation (NaN while empty). *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile from the log buckets.
+    [q <= 0] returns the observed minimum and [q >= 1] the observed
+    maximum (real values, not bucket edges); interior quantiles
+    interpolate by rank within the covering bucket and are clamped to
+    the observed range. NaN when the histogram is empty or [q] is
+    NaN. *)
+
 val buckets : histogram -> (float * int) list
 (** Non-empty buckets as [(upper_bound, count)], bounds increasing. *)
 

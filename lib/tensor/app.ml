@@ -245,6 +245,27 @@ let write_meta t pv =
       | None -> ())
   | _ -> ()
 
+(* Session lifecycle → replication state, shared between fresh bring-up
+   and post-recovery resume. Up: key the replicator to the live
+   connection's receive stream and persist its metadata. Down: drop the
+   replicator back to pass-through so a successor connection's handshake
+   is not held against the dead stream's sequence space. *)
+let wire_peer_lifecycle t pv peer =
+  Bgp.Speaker.on_peer_up peer (fun () ->
+      pv.established <- true;
+      (match Bgp.Speaker.peer_session peer with
+      | Some s -> (
+          match Bgp.Session.conn s with
+          | Some c -> Replicator.session_established pv.repl ~irs:(Tcp.irs c)
+          | None -> ())
+      | None -> ());
+      write_meta t pv;
+      start_trimmer t pv;
+      wire_tail_source t pv);
+  Bgp.Speaker.on_peer_down peer (fun _ ->
+      pv.established <- false;
+      Replicator.session_down pv.repl)
+
 let write_bfd_discs t pv =
   match (t.client, pv.bfd) with
   | Some client, Some session ->
@@ -335,18 +356,7 @@ let bootstrap_fresh t spk stack =
           Replicator.attach_output_chain pv.repl chain ~local:spec.vip
             ~remote:spec.peer_addr
       | None -> ());
-      Bgp.Speaker.on_peer_up peer (fun () ->
-          pv.established <- true;
-          (match Bgp.Speaker.peer_session peer with
-          | Some s -> (
-              match Bgp.Session.conn s with
-              | Some c -> Replicator.session_established pv.repl ~irs:(Tcp.irs c)
-              | None -> ())
-          | None -> ());
-          write_meta t pv;
-          start_trimmer t pv;
-          wire_tail_source t pv);
-      Bgp.Speaker.on_peer_down peer (fun _ -> pv.established <- false);
+      wire_peer_lifecycle t pv peer;
       (* Cluster-internal iBGP sessions (joint containers, §3.2.4). *)
       List.iter
         (fun (addr, passive) ->
@@ -510,6 +520,12 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
       in
       pv.peer <- Some peer;
       pv.established <- true;
+      (* The resumed peer needs the same lifecycle wiring as a fresh one:
+         without it, a later session loss leaves the replicator armed
+         against a dead stream and a re-establishment never re-keys it.
+         Attached after [resume_peer], so the import itself (already
+         Established) does not clobber [resume_at]'s watermark. *)
+      wire_peer_lifecycle t pv peer;
       let in_seq =
         match List.rev r.r_in with (seq, _, _) :: _ -> seq + 1 | [] -> 0
       in
@@ -547,6 +563,54 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
                | Some s when Bgp.Session.state s = Bgp.Session.Established ->
                    Bgp.Session.send s Bgp.Msg.Keepalive
                | _ -> ());
+               (* Seeded fault: flap one originated prefix after the
+                  resume — withdraw now, re-announce shortly after, so
+                  the end state is unchanged but the peer observed a
+                  withdraw/re-announce pair. *)
+               if !Monitor.Faults.flap_on_migration then begin
+                 Monitor.Faults.flap_on_migration := false;
+                 let vrf = spec.vrf in
+                 let local_key = "local/" ^ vrf in
+                 let table = Bgp.Speaker.rib spk ~vrf in
+                 match
+                   Bgp.Rib.fold_best table ~init:None ~f:(fun acc pfx path ->
+                       match acc with
+                       | Some _ -> acc
+                       | None ->
+                           if
+                             String.equal path.Bgp.Rib.source.Bgp.Rib.key
+                               local_key
+                           then Some (pfx, path.Bgp.Rib.attrs)
+                           else None)
+                 with
+                 | Some (pfx, attrs) ->
+                     Bgp.Speaker.withdraw_origin spk ~vrf [ pfx ];
+                     ignore
+                       (Engine.schedule_after (engine t) (Time.ms 200)
+                          (fun () ->
+                            Bgp.Speaker.originate spk ~vrf ~attrs [ pfx ]))
+                 | None -> ()
+               end;
+               (* Seeded fault: reset the freshly-resumed session's
+                  transport (RST) once the stack is steady. Unlike a Cease
+                  NOTIFICATION, a transport reset is GR-eligible on both
+                  ends — routes stay pinned as stale, the active side
+                  auto-reconnects, and End-of-RIB sweeps the tables back
+                  to identical — so the one surviving symptom is the reset
+                  the remote AS was never supposed to see. *)
+               if !Monitor.Faults.peer_reset then begin
+                 Monitor.Faults.peer_reset := false;
+                 ignore
+                   (Engine.schedule_after (engine t) (Time.sec 2) (fun () ->
+                        match Bgp.Speaker.peer_session peer with
+                        | Some s
+                          when Bgp.Session.state s = Bgp.Session.Established
+                          -> (
+                            match Bgp.Session.conn s with
+                            | Some c -> Tcp.abort c
+                            | None -> ())
+                        | _ -> ()))
+               end;
                let span = Telemetry.Span.start (engine t) "tcp_replay" in
                watch_tcp_sync ~span t pv
              end));
@@ -634,6 +698,10 @@ let bootstrap_recover t spk stack client =
   Store.Client.scan client ~prefix:(Keys.rib_prefix ~service:t.cfg.service_id)
     (fun rib_entries ->
       (match rib_entries with
+      (* Seeded fault: ignore the checkpoint — the promoted replica
+         starts from an empty table and never converges to the
+         master's. *)
+      | Ok _ when !Monitor.Faults.skip_rib_restore -> ()
       | Ok pairs ->
           List.iter
             (fun (key, v) ->
@@ -670,7 +738,7 @@ let bootstrap t () =
     (fun spec -> Orch.Container.assign_service_addr t.cont spec.vip)
     t.cfg.vrfs;
   let stack = Tcp.create_stack node in
-  let chain = Netfilter.create () in
+  let chain = Netfilter.create ~eng:(Node.engine node) () in
   Tcp.set_output_chain stack (Some chain);
   let client = Store.Client.create node ~server:t.cfg.store_addr in
   t.stack <- Some stack;

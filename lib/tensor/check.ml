@@ -1,0 +1,143 @@
+(* Checked scenarios: run a standard NSR episode with the runtime
+   verifier attached and return its health report.
+
+   Each scenario builds the Figure 3 deployment with telemetry on and a
+   [Monitor.Checker] subscribed *before* any container boots, runs the
+   episode, then emits paired [Rib_snapshot] events (what one side
+   advertised vs what the other side holds) so the convergence checker
+   can compare digests. Faults seeded through [Monitor.Faults] are left
+   untouched, which is how the mutation tests drive these scenarios. *)
+
+open Sim
+
+let peer_name = "peerAS"
+let vrf = "v0"
+let scenarios = [ "failover"; "planned"; "split-brain" ]
+
+let kind_name k = Format.asprintf "%a" Orch.Controller.pp_failure_kind k
+
+(* Digest both directions of the session: routes the peer advertised vs
+   what the service's (possibly restored) RIB holds, and routes the
+   service originated vs what the peer holds. Group keys ride in the
+   event's [vrf] field; the checker requires equal digests per group. *)
+let emit_rib_snapshots (dep : Deploy.t) (peer : Deploy.peer_as) svc ~vip =
+  let eng = dep.Deploy.eng in
+  let snap ~group ~node rib ~source_key =
+    Telemetry.Bus.emit eng
+      (Telemetry.Event.Rib_snapshot
+         {
+           node;
+           vrf = group;
+           size = List.length (Bgp.Rib.best_prefixes ~source_key rib);
+           digest = Bgp.Rib.digest ~source_key rib;
+         })
+  in
+  match App.speaker (Deploy.service_app svc) with
+  | None -> ()
+  | Some spk ->
+      let peer_rib = Bgp.Speaker.rib peer.Deploy.pa_speaker ~vrf in
+      let svc_rib = Bgp.Speaker.rib spk ~vrf in
+      let local_key = "local/" ^ vrf in
+      let svc_learned = vrf ^ "/" ^ Netsim.Addr.to_string peer.Deploy.pa_addr in
+      let peer_learned = vrf ^ "/" ^ Netsim.Addr.to_string vip in
+      let g_in = vrf ^ ":peer->service" and g_out = vrf ^ ":service->peer" in
+      snap ~group:g_in ~node:(peer_name ^ ":advertised") peer_rib
+        ~source_key:local_key;
+      snap ~group:g_in ~node:"service:learned" svc_rib ~source_key:svc_learned;
+      snap ~group:g_out ~node:"service:advertised" svc_rib
+        ~source_key:local_key;
+      snap ~group:g_out ~node:(peer_name ^ ":learned") peer_rib
+        ~source_key:peer_learned
+
+(* Shared episode skeleton: deployment, one peer AS, one service with a
+   monitored primary, routes flowing both ways. *)
+let setup mon =
+  let dep = Deploy.build () in
+  let eng = dep.Deploy.eng in
+  let peer = Deploy.add_peer_as dep ~asn:65010 peer_name in
+  let vip = Netsim.Addr.of_string "203.0.113.10" in
+  ignore (Deploy.peer_expects peer ~vrf ~vip ~local_asn:64900);
+  let svc =
+    Deploy.deploy_service dep ~id:"chk" ~local_asn:64900
+      [ App.vrf_spec ~vrf ~vip ~peer_addr:peer.Deploy.pa_addr ~peer_asn:65010 () ]
+  in
+  Monitor.Checker.note_primary mon ~service:"chk"
+    ~container:(Orch.Container.id (Deploy.service_container svc));
+  if not (Deploy.wait_established dep svc ()) then
+    failwith "check scenario: session did not establish";
+  Bgp.Speaker.originate peer.Deploy.pa_speaker ~vrf
+    (Workload.Prefixes.distinct 300);
+  (match App.speaker (Deploy.service_app svc) with
+  | Some spk ->
+      Bgp.Speaker.originate spk ~vrf
+        (Workload.Prefixes.distinct_from ~base:500_000 100)
+  | None -> ());
+  Engine.run_for eng (Time.sec 10);
+  (dep, peer, vip, svc)
+
+let with_monitor ~scenario body =
+  Telemetry.Control.reset ();
+  Telemetry.Control.set_enabled true;
+  let mon =
+    Monitor.Checker.install
+      ~cfg:{ Monitor.Checker.default_config with peers = [ peer_name ] }
+      ()
+  in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Control.set_enabled false;
+      if not !finished then
+        (* The scenario died mid-run; drop the live subscription. *)
+        ignore (Monitor.Checker.finalize mon))
+    (fun () ->
+      body mon;
+      finished := true;
+      (* [Health.make] finalizes the checker while telemetry is still
+         on, so end-of-run snapshot events are observed. *)
+      let report = Monitor.Health.make ~scenario mon in
+      Telemetry.Control.set_enabled false;
+      report)
+
+let failover ?(kind = Orch.Controller.Container_failure) () =
+  with_monitor ~scenario:("failover/" ^ kind_name kind) @@ fun mon ->
+  let dep, peer, vip, svc = setup mon in
+  (match kind with
+  | Orch.Controller.App_failure -> Deploy.inject_app_failure dep svc
+  | Orch.Controller.Container_failure -> Deploy.inject_container_failure dep svc
+  | Orch.Controller.Host_failure -> Deploy.inject_host_failure dep svc
+  | Orch.Controller.Host_network_failure ->
+      Deploy.inject_host_network_failure dep svc);
+  Engine.run_for dep.Deploy.eng (Time.sec 40);
+  emit_rib_snapshots dep peer svc ~vip
+
+let planned () =
+  with_monitor ~scenario:"planned" @@ fun mon ->
+  let dep, peer, vip, svc = setup mon in
+  Deploy.planned_migration dep svc;
+  Engine.run_for dep.Deploy.eng (Time.sec 30);
+  emit_rib_snapshots dep peer svc ~vip
+
+let split_brain () =
+  with_monitor ~scenario:"split-brain" @@ fun mon ->
+  let dep, peer, vip, svc = setup mon in
+  let eng = dep.Deploy.eng in
+  let h0 = dep.Deploy.hosts.(0) in
+  Deploy.inject_host_network_failure dep svc;
+  Engine.run_for eng (Time.sec 20);
+  (* Heal the partition: the old host returns with its container state
+     intact — the checker watches that no second promotion or peer-visible
+     flap follows. *)
+  Orch.Host.network_recover h0;
+  Engine.run_for eng (Time.sec 20);
+  emit_rib_snapshots dep peer svc ~vip
+
+let run ?kind name =
+  match name with
+  | "failover" -> Ok (failover ?kind ())
+  | "planned" -> Ok (planned ())
+  | "split-brain" | "split_brain" -> Ok (split_brain ())
+  | other ->
+      Error
+        (Printf.sprintf "unknown scenario %S (expected: %s)" other
+           (String.concat " | " scenarios))

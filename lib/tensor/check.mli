@@ -1,0 +1,29 @@
+(** Checked scenarios: NSR episodes run under the runtime verifier.
+
+    Each scenario builds the standard one-service / one-peer deployment
+    with telemetry enabled and a {!Monitor.Checker} subscribed before
+    the first container boots, runs the episode, emits end-of-run
+    [Rib_snapshot] pairs for the convergence checker, and returns the
+    {!Monitor.Health} report. Seeded {!Monitor.Faults} are honoured,
+    which is how the mutation tests exercise each checker. *)
+
+val scenarios : string list
+(** ["failover"; "planned"; "split-brain"]. *)
+
+val failover :
+  ?kind:Orch.Controller.failure_kind -> unit -> Monitor.Health.report
+(** Table 1 episode: inject [kind] (default container failure), let the
+    controller migrate, verify. *)
+
+val planned : unit -> Monitor.Health.report
+(** §4.4 planned migration of a healthy primary. *)
+
+val split_brain : unit -> Monitor.Health.report
+(** Host-network partition, migration, then partition heal: the old
+    primary must stay fenced (no dual speaker). *)
+
+val run :
+  ?kind:Orch.Controller.failure_kind ->
+  string ->
+  (Monitor.Health.report, string) result
+(** Dispatch by scenario name ([?kind] applies to ["failover"]). *)

@@ -107,8 +107,9 @@ let migrate t svc ~(reason : Orch.Controller.failure_kind) ~done_ =
         svc.warm_boot
   in
   (* Fence the old instance (TKE kill): for app failures the container is
-     alive but its process is dead; make sure it cannot speak again. *)
-  Orch.Container.stop svc.primary;
+     alive but its process is dead; make sure it cannot speak again.
+     Seeded fault: skip the fence and promote over a live primary. *)
+  if not !Monitor.Faults.no_fence then Orch.Container.stop svc.primary;
   let standby = usable_standby t svc in
   let cont =
     match standby with

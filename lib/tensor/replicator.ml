@@ -159,26 +159,47 @@ let submit_bulk t op =
 
 (* --- tcp_queue: the held-ACK discipline ------------------------------------ *)
 
+let release_one t =
+  let ack, since, reinject = Queue.pop t.held in
+  let held_s = Time.to_sec_f (Time.diff (Engine.now t.eng) since) in
+  Metrics.record t.holds held_s;
+  Telemetry.Registry.incr m_acks_released;
+  Telemetry.Registry.observe m_hold_s held_s;
+  if Telemetry.Gate.on () then
+    Telemetry.Bus.emit t.eng
+      (Telemetry.Event.Ack_released { conn = t.cid; ack; held_s });
+  reinject Netfilter.Accept
+
 let release_ready t =
   match t.wm with
   | None -> ()
   | Some wm ->
+      (* Seeded fault: silently swallow one ready-to-release ACK — the
+         peer's cumulative ACKs make this behaviorally invisible, but
+         the end-of-run held/released balance no longer closes. *)
+      if
+        !Monitor.Faults.leak_held_acks
+        && (not (Queue.is_empty t.held))
+        && (let ack, _, _ = Queue.peek t.held in
+            ack <= wm)
+      then begin
+        Monitor.Faults.leak_held_acks := false;
+        ignore (Queue.pop t.held)
+      end;
       let continue = ref true in
       while !continue && not (Queue.is_empty t.held) do
         let ack, _, _ = Queue.peek t.held in
-        if ack <= wm then begin
-          let _, since, reinject = Queue.pop t.held in
-          let held_s = Time.to_sec_f (Time.diff (Engine.now t.eng) since) in
-          Metrics.record t.holds held_s;
-          Telemetry.Registry.incr m_acks_released;
-          Telemetry.Registry.observe m_hold_s held_s;
-          if Telemetry.Gate.on () then
-            Telemetry.Bus.emit t.eng
-              (Telemetry.Event.Ack_released { ack; held_s });
-          reinject Netfilter.Accept
-        end
-        else continue := false
-      done
+        if ack <= wm then release_one t else continue := false
+      done;
+      (* Seeded fault: release one held ACK beyond the durable
+         watermark — exactly one message early. The in-flight store
+         write completes moments later, so in a quiescent scenario only
+         the safety invariant observes the early release. *)
+      if !Monitor.Faults.early_ack_release && not (Queue.is_empty t.held)
+      then begin
+        Monitor.Faults.early_ack_release := false;
+        release_one t
+      end
 
 (* The confirmation read of §3.1.2: tcp_queue trusts the watermark only
    after reading it back from the database. *)
@@ -195,7 +216,12 @@ let rec confirm_watermark t =
                 match int_of_string_opt v with
                 | Some confirmed ->
                     (match t.wm with
-                    | Some old when confirmed > old -> t.wm <- Some confirmed
+                    | Some old when confirmed > old ->
+                        t.wm <- Some confirmed;
+                        if Telemetry.Gate.on () then
+                          Telemetry.Bus.emit t.eng
+                            (Telemetry.Event.Wm_durable
+                               { conn = t.cid; ack = confirmed })
                     | _ -> ());
                     release_ready t
                 | None -> ())
@@ -208,11 +234,31 @@ let rec confirm_watermark t =
 let session_established t ~irs =
   t.wm <- Some (irs + 1);
   t.wm_target <- irs + 1;
+  if Telemetry.Gate.on () then
+    Telemetry.Bus.emit t.eng
+      (Telemetry.Event.Wm_durable { conn = t.cid; ack = irs + 1 });
   release_ready t
+
+let session_down t =
+  (* The connection is gone; its sequence space dies with it. Drop back
+     to pass-through so the successor's handshake is not judged against
+     a stale watermark, and flush anything still held (the dead
+     connection cannot ACK it out). *)
+  t.wm <- None;
+  while not (Queue.is_empty t.held) do
+    let ack, _, reinject = Queue.pop t.held in
+    if Telemetry.Gate.on () then
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Ack_dropped { conn = t.cid; ack });
+    reinject Netfilter.Accept
+  done
 
 let resume_at t ~watermark ~bytes_written ~in_seq ~outtrim ~out_records =
   t.wm <- Some watermark;
   t.wm_target <- watermark;
+  if Telemetry.Gate.on () then
+    Telemetry.Bus.emit t.eng
+      (Telemetry.Event.Wm_durable { conn = t.cid; ack = watermark });
   t.written <- bytes_written;
   t.in_seq <- in_seq;
   t.outtrim <- outtrim;
@@ -252,6 +298,7 @@ let attach_output_chain t chain ~local ~remote =
                       Telemetry.Bus.emit t.eng
                         (Telemetry.Event.Ack_held
                            {
+                             conn = t.cid;
                              ack = seg.Tcp.Segment.ack;
                              depth = Queue.length t.held;
                            })
@@ -418,6 +465,11 @@ let stop t =
       t.watchdog <- None
   | None -> ());
   while not (Queue.is_empty t.held) do
-    let _, _, reinject = Queue.pop t.held in
+    let ack, _, reinject = Queue.pop t.held in
+    (* Flushed at detach without watermark cover: report so the
+       end-of-run queue balance (held = released + dropped) closes. *)
+    if Telemetry.Gate.on () then
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Ack_dropped { conn = t.cid; ack });
     reinject Netfilter.Accept
   done

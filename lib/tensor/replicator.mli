@@ -55,6 +55,13 @@ val session_established : t -> irs:int -> unit
     segments pass unheld (there is nothing application-level to protect
     yet). *)
 
+val session_down : t -> unit
+(** The session's transport died without a handover: clears the
+    watermark (back to pass-through, so a successor connection's
+    handshake is not held against the dead stream's sequence space) and
+    flushes held segments, reported as [Ack_dropped]. A later
+    {!session_established} re-arms holding for the new stream. *)
+
 val resume_at :
   t ->
   watermark:int ->

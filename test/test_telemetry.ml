@@ -73,6 +73,50 @@ let test_category_filter_and_overflow () =
         (List.length (Telemetry.Bus.events ~category:Telemetry.Event.Bgp ()));
       Telemetry.Bus.set_capacity 8192)
 
+(* Hostile strings (quotes, backslashes, control bytes, DEL) must
+   survive JSONL export as parseable JSON and round-trip byte-for-byte
+   through the bundled reader. *)
+let test_jsonl_escaping_roundtrip () =
+  with_telemetry (fun () ->
+      let eng = Engine.create () in
+      let nasty = "q\"uote\\back\nnew\tline\r\x01ctl\x7f" in
+      Telemetry.Bus.emit eng (ev_generic Telemetry.Event.Tcp "na\"me\\" nasty);
+      Telemetry.Bus.emit eng
+        (Telemetry.Event.Failure_detected
+           { id = "svc\\1"; kind = "host\"machine" });
+      let buf = Buffer.create 256 in
+      Telemetry.Bus.to_jsonl buf;
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      checki "two lines" 2 (List.length lines);
+      let parsed =
+        List.map
+          (fun line ->
+            match Monitor.Json.parse line with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "line does not parse: %s in %s" e line)
+          lines
+      in
+      (match parsed with
+      | [ generic; failure ] ->
+          checks "detail round-trips" nasty
+            (Option.get
+               (Option.bind
+                  (Monitor.Json.path [ "f"; "detail" ] generic)
+                  Monitor.Json.to_str));
+          checks "event name round-trips" "na\"me\\"
+            (Option.get
+               (Option.bind (Monitor.Json.member "ev" generic)
+                  Monitor.Json.to_str));
+          checks "id round-trips" "svc\\1"
+            (Option.get
+               (Option.bind
+                  (Monitor.Json.path [ "f"; "id" ] failure)
+                  Monitor.Json.to_str))
+      | _ -> Alcotest.fail "expected two parsed lines"))
+
 let test_legacy_mirror () =
   with_telemetry (fun () ->
       let eng = Engine.create () in
@@ -173,6 +217,28 @@ let test_histogram_buckets () =
       checkb "2.0 -> bound 4.0" true (bucket_of 4.0 = [ 1 ]);
       checkb "non-positive and nan -> underflow" true (bucket_of 0.0 = [ 3 ]))
 
+(* The edge quantiles must report the observed extremes — real values,
+   not the power-of-two bucket bounds they fall into. *)
+let test_quantile_extremes () =
+  with_telemetry (fun () ->
+      let checkf = Alcotest.(check (float 1e-9)) in
+      let h = Telemetry.Registry.histogram "test.quant" in
+      List.iter (Telemetry.Registry.observe h) [ 0.37; 5.25; 1.9; 0.62 ];
+      checkf "q=0 is the observed minimum" 0.37
+        (Telemetry.Registry.quantile h 0.0);
+      checkf "q=1 is the observed maximum" 5.25
+        (Telemetry.Registry.quantile h 1.0);
+      (* Interior estimates are clamped into the observed range, so a
+         high quantile can never exceed the true maximum even though its
+         bucket's upper bound (8.0) does. *)
+      checkb "q=0.99 clamped to the maximum" true
+        (Telemetry.Registry.quantile h 0.99 <= 5.25);
+      checkb "nan argument is nan" true
+        (Float.is_nan (Telemetry.Registry.quantile h Float.nan));
+      let e = Telemetry.Registry.histogram "test.quant.empty" in
+      checkb "empty histogram q=0 is nan" true
+        (Float.is_nan (Telemetry.Registry.quantile e 0.0)))
+
 let test_registry_idempotent () =
   with_telemetry (fun () ->
       let c1 = Telemetry.Registry.counter "test.same" in
@@ -245,6 +311,8 @@ let () =
           Alcotest.test_case "category-filter-overflow" `Quick
             test_category_filter_and_overflow;
           Alcotest.test_case "legacy-mirror" `Quick test_legacy_mirror;
+          Alcotest.test_case "jsonl-escaping-roundtrip" `Quick
+            test_jsonl_escaping_roundtrip;
         ] );
       ( "spans",
         [
@@ -254,6 +322,7 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "bucket-boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "quantile-extremes" `Quick test_quantile_extremes;
           Alcotest.test_case "idempotent" `Quick test_registry_idempotent;
         ] );
       ( "modes",
