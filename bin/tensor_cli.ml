@@ -300,6 +300,142 @@ let health_cmd =
           health. Non-zero exit if any scenario is unhealthy.")
     Term.(const run $ json_flag)
 
+(* --- fuzz command ------------------------------------------------------------- *)
+
+let fuzz_replay path =
+  let replays =
+    if Sys.is_directory path then Chaos.Corpus.replay_dir path
+    else [ Chaos.Corpus.replay_file path ]
+  in
+  if replays = [] then print_endline (path ^ ": empty corpus, nothing to replay");
+  let failed = ref 0 in
+  List.iter
+    (fun (r : Chaos.Corpus.replay) ->
+      if Chaos.Corpus.replay_ok r then begin
+        match r.outcome with
+        | Some o ->
+            Printf.printf "PASS %s (events=%d digest=%s)\n" r.name
+              o.Chaos.Runner.events o.Chaos.Runner.digest
+        | None -> ()
+      end
+      else begin
+        incr failed;
+        Printf.printf "FAIL %s\n" r.name;
+        (match r.parse_error with
+        | Some e -> Printf.printf "  parse error: %s\n" e
+        | None -> ());
+        (match r.outcome with
+        | Some o ->
+            if not r.deterministic then
+              Printf.printf
+                "  non-deterministic replay: digests differ across two runs\n";
+            if not (Chaos.Runner.ok o) then print_string (Chaos.Runner.summary o)
+        | None -> ())
+      end)
+    replays;
+  Printf.printf "%d corpus entries replayed, %d failed\n" (List.length replays)
+    !failed;
+  if !failed > 0 then exit 1
+
+let fuzz_descriptor line =
+  match Chaos.Descriptor.of_string line with
+  | Error e ->
+      Printf.eprintf "bad descriptor: %s\n" e;
+      exit 2
+  | Ok d ->
+      let o = Chaos.Runner.run d in
+      print_string (Chaos.Runner.summary o);
+      if not (Chaos.Runner.ok o) then exit 1
+
+let fuzz_campaign ~runs ~seed ~shrink ~corpus ~verbose =
+  let progress i (o : Chaos.Runner.outcome) =
+    if verbose then
+      Printf.printf "run %d seed=%d %s events=%d\n%!" i o.desc.Chaos.Descriptor.seed
+        (if Chaos.Runner.ok o then "ok" else "FAIL")
+        o.events
+    else if (i + 1) mod 50 = 0 then Printf.printf "... %d runs\n%!" (i + 1)
+  in
+  let c =
+    Chaos.Fuzz.run ~progress ~shrink
+      ?corpus_dir:(if shrink then Some corpus else None)
+      ~runs ~seed ()
+  in
+  List.iter
+    (fun (f : Chaos.Fuzz.failure) ->
+      Printf.printf "\nFAILURE at run %d:\n%s" f.index
+        (Chaos.Runner.summary f.outcome);
+      (match f.shrunk with
+      | Some r ->
+          Printf.printf "shrunk (%d runs, %d faults removed):\n%s" r.runs_used
+            r.removed_faults
+            (Chaos.Runner.summary r.outcome)
+      | None -> ());
+      match f.saved with
+      | Some path -> Printf.printf "repro written to %s\n" path
+      | None -> ())
+    c.Chaos.Fuzz.failures;
+  Printf.printf "\n%d fuzz runs (campaign seed %d): %d failures, %d events checked\n"
+    c.Chaos.Fuzz.runs seed
+    (List.length c.Chaos.Fuzz.failures)
+    c.Chaos.Fuzz.events_total;
+  if not (Chaos.Fuzz.campaign_ok c) then exit 1
+
+let fuzz_cmd =
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs"; "n" ] ~doc:"Number of fuzz runs.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~doc:"Campaign seed.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory shrunk repros are written to (with $(b,--shrink)).")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize each failure and write the repro to the corpus dir.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "Replay a corpus entry (or every entry of a directory) twice, \
+             verifying zero violations and digest-identical telemetry, \
+             instead of fuzzing.")
+  in
+  let descriptor =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "descriptor" ] ~docv:"LINE"
+          ~doc:"Run one literal descriptor line and print its outcome.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run progress.")
+  in
+  let run runs seed corpus shrink replay descriptor verbose =
+    match (replay, descriptor) with
+    | Some path, _ -> fuzz_replay path
+    | None, Some line -> fuzz_descriptor line
+    | None, None -> fuzz_campaign ~runs ~seed ~shrink ~corpus ~verbose
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Seeded chaos fuzzing: randomized topologies and fault schedules \
+          (kills, planned switchovers, link flaps, loss bursts, BFD timer \
+          perturbation, peer RST/Cease) executed under every NSR invariant \
+          checker plus end-state RIB digests. Failures shrink to a one-line \
+          replayable descriptor. Non-zero exit on any violation.")
+    Term.(
+      const run $ runs $ seed $ corpus $ shrink $ replay $ descriptor $ verbose)
+
 (* --- list command ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -314,4 +450,4 @@ let () =
        (Cmd.group
           (Cmd.info "tensor-cli" ~version:"1.0.0" ~doc)
           [ experiment_cmd; failover_cmd; trace_cmd; metrics_cmd; cdf_cmd;
-            check_cmd; health_cmd; list_cmd ]))
+            check_cmd; health_cmd; fuzz_cmd; list_cmd ]))

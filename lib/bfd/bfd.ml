@@ -36,7 +36,7 @@ type session = {
   sremote : Addr.t;
   disc : int;
   mutable peer_disc : int;
-  tx_interval : Time.span;
+  mutable tx_interval : Time.span;
   detect_mult : int;
   mutable st : state;
   mutable tx_timer : Engine.timer option;
@@ -55,7 +55,6 @@ and endpoint = {
 }
 
 let registry : (string, endpoint) Hashtbl.t = Hashtbl.create 32
-let disc_counter = ref 0
 
 let session_key remote vrf = Addr.to_string remote ^ "|" ^ vrf
 
@@ -223,11 +222,15 @@ let create_session ep ?(tx_interval = Time.ms 100) ?(detect_mult = 3) ?local
         | a :: _ -> a
         | [] -> invalid_arg "Bfd.create_session: node has no address")
   in
-  incr disc_counter;
+  (* Discriminators only need to be unique per local system; allocating
+     them per endpoint (not from process-global state) keeps replicated
+     records — and the store costs derived from their encoded size —
+     byte-identical across repeated runs in one process. *)
+  ep.next_disc <- ep.next_disc + 1;
   let disc, peer_disc, st =
     match resume with
     | Some (my_disc, your_disc) -> (my_disc, your_disc, Up)
-    | None -> (!disc_counter, 0, Down)
+    | None -> (ep.next_disc, 0, Down)
   in
   let s =
     {
@@ -258,6 +261,25 @@ let create_session ep ?(tx_interval = Time.ms 100) ?(detect_mult = 3) ?local
   (* A resumed (Up) session must still detect a dead peer. *)
   if resume <> None then arm_detect ep s ~remote_interval:tx_interval;
   s
+
+(* Live timer perturbation (chaos fault injection): change the transmit
+   interval of a running session. The new interval rides in the next
+   control packet's [tx_interval] field, so the remote end re-arms its
+   detection window accordingly — exactly how a real BFD speaker
+   renegotiates timers mid-session. *)
+let set_tx_interval s interval =
+  if interval <= 0 then invalid_arg "Bfd.set_tx_interval: non-positive";
+  s.tx_interval <- interval;
+  match s.tx_timer with
+  | None -> ()
+  | Some t ->
+      Engine.stop_timer t;
+      s.tx_timer <-
+        Some
+          (Engine.every s.ep.eng ~jitter:0.1 interval (fun () ->
+               if s.st <> Admin_down then send_control s.ep s))
+
+let tx_interval s = s.tx_interval
 
 module Relay = struct
   type t = {

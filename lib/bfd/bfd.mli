@@ -104,3 +104,13 @@ module Relay : sig
   val stop : t -> unit
   val packets_sent : t -> int
 end
+
+(** {1 Timer perturbation} *)
+
+val set_tx_interval : session -> Sim.Time.span -> unit
+(** Changes the transmit interval of a live session (the chaos engine's
+    BFD timer-perturbation fault). The remote end learns the new
+    interval from the next control packet and re-arms its detection
+    window with it. Raises [Invalid_argument] on a non-positive span. *)
+
+val tx_interval : session -> Sim.Time.span

@@ -416,6 +416,16 @@ let apply_update t p (u : Msg.update) =
 let handle_route_refresh t p =
   run_on_main t (Time.us 50) (fun () -> send_full_table t p)
 
+(* Post-takeover Adj-RIB-Out audit. Delayed sending guarantees the peer
+   never saw a message that was not durable — but the converse loss is
+   possible: an UPDATE the failed primary generated and never got stored
+   was never on the wire, and the resumed session will not regenerate it
+   on its own. Re-sending the full table closes that gap; prefixes the
+   peer already holds arrive as implicit updates with identical
+   attributes, which change nothing and are invisible above TCP. *)
+let resync_adj_out t p =
+  run_on_main t (Time.us 50) (fun () -> send_full_table t p)
+
 (* --- Session lifecycle ---------------------------------------------------- *)
 
 let rec session_event t p session ev =

@@ -165,6 +165,13 @@ val resume_peer :
     handshake and no table sync happen — the peer never learns the
     speaker changed machines. *)
 
+val resync_adj_out : t -> peer -> unit
+(** Post-takeover Adj-RIB-Out audit: re-sends the full table to a resumed
+    peer. An UPDATE the failed primary generated but never stored was
+    never on the wire (delayed sending), and nothing else regenerates it;
+    routes the peer already holds arrive as implicit updates with
+    identical attributes, so the audit is invisible at the RIB level. *)
+
 val replay_update : t -> peer -> Msg.update -> unit
 (** Recovery replay: applies a replicated-but-unapplied UPDATE through
     the normal receive path (policy, RIB, checkpoint hooks) without a

@@ -1,0 +1,80 @@
+(** Chaos scenario descriptors.
+
+    A descriptor is the complete, replayable identity of one fuzz run:
+    the engine seed, the randomized topology/workload parameters, and
+    the fault schedule. Everything the runner does is a deterministic
+    function of the descriptor, so a one-line serialization (see
+    {!to_string}) is a full repro — that is what the committed [corpus/]
+    stores and what CI replays.
+
+    All quantities are integers (times in milliseconds, probabilities
+    and factors in percent) so that [of_string (to_string d) = Ok d]
+    holds exactly, with no float round-tripping. *)
+
+type kill_kind = Kill_app | Kill_container | Kill_host | Kill_host_network
+
+type fault =
+  | Kill of { at_ms : int; kind : kill_kind }
+      (** Inject the corresponding failure on the service's current
+          primary (app crash / container kill / host kill / host network
+          partition). *)
+  | Planned of { at_ms : int }  (** Planned switchover (§4.4). *)
+  | Heal of { at_ms : int }
+      (** [Orch.Host.network_recover] every host partitioned by an
+          earlier [Kill Kill_host_network] (the split-brain probe). *)
+  | Flap of { at_ms : int; vrf : int; dur_ms : int }
+      (** Peer link down for [dur_ms] (drops in-flight packets). *)
+  | Loss of { at_ms : int; vrf : int; dur_ms : int; loss_pct : int }
+      (** Random loss burst on the peer link. *)
+  | Bfd_perturb of { at_ms : int; vrf : int; factor_pct : int }
+      (** Rescale the service-side BFD transmit interval to
+          [factor_pct]% of its current value. *)
+  | Peer_rst of { at_ms : int; vrf : int }
+      (** The remote AS aborts the TCP connection (middlebox RST). *)
+  | Peer_cease of { at_ms : int; vrf : int }
+      (** The remote AS administratively stops the session (Cease
+          NOTIFICATION), then re-enables it 1 s later. *)
+
+type t = {
+  seed : int;  (** Engine seed for the deployment. *)
+  peers : int;  (** Peering ASes = VRFs of the service. *)
+  hosts : int;
+  peer_prefixes : int;  (** Routes each peer originates. *)
+  svc_prefixes : int;  (** Routes the service originates per VRF. *)
+  churn : int;  (** Announce/withdraw cycles per peer during the window. *)
+  delay_us : int;  (** Peer link one-way delay. *)
+  window_ms : int;  (** Active fault window after convergence. *)
+  settle_ms : int;  (** Quiescence before end-state checks. *)
+  faults : fault list;  (** Sorted by time. *)
+}
+
+val fault_at : fault -> int
+(** Injection time, ms from the start of the fault window. *)
+
+val fault_kind_name : fault -> string
+(** Stable class name: [kill.app], [flap], [rst], ... *)
+
+val generate : seed:int -> t
+(** The seeded generator: parameters and fault schedule are drawn from a
+    {!Sim.Rng} stream derived from [seed] (which also becomes the engine
+    seed). Generated schedules stay inside the envelope where every
+    armed checker is a valid oracle — e.g. link flaps are bounded below
+    the BFD detection window, and heavy faults (kills, planned
+    switchovers) are spaced far enough apart that migrations do not
+    overlap except for the deliberate planned+kill overlap case. *)
+
+val sub_seed : seed:int -> int -> int
+(** [sub_seed ~seed i] derives the descriptor seed of run [i] of a fuzz
+    campaign seeded with [seed] (SplitMix64 finalizer). *)
+
+val to_string : t -> string
+(** One line, no newline: ["chaos1 seed=.. peers=.. ... faults=.."]. *)
+
+val of_string : string -> (t, string) result
+
+val equal : t -> t -> bool
+
+val validate : t -> (unit, string) result
+(** Structural sanity: positive counts, fault vrf indices in range,
+    times within the window. [of_string] applies it; [generate] always
+    satisfies it. *)

@@ -1,0 +1,41 @@
+type failure = {
+  index : int;
+  outcome : Runner.outcome;
+  shrunk : Shrink.result option;
+  saved : string option;
+}
+
+type campaign = {
+  runs : int;
+  seed : int;
+  failures : failure list;
+  events_total : int;
+}
+
+let campaign_ok c = c.failures = []
+
+let run ?progress ?(shrink = false) ?corpus_dir ~runs ~seed () =
+  let failures = ref [] in
+  let events_total = ref 0 in
+  for i = 0 to runs - 1 do
+    let d = Descriptor.generate ~seed:(Descriptor.sub_seed ~seed i) in
+    let o = Runner.run d in
+    events_total := !events_total + o.Runner.events;
+    (match progress with Some f -> f i o | None -> ());
+    if not (Runner.ok o) then begin
+      let shrunk = if shrink then Shrink.minimize d else None in
+      let saved =
+        match (shrunk, corpus_dir) with
+        | Some r, Some dir ->
+            let comment =
+              Printf.sprintf
+                "shrunk repro: campaign seed %d run %d (%d faults removed)"
+                seed i r.Shrink.removed_faults
+            in
+            Some (Corpus.save ~dir ~comment r.Shrink.minimal)
+        | _ -> None
+      in
+      failures := { index = i; outcome = o; shrunk; saved } :: !failures
+    end
+  done;
+  { runs; seed; failures = List.rev !failures; events_total = !events_total }

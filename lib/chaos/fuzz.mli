@@ -1,0 +1,34 @@
+(** Fuzz campaigns: generate → run → (on failure) shrink → save.
+
+    Run [i] of a campaign seeded with [S] executes the descriptor
+    [Descriptor.generate ~seed:(Descriptor.sub_seed ~seed:S i)], so any
+    individual failure is reproducible from [(S, i)] alone — and the
+    shrunk one-line descriptor makes even that indirection unnecessary. *)
+
+type failure = {
+  index : int;  (** Campaign run index. *)
+  outcome : Runner.outcome;
+  shrunk : Shrink.result option;  (** Present when shrinking was on. *)
+  saved : string option;  (** Corpus path the repro was written to. *)
+}
+
+type campaign = {
+  runs : int;
+  seed : int;
+  failures : failure list;
+  events_total : int;
+}
+
+val campaign_ok : campaign -> bool
+
+val run :
+  ?progress:(int -> Runner.outcome -> unit) ->
+  ?shrink:bool ->
+  ?corpus_dir:string ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  campaign
+(** [shrink] (default false) minimizes each failure; [corpus_dir], when
+    set together with [shrink], writes each minimal repro as a corpus
+    entry. [progress] is called after every run. *)

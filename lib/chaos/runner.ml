@@ -1,0 +1,295 @@
+open Sim
+module Deploy = Tensor.Deploy
+module App = Tensor.App
+
+type outcome = {
+  desc : Descriptor.t;
+  violations : Monitor.Checker.violation list;
+  errors : string list;
+  disabled : string list;
+  digest : string;
+  events : int;
+}
+
+let ok o = o.violations = [] && o.errors = []
+
+let service_id = "chaos"
+let local_asn = 64_900
+let vrf_name i = Printf.sprintf "v%d" i
+let peer_name i = Printf.sprintf "peerAS%d" i
+let peer_asn i = 65_010 + i
+let vip i = Netsim.Addr.of_string (Printf.sprintf "203.0.113.%d" (10 + i))
+
+let disabled_checkers (d : Descriptor.t) =
+  let has p = List.exists p d.Descriptor.faults in
+  let rst = has (function Descriptor.Peer_rst _ -> true | _ -> false) in
+  let cease = has (function Descriptor.Peer_cease _ -> true | _ -> false) in
+  (if rst || cease then [ "no_peer_visible_reset" ] else [])
+  @ if cease then [ "route_flap_absence" ] else []
+
+(* --- Scenario assembly ---------------------------------------------------- *)
+
+type ctx = {
+  dep : Deploy.t;
+  svc : Deploy.service;
+  peers : (Deploy.peer_as * Bgp.Speaker.peer) array;
+}
+
+let build (d : Descriptor.t) =
+  let dep = Deploy.build ~seed:d.Descriptor.seed ~hosts:d.Descriptor.hosts () in
+  let peers =
+    Array.init d.Descriptor.peers (fun i ->
+        let pa =
+          Deploy.add_peer_as dep
+            ~link_delay:(Time.us d.Descriptor.delay_us)
+            ~asn:(peer_asn i) (peer_name i)
+        in
+        let ph =
+          Deploy.peer_expects pa ~vrf:(vrf_name i) ~vip:(vip i) ~local_asn
+        in
+        (pa, ph))
+  in
+  let specs =
+    Array.to_list
+      (Array.mapi
+         (fun i ((pa : Deploy.peer_as), _) ->
+           App.vrf_spec ~vrf:(vrf_name i) ~vip:(vip i)
+             ~peer_addr:pa.Deploy.pa_addr ~peer_asn:(peer_asn i) ())
+         peers)
+  in
+  let svc = Deploy.deploy_service dep ~id:service_id ~local_asn specs in
+  { dep; svc; peers }
+
+let seed_routes (d : Descriptor.t) ctx =
+  Array.iteri
+    (fun i ((pa : Deploy.peer_as), _) ->
+      Bgp.Speaker.originate pa.Deploy.pa_speaker ~vrf:(vrf_name i)
+        (Workload.Prefixes.distinct_from
+           ~base:(100_000 * (i + 1))
+           d.Descriptor.peer_prefixes))
+    ctx.peers;
+  match App.speaker (Deploy.service_app ctx.svc) with
+  | Some spk ->
+      Array.iteri
+        (fun i _ ->
+          Bgp.Speaker.originate spk ~vrf:(vrf_name i)
+            (Workload.Prefixes.distinct_from
+               ~base:(500_000 + (10_000 * i))
+               d.Descriptor.svc_prefixes))
+        ctx.peers
+  | None -> ()
+
+(* Announce/withdraw cycles from the peers during the fault window. Only
+   the peers churn: withdrawals are observed at the receiving node, so
+   peer-originated churn never counts against [route_flap_absence]
+   (which watches the remote AS surface). *)
+let schedule_churn (d : Descriptor.t) ctx =
+  let eng = ctx.dep.Deploy.eng in
+  if d.Descriptor.churn > 0 then
+    Array.iteri
+      (fun i ((pa : Deploy.peer_as), _) ->
+        for j = 0 to d.Descriptor.churn - 1 do
+          let at = d.Descriptor.window_ms * (j + 1) / (d.Descriptor.churn + 1) in
+          let prefixes =
+            Workload.Prefixes.distinct_from
+              ~base:(800_000 + (10_000 * i) + (100 * j))
+              20
+          in
+          ignore
+            (Engine.schedule_after eng (Time.ms at) (fun () ->
+                 Bgp.Speaker.originate pa.Deploy.pa_speaker ~vrf:(vrf_name i)
+                   prefixes));
+          ignore
+            (Engine.schedule_after eng
+               (Time.ms (at + 2_000))
+               (fun () ->
+                 Bgp.Speaker.withdraw_origin pa.Deploy.pa_speaker
+                   ~vrf:(vrf_name i) prefixes))
+        done)
+      ctx.peers
+
+let schedule_fault ctx partitioned (f : Descriptor.fault) =
+  let dep = ctx.dep in
+  let eng = dep.Deploy.eng in
+  let peer_link i =
+    let (pa : Deploy.peer_as), _ = ctx.peers.(i) in
+    Netsim.Network.link_between dep.Deploy.net dep.Deploy.fabric
+      pa.Deploy.pa_node
+  in
+  let apply () =
+    match f with
+    | Descriptor.Kill { kind; _ } -> (
+        match kind with
+        | Descriptor.Kill_app -> Deploy.inject_app_failure dep ctx.svc
+        | Descriptor.Kill_container ->
+            Deploy.inject_container_failure dep ctx.svc
+        | Descriptor.Kill_host -> Deploy.inject_host_failure dep ctx.svc
+        | Descriptor.Kill_host_network ->
+            let name =
+              Orch.Container.host_name (Deploy.service_container ctx.svc)
+            in
+            Array.iter
+              (fun h ->
+                if String.equal (Orch.Host.name h) name then
+                  partitioned := h :: !partitioned)
+              dep.Deploy.hosts;
+            Deploy.inject_host_network_failure dep ctx.svc)
+    | Descriptor.Planned _ -> Deploy.planned_migration dep ctx.svc
+    | Descriptor.Heal _ ->
+        List.iter Orch.Host.network_recover !partitioned;
+        partitioned := []
+    | Descriptor.Flap { vrf; dur_ms; _ } -> (
+        match peer_link vrf with
+        | Some l -> Netsim.Link.fail_for l (Time.ms dur_ms)
+        | None -> ())
+    | Descriptor.Loss { vrf; dur_ms; loss_pct; _ } -> (
+        match peer_link vrf with
+        | Some l ->
+            Netsim.Link.set_loss l (float_of_int loss_pct /. 100.);
+            ignore
+              (Engine.schedule_after eng (Time.ms dur_ms) (fun () ->
+                   Netsim.Link.set_loss l 0.))
+        | None -> ())
+    | Descriptor.Bfd_perturb { vrf; factor_pct; _ } -> (
+        match
+          App.bfd_session (Deploy.service_app ctx.svc) ~vrf:(vrf_name vrf)
+        with
+        | Some s ->
+            let next =
+              max (Time.ms 10) (Bfd.tx_interval s * factor_pct / 100)
+            in
+            Bfd.set_tx_interval s next
+        | None -> ())
+    | Descriptor.Peer_rst { vrf; _ } -> (
+        let _, ph = ctx.peers.(vrf) in
+        match Bgp.Speaker.peer_session ph with
+        | Some s -> (
+            match Bgp.Session.conn s with
+            | Some c -> Tcp.abort c
+            | None -> ())
+        | None -> ())
+    | Descriptor.Peer_cease { vrf; _ } ->
+        let (pa : Deploy.peer_as), ph = ctx.peers.(vrf) in
+        Bgp.Speaker.stop_peer pa.Deploy.pa_speaker ph;
+        ignore
+          (Engine.schedule_after eng (Time.sec 1) (fun () ->
+               Bgp.Speaker.start_peer pa.Deploy.pa_speaker ph))
+  in
+  ignore (Engine.schedule_after eng (Time.ms (Descriptor.fault_at f)) apply)
+
+(* End-state digests, both directions per VRF, as in Check: the events
+   feed the [rib_convergence] checker; the returned mismatch strings are
+   the direct cross-check (belt and braces — they also catch the case
+   where the service died and no snapshot could be emitted). *)
+let end_state_check ctx =
+  let dep = ctx.dep in
+  let eng = dep.Deploy.eng in
+  let errors = ref [] in
+  (match App.speaker (Deploy.service_app ctx.svc) with
+  | None ->
+      errors := [ "end state: service speaker unavailable (instance dead?)" ]
+  | Some spk ->
+      Array.iteri
+        (fun i ((pa : Deploy.peer_as), _) ->
+          let vrf = vrf_name i in
+          let (d_adv, d_svc), (d_out, d_peer) =
+            Tensor.Check.snapshot_session eng ~vrf ~peer_name:(peer_name i)
+              ~peer_speaker:pa.Deploy.pa_speaker ~peer_addr:pa.Deploy.pa_addr
+              ~vip:(vip i) spk
+          in
+          if not (String.equal d_adv d_svc) then
+            errors :=
+              Printf.sprintf
+                "%s: service RIB diverged from peer advertisement (%s vs %s)"
+                vrf d_adv d_svc
+              :: !errors;
+          if not (String.equal d_out d_peer) then
+            errors :=
+              Printf.sprintf
+                "%s: peer RIB diverged from service advertisement (%s vs %s)"
+                vrf d_out d_peer
+              :: !errors)
+        ctx.peers);
+  List.rev !errors
+
+(* --- The run -------------------------------------------------------------- *)
+
+let run (d : Descriptor.t) =
+  let disabled = disabled_checkers d in
+  Telemetry.Control.reset ();
+  Telemetry.Span.set_ambient None;
+  Telemetry.Control.set_enabled true;
+  let peer_names = List.init d.Descriptor.peers peer_name in
+  let mon =
+    Monitor.Checker.install
+      ~cfg:{ Monitor.Checker.default_config with peers = peer_names }
+      ()
+  in
+  let errors = ref [] in
+  let violations = ref [] in
+  let finalized = ref false in
+  (try
+     let ctx = build d in
+     Monitor.Checker.note_primary mon ~service:service_id
+       ~container:(Orch.Container.id (Deploy.service_container ctx.svc));
+     if not (Deploy.wait_established ctx.dep ctx.svc ()) then
+       errors := [ "sessions did not establish within 30 s" ]
+     else begin
+       let eng = ctx.dep.Deploy.eng in
+       seed_routes d ctx;
+       Engine.run_for eng (Time.sec 10);
+       schedule_churn d ctx;
+       let partitioned = ref [] in
+       List.iter (schedule_fault ctx partitioned) d.Descriptor.faults;
+       Engine.run_for eng
+         (Time.ms (d.Descriptor.window_ms + d.Descriptor.settle_ms));
+       errors := end_state_check ctx
+     end;
+     let report =
+       Monitor.Health.make ~budgets:[]
+         ~scenario:("chaos:" ^ string_of_int d.Descriptor.seed)
+         mon
+     in
+     finalized := true;
+     violations :=
+       List.filter
+         (fun (v : Monitor.Checker.violation) ->
+           not (List.mem v.Monitor.Checker.checker disabled))
+         (Monitor.Health.violations report)
+   with e ->
+     errors :=
+       Printf.sprintf "exception: %s" (Printexc.to_string e) :: !errors);
+  if not !finalized then ignore (Monitor.Checker.finalize mon);
+  let buf = Buffer.create 65_536 in
+  Telemetry.Bus.to_jsonl buf;
+  let digest = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+  let events = Monitor.Checker.events_seen mon in
+  Telemetry.Control.set_enabled false;
+  {
+    desc = d;
+    violations = !violations;
+    errors = List.rev !errors;
+    disabled;
+    digest;
+    events;
+  }
+
+let summary o =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "descriptor: %s\n" (Descriptor.to_string o.desc));
+  Buffer.add_string b
+    (Printf.sprintf "events=%d digest=%s disabled=[%s]\n" o.events o.digest
+       (String.concat ", " o.disabled));
+  if ok o then Buffer.add_string b "result: PASS\n"
+  else begin
+    List.iter
+      (fun (v : Monitor.Checker.violation) ->
+        Buffer.add_string b
+          (Printf.sprintf "violation: %s at %.3fs: %s\n" v.checker
+             (Time.to_sec_f v.at) v.detail))
+      o.violations;
+    List.iter (fun e -> Buffer.add_string b ("error: " ^ e ^ "\n")) o.errors;
+    Buffer.add_string b "result: FAIL\n"
+  end;
+  Buffer.contents b

@@ -22,6 +22,7 @@ type t = {
   mutable rules : rule list; (* sorted by (priority, order) *)
   queues : (int, queue) Hashtbl.t;
   mutable next_order : int;
+  mutable next_qnum : int;
   mutable n_accepted : int;
   mutable n_dropped : int;
   mutable n_queued : int;
@@ -33,11 +34,16 @@ let create ?eng () =
     rules = [];
     queues = Hashtbl.create 4;
     next_order = 0;
+    next_qnum = 0;
     n_accepted = 0;
     n_dropped = 0;
     n_queued = 0;
     eng;
   }
+
+let fresh_queue_num t =
+  t.next_qnum <- t.next_qnum + 1;
+  t.next_qnum
 
 let add_rule t ?(priority = 0) judge =
   let rule = { priority; order = t.next_order; judge } in

@@ -36,6 +36,13 @@ val remove_rule : t -> rule -> unit
 type queue
 (** An NFQUEUE target. *)
 
+val fresh_queue_num : t -> int
+(** A queue number not yet handed out by this allocator (a per-chain
+    counter from 1). Queue numbers are chain-local, so allocating them
+    per chain — rather than from process-global state — keeps
+    [Queue_dropped] telemetry byte-identical across repeated runs in one
+    process. *)
+
 val queue : t -> int -> queue
 (** [queue t n] is the chain's queue number [n], created on first use. *)
 

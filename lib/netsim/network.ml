@@ -8,11 +8,17 @@ type t = {
   mutable node_list : Node.t list;
   mutable link_list : registered_link list;
   mutable next_subnet : int;
+  mutable next_private_subnet : int;
 }
 
 let create eng =
   { eng; node_tbl = Hashtbl.create 64; node_list = []; link_list = [];
-    next_subnet = 0 }
+    next_subnet = 0; next_private_subnet = 0 }
+
+let fresh_private_subnet t =
+  let n = t.next_private_subnet in
+  t.next_private_subnet <- n + 1;
+  n
 
 let engine t = t.eng
 

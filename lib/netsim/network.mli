@@ -30,6 +30,12 @@ val connect :
     /30-style address pair; returns the link and the two addresses
     ([a]'s first). Defaults match {!Link.create}. *)
 
+val fresh_private_subnet : t -> int
+(** Allocates the next index from a per-network counter for private
+    (non-fabric) subnets — vEth pairs and similar. Keeping the counter
+    per network, not process-global, makes addresses reproducible when
+    several networks are built in one process (chaos replay). *)
+
 val links : t -> Link.t list
 
 val link_between : t -> Node.t -> Node.t -> Link.t option

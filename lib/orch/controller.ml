@@ -190,12 +190,20 @@ let check_container_via_host t m k =
         | Ok _ -> k (`Host_says "unknown")
         | Error `Timeout -> k `Host_unreachable)
 
+(* Suspicion-resolving callbacks arrive asynchronously (RPC timeouts) and
+   may land after a migration has already started from another detection
+   path (host localization, app report). They must only downgrade
+   [`Suspect] — clobbering [`Migrating] back to [`Healthy] would re-arm
+   the heartbeat ticks mid-migration and let a second, faster migration
+   race the first one into a split brain. *)
+let resolve_suspect m = if m.phase = `Suspect then m.phase <- `Healthy
+
 let heartbeat_miss t m =
   if m.phase = `Healthy then begin
     m.phase <- `Suspect;
     check_container_via_host t m (function
       | `Host_says st -> (
-          m.phase <- `Healthy;
+          resolve_suspect m;
           if st = "failed" || st = "stopped" || st = "unknown" then
             start_migration t m Container_failure
           else
@@ -214,7 +222,7 @@ let heartbeat_miss t m =
                         (fun _ -> start_migration t m Container_failure)
                   | None -> start_migration t m Container_failure))
       | `Host_unreachable -> (
-          m.phase <- `Healthy;
+          resolve_suspect m;
           (* Escalate to host-level localization. *)
           match host_entry_of t (Container.host_name m.cont) with
           | Some he -> suspect_host t he

@@ -11,6 +11,7 @@ type Rpc.body +=
 
 type t = {
   hname : string;
+  hnet : Network.t;
   hnode : Node.t;
   fabric : Node.t;
   link : Link.t;
@@ -101,6 +102,7 @@ let create net ~fabric ?(boot_span = Time.sec 1) ?(lease_timeout = Time.sec 3)
   let t =
     {
       hname;
+      hnet = net;
       hnode;
       fabric = fabric_node;
       link;
@@ -121,7 +123,6 @@ let create net ~fabric ?(boot_span = Time.sec 1) ?(lease_timeout = Time.sec 3)
   t
 
 let veth_base = Addr.of_string "172.16.0.0"
-let global_veth_subnet = ref 0
 
 let create_container t ?boot_span id =
   if find_container t id <> None then
@@ -129,11 +130,12 @@ let create_container t ?boot_span id =
   let eng = t.eng in
   let cnode = Node.create eng (t.hname ^ "/" ^ id) in
   (* vEth pair: a private /30 per container, host side .1, container .2.
-     Subnets are allocated globally so no two containers anywhere share
-     one (they are only ever used host-locally, but uniqueness keeps
-     traces unambiguous). *)
-  let subnet = !global_veth_subnet in
-  incr global_veth_subnet;
+     Subnets are allocated per network so no two containers in one
+     deployment share one (they are only ever used host-locally, but
+     uniqueness keeps traces unambiguous — and per-network allocation
+     keeps the addresses identical across repeated runs in a process,
+     which chaos replay relies on). *)
+  let subnet = Network.fresh_private_subnet t.hnet in
   t.next_subnet <- t.next_subnet + 1;
   let host_side = Addr.offset veth_base ((subnet lsl 2) lor 1) in
   let cont_side = Addr.succ host_side in

@@ -168,12 +168,18 @@ type timer = { mutable pending : handle option; mutable stopped : bool }
 let every t ?(jitter = 0.0) period f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
   let timer = { pending = None; stopped = false } in
+  (* Jitter draws come from a private stream split off at creation, not
+     from the shared root generator: a timer's firing pattern must not
+     shift when an unrelated subsystem (created mid-run, e.g. by a fault
+     injector) starts drawing from the engine RNG. *)
+  let rng = if jitter = 0.0 then None else Some (Rng.split t.root_rng) in
   let next_delay () =
-    if jitter = 0.0 then period
-    else
-      let j = Rng.float t.root_rng (2.0 *. jitter) -. jitter in
-      let d = float_of_int period *. (1.0 +. j) in
-      max 1 (int_of_float d)
+    match rng with
+    | None -> period
+    | Some rng ->
+        let j = Rng.float rng (2.0 *. jitter) -. jitter in
+        let d = float_of_int period *. (1.0 +. j) in
+        max 1 (int_of_float d)
   in
   let rec arm () =
     if not timer.stopped then

@@ -218,7 +218,10 @@ let write_meta t pv =
               let quad = Tcp.quad c in
               let meta =
                 {
-                  Keys.vrf = pv.spec.vrf;
+                  (* The epoch commits the stream key space: recovery
+                     reads only the records this meta names. *)
+                  Keys.epoch = Replicator.epoch pv.repl;
+                  vrf = pv.spec.vrf;
                   local_addr = quad.Tcp.Quad.local_addr;
                   local_port = quad.Tcp.Quad.local_port;
                   peer_addr = quad.Tcp.Quad.remote_addr;
@@ -321,6 +324,13 @@ let watch_tcp_sync ?(span = Telemetry.Span.none) t pv =
                     && Tcp.snd_nxt c > Tcp.iss c + 1
                   then begin
                     Telemetry.Span.finish eng span;
+                    (* The stream is resynchronized; audit Adj-RIB-Out so
+                       any UPDATE the failed primary generated but never
+                       made durable (and therefore never sent) is
+                       regenerated from the checkpointed table. *)
+                    (match t.spk with
+                    | Some spk -> Bgp.Speaker.resync_adj_out spk p
+                    | None -> ());
                     t.tcp_synced_cb ~vrf:pv.spec.vrf
                   end
                   else ignore (Engine.schedule_after eng (Time.ms 50) poll)
@@ -389,64 +399,57 @@ type recovered_state = {
   r_in : (int * string * string) list; (* (seq, key, raw), sorted *)
 }
 
-let parse_recovery cid point_reads outs ins =
-  match point_reads with
+(* Stream-scoped records are read under the epoch the meta record names
+   ([ecid]); anything a dead predecessor stream left behind lives under
+   another epoch and is invisible here. *)
+let parse_recovery ecid ~meta:r_meta ~bfd:r_bfd cursor_reads outs ins =
+  match cursor_reads with
   | Error `Timeout -> Error "store unreachable"
-  | Ok values -> (
+  | Ok values ->
       let find key = Option.join (List.assoc_opt key values) in
-      match Option.map Keys.decode_meta (find (Keys.meta_key cid)) with
-      | None -> Error "no session metadata"
-      | Some (Error e) -> Error ("bad metadata: " ^ e)
-      | Some (Ok r_meta) ->
-          let r_watermark =
-            match Option.bind (find (Keys.ack_key cid)) int_of_string_opt with
-            | Some a -> a
-            | None -> r_meta.Keys.irs + 1
-          in
-          let r_outtrim =
-            match
-              Option.bind (find (Keys.outtrim_key cid)) int_of_string_opt
-            with
-            | Some v -> v
-            | None -> 0
-          in
-          let r_bfd =
-            Option.bind (find (Keys.bfd_key cid)) (fun v ->
-                match Keys.decode_bfd v with
-                | Ok discs -> Some discs
-                | Error _ -> None)
-          in
-          let r_part =
-            Option.bind (find (Keys.part_key cid)) (fun v ->
-                match Keys.decode_part v with
-                | Ok p -> Some p
-                | Error _ -> None)
-          in
-          let r_out =
-            match outs with
-            | Error `Timeout -> []
-            | Ok pairs ->
-                List.filter_map
-                  (fun (key, v) ->
-                    match (Keys.offset_of_out_key cid key, Keys.unhex v) with
-                    | Some off, Ok raw -> Some (off, raw)
-                    | _ -> None)
-                  pairs
-                |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-          in
-          let r_in =
-            match ins with
-            | Error `Timeout -> []
-            | Ok pairs ->
-                List.filter_map
-                  (fun (key, v) ->
-                    match (Keys.seq_of_in_key cid key, Keys.decode_in_record v) with
-                    | Some seq, Ok (_, raw) -> Some (seq, key, raw)
-                    | _ -> None)
-                  pairs
-                |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
-          in
-          Ok { r_meta; r_watermark; r_outtrim; r_bfd; r_part; r_out; r_in })
+      let r_watermark =
+        match Option.bind (find (Keys.ack_key ecid)) int_of_string_opt with
+        | Some a -> a
+        | None -> r_meta.Keys.irs + 1
+      in
+      let r_outtrim =
+        match
+          Option.bind (find (Keys.outtrim_key ecid)) int_of_string_opt
+        with
+        | Some v -> v
+        | None -> 0
+      in
+      let r_part =
+        Option.bind (find (Keys.part_key ecid)) (fun v ->
+            match Keys.decode_part v with
+            | Ok p -> Some p
+            | Error _ -> None)
+      in
+      let r_out =
+        match outs with
+        | Error `Timeout -> []
+        | Ok pairs ->
+            List.filter_map
+              (fun (key, v) ->
+                match (Keys.offset_of_out_key ecid key, Keys.unhex v) with
+                | Some off, Ok raw -> Some (off, raw)
+                | _ -> None)
+              pairs
+            |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      let r_in =
+        match ins with
+        | Error `Timeout -> []
+        | Ok pairs ->
+            List.filter_map
+              (fun (key, v) ->
+                match (Keys.seq_of_in_key ecid key, Keys.decode_in_record v) with
+                | Some seq, Ok (_, raw) -> Some (seq, key, raw)
+                | _ -> None)
+              pairs
+            |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      in
+      Ok { r_meta; r_watermark; r_outtrim; r_bfd; r_part; r_out; r_in }
 
 let repair_of_recovered (r : recovered_state) =
   let meta = r.r_meta in
@@ -529,7 +532,7 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
       let in_seq =
         match List.rev r.r_in with (seq, _, _) :: _ -> seq + 1 | [] -> 0
       in
-      Replicator.resume_at pv.repl ~watermark:r.r_watermark ~bytes_written
+      Replicator.resume_at pv.repl ~epoch:meta.Keys.epoch ~watermark:r.r_watermark ~bytes_written
         ~in_seq ~outtrim:r.r_outtrim
         ~out_records:(List.map (fun (off, raw) -> (off, String.length raw)) r.r_out);
       (match Tcp.output_chain stack with
@@ -641,19 +644,46 @@ let recover_vrf t spk stack client pv k =
     | Error _ -> ());
     Telemetry.Span.finish eng span
   in
-  (* One batched point-read plus two scans: the state download of the
-     migration path. *)
-  Store.Client.get client
-    [
-      Keys.meta_key cid; Keys.ack_key cid; Keys.outtrim_key cid; Keys.bfd_key cid;
-    ]
-    (fun point_reads ->
-      Store.Client.scan client ~prefix:(Keys.out_prefix cid) (fun outs ->
-          Store.Client.scan client ~prefix:(Keys.in_prefix cid) (fun ins ->
-              match parse_recovery cid point_reads outs ins with
-              | Error e ->
-                  finish_catchup (Error e);
-                  k (Error e)
+  (* Two batched point-reads plus two scans: the state download of the
+     migration path. The meta record is read first because it names the
+     connection epoch, and the stream-scoped cursors (ack/outtrim/part)
+     and record scans are only valid under that epoch's key space. *)
+  let fail e =
+    finish_catchup (Error e);
+    k (Error e)
+  in
+  Store.Client.get client [ Keys.meta_key cid; Keys.bfd_key cid ]
+    (fun identity_reads ->
+      let find key reads = Option.join (List.assoc_opt key reads) in
+      let meta =
+        match identity_reads with
+        | Error `Timeout -> Error "store unreachable"
+        | Ok reads -> (
+            match Option.map Keys.decode_meta (find (Keys.meta_key cid) reads) with
+            | None -> Error "no session metadata"
+            | Some (Error e) -> Error ("bad metadata: " ^ e)
+            | Some (Ok m) -> Ok m)
+      in
+      match meta with
+      | Error e -> fail e
+      | Ok meta ->
+          let bfd =
+            match identity_reads with
+            | Error `Timeout -> None
+            | Ok reads ->
+                Option.bind (find (Keys.bfd_key cid) reads) (fun v ->
+                    match Keys.decode_bfd v with
+                    | Ok discs -> Some discs
+                    | Error _ -> None)
+          in
+          let ecid = Keys.epoch_cid cid meta.Keys.epoch in
+          Store.Client.get client
+            [ Keys.ack_key ecid; Keys.outtrim_key ecid; Keys.part_key ecid ]
+            (fun cursor_reads ->
+              Store.Client.scan client ~prefix:(Keys.out_prefix ecid) (fun outs ->
+                  Store.Client.scan client ~prefix:(Keys.in_prefix ecid) (fun ins ->
+              match parse_recovery ecid ~meta ~bfd cursor_reads outs ins with
+              | Error e -> fail e
               | Ok r ->
                   let msgs = List.length r.r_in in
                   let bytes =
@@ -666,7 +696,7 @@ let recover_vrf t spk stack client pv k =
                   in
                   let result = resume_from_recovered t spk stack client pv r in
                   finish_catchup (Ok (msgs, bytes));
-                  k result)))
+                  k result))))
 
 
 let bootstrap_recover t spk stack client =

@@ -19,9 +19,10 @@ let kind_name k = Format.asprintf "%a" Orch.Controller.pp_failure_kind k
 (* Digest both directions of the session: routes the peer advertised vs
    what the service's (possibly restored) RIB holds, and routes the
    service originated vs what the peer holds. Group keys ride in the
-   event's [vrf] field; the checker requires equal digests per group. *)
-let emit_rib_snapshots (dep : Deploy.t) (peer : Deploy.peer_as) svc ~vip =
-  let eng = dep.Deploy.eng in
+   event's [vrf] field; the checker requires equal digests per group.
+   The per-direction digest pairs are also returned, so callers (the
+   chaos runner) can cross-check directly without re-walking the RIBs. *)
+let snapshot_session eng ~vrf ~peer_name ~peer_speaker ~peer_addr ~vip spk =
   let snap ~group ~node rib ~source_key =
     Telemetry.Bus.emit eng
       (Telemetry.Event.Rib_snapshot
@@ -32,22 +33,31 @@ let emit_rib_snapshots (dep : Deploy.t) (peer : Deploy.peer_as) svc ~vip =
            digest = Bgp.Rib.digest ~source_key rib;
          })
   in
+  let peer_rib = Bgp.Speaker.rib peer_speaker ~vrf in
+  let svc_rib = Bgp.Speaker.rib spk ~vrf in
+  let local_key = "local/" ^ vrf in
+  let svc_learned = vrf ^ "/" ^ Netsim.Addr.to_string peer_addr in
+  let peer_learned = vrf ^ "/" ^ Netsim.Addr.to_string vip in
+  let g_in = vrf ^ ":peer->service" and g_out = vrf ^ ":service->peer" in
+  snap ~group:g_in ~node:(peer_name ^ ":advertised") peer_rib
+    ~source_key:local_key;
+  snap ~group:g_in ~node:"service:learned" svc_rib ~source_key:svc_learned;
+  snap ~group:g_out ~node:"service:advertised" svc_rib ~source_key:local_key;
+  snap ~group:g_out ~node:(peer_name ^ ":learned") peer_rib
+    ~source_key:peer_learned;
+  ( ( Bgp.Rib.digest ~source_key:local_key peer_rib,
+      Bgp.Rib.digest ~source_key:svc_learned svc_rib ),
+    ( Bgp.Rib.digest ~source_key:local_key svc_rib,
+      Bgp.Rib.digest ~source_key:peer_learned peer_rib ) )
+
+let emit_rib_snapshots (dep : Deploy.t) (peer : Deploy.peer_as) svc ~vip =
   match App.speaker (Deploy.service_app svc) with
   | None -> ()
   | Some spk ->
-      let peer_rib = Bgp.Speaker.rib peer.Deploy.pa_speaker ~vrf in
-      let svc_rib = Bgp.Speaker.rib spk ~vrf in
-      let local_key = "local/" ^ vrf in
-      let svc_learned = vrf ^ "/" ^ Netsim.Addr.to_string peer.Deploy.pa_addr in
-      let peer_learned = vrf ^ "/" ^ Netsim.Addr.to_string vip in
-      let g_in = vrf ^ ":peer->service" and g_out = vrf ^ ":service->peer" in
-      snap ~group:g_in ~node:(peer_name ^ ":advertised") peer_rib
-        ~source_key:local_key;
-      snap ~group:g_in ~node:"service:learned" svc_rib ~source_key:svc_learned;
-      snap ~group:g_out ~node:"service:advertised" svc_rib
-        ~source_key:local_key;
-      snap ~group:g_out ~node:(peer_name ^ ":learned") peer_rib
-        ~source_key:peer_learned
+      ignore
+        (snapshot_session dep.Deploy.eng ~vrf ~peer_name
+           ~peer_speaker:peer.Deploy.pa_speaker ~peer_addr:peer.Deploy.pa_addr
+           ~vip spk)
 
 (* Shared episode skeleton: deployment, one peer AS, one service with a
    monitored primary, routes flowing both ways. *)

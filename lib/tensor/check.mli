@@ -10,6 +10,23 @@
 val scenarios : string list
 (** ["failover"; "planned"; "split-brain"]. *)
 
+val snapshot_session :
+  Sim.Engine.t ->
+  vrf:string ->
+  peer_name:string ->
+  peer_speaker:Bgp.Speaker.t ->
+  peer_addr:Netsim.Addr.t ->
+  vip:Netsim.Addr.t ->
+  Bgp.Speaker.t ->
+  (string * string) * (string * string)
+(** Emits the four end-state [Rib_snapshot] events of one session — per
+    direction, what one side advertised vs what the other holds — which
+    is what the [rib_convergence] checker groups and compares. Returns
+    the digest pairs, [((peer_advertised, service_learned),
+    (service_advertised, peer_learned))], so callers can also
+    cross-check directly. Shared by the checked scenarios and the chaos
+    runner's end-state verdict. *)
+
 val failover :
   ?kind:Orch.Controller.failure_kind -> unit -> Monitor.Health.report
 (** Table 1 episode: inject [kind] (default container failure), let the

@@ -1,6 +1,16 @@
 type conn_id = string
 
 let conn_id ~service ~vrf = service ^ "|" ^ vrf
+
+(* Stream-scoped records (out/in/ack/outtrim/part) are keyed by the
+   connection *epoch*: each successor TCP connection of the same peer
+   gets a fresh key space, so a half-dead write from a torn-down stream
+   can never be grafted onto the next connection's sequence numbers at
+   recovery time. Epoch 0 maps to the bare conn id, which keeps fresh
+   bring-up keys (and every pre-epoch store dump) unchanged. *)
+let epoch_cid cid epoch =
+  if epoch = 0 then cid else Printf.sprintf "%s@%d" cid epoch
+
 let meta_key cid = "meta|" ^ cid
 let ack_key cid = "ack|" ^ cid
 let in_key cid seq = Printf.sprintf "in|%s|%012d" cid seq
@@ -60,6 +70,7 @@ let unhex s =
 (* --- Meta ---------------------------------------------------------------- *)
 
 type meta = {
+  epoch : int; (* connection epoch naming the stream-scoped key space *)
   vrf : string;
   local_addr : Netsim.Addr.t;
   local_port : int;
@@ -80,6 +91,7 @@ type meta = {
 let encode_meta m =
   String.concat ";"
     [
+      "ep=" ^ string_of_int m.epoch;
       "vrf=" ^ m.vrf;
       "la=" ^ Netsim.Addr.to_string m.local_addr;
       "lp=" ^ string_of_int m.local_port;
@@ -125,6 +137,7 @@ let decode_meta s =
           try
             Ok
               {
+                epoch = (match geti "ep" with Some e -> e | None -> 0);
                 vrf;
                 local_addr = Netsim.Addr.of_string la;
                 local_port;

@@ -28,6 +28,14 @@ type conn_id = string
 
 val conn_id : service:string -> vrf:string -> conn_id
 
+val epoch_cid : conn_id -> int -> conn_id
+(** Epoch-qualified connection id naming one TCP connection's stream
+    key space. Stream-scoped records (ack/in/out/outtrim/part) are
+    written under [epoch_cid cid epoch]; the meta record carries the
+    epoch, so recovery reads exactly the key space of the connection it
+    resumes and a straggler write from a torn-down predecessor stream
+    can never corrupt the successor's cursors. [epoch_cid cid 0 = cid]. *)
+
 val meta_key : conn_id -> string
 val ack_key : conn_id -> string
 val in_key : conn_id -> int -> string
@@ -51,6 +59,7 @@ val vrf_prefix_of_rib_key : service:string -> string -> (string * Netsim.Addr.pr
 (** {1 Record codecs} *)
 
 type meta = {
+  epoch : int;  (** Connection epoch naming the stream-scoped key space. *)
   vrf : string;
   local_addr : Netsim.Addr.t;
   local_port : int;

@@ -56,6 +56,11 @@ type t = {
   mutable tail_source : (unit -> (int * int * string) option) option;
   mutable watchdog : Engine.timer option;
   mutable part_written : bool;
+  (* Connection epoch: rolls forward each time the replicated session's
+     transport dies, so every successor connection writes its
+     stream-scoped records (ack/in/out/outtrim/part) under a fresh key
+     space. Recovery follows the epoch recorded in the meta record. *)
+  mutable epoch : int;
 }
 
 let create ?(replicate = true) ?(ack_hold = true) ?(max_batch = 128) ~engine
@@ -84,8 +89,11 @@ let create ?(replicate = true) ?(ack_hold = true) ?(max_batch = 128) ~engine
     tail_source = None;
     watchdog = None;
     part_written = false;
+    epoch = 0;
   }
 
+let ecid t = Keys.epoch_cid t.cid t.epoch
+let epoch t = t.epoch
 let watermark t = t.wm
 let held_segments t = Queue.length t.held
 let hold_samples t = t.holds
@@ -209,7 +217,7 @@ let rec confirm_watermark t =
     | Some wm when t.wm_target > wm ->
         t.confirm_inflight <- true;
         Store.Client.get t.client ~timeout:(Time.sec 1)
-          [ Keys.ack_key t.cid ] (fun result ->
+          [ Keys.ack_key (ecid t) ] (fun result ->
             t.confirm_inflight <- false;
             (match result with
             | Ok [ (_, Some v) ] -> (
@@ -251,9 +259,38 @@ let session_down t =
       Telemetry.Bus.emit t.eng
         (Telemetry.Event.Ack_dropped { conn = t.cid; ack });
     reinject Netfilter.Accept
-  done
+  done;
+  (* Retire the dead stream's send-side accounting and roll the epoch
+     BEFORE a successor connection sends its first byte. Without this, a
+     re-established session's tx offsets would continue where the dead
+     stream stopped, and the next takeover would graft old-stream
+     offsets onto the new connection's initial sequence number — a
+     resumed sender permanently ahead of (or behind) the peer, whose
+     ACKs then never advance snd_una (found by chaos fuzzing:
+     kill.hostnet + cease during the partition + a second kill moments
+     after the reconnect). The old epoch's records are deleted as
+     hygiene only; recovery never reads them once the meta record names
+     the new epoch. *)
+  let old = ecid t in
+  let stale =
+    List.map (fun (off, _) -> Keys.out_key old off) t.out_records
+  in
+  let stale = if t.part_written then Keys.part_key old :: stale else stale in
+  let stale =
+    Queue.fold (fun acc st -> st.in_key :: acc) stale t.unapplied
+  in
+  let stale = Keys.ack_key old :: Keys.outtrim_key old :: stale in
+  Queue.clear t.unapplied;
+  t.in_seq <- 0;
+  t.written <- 0;
+  t.outtrim <- 0;
+  t.out_records <- [];
+  t.part_written <- false;
+  t.epoch <- t.epoch + 1;
+  if t.replicate && not t.stopped then submit_bulk t (Del stale)
 
-let resume_at t ~watermark ~bytes_written ~in_seq ~outtrim ~out_records =
+let resume_at t ~epoch ~watermark ~bytes_written ~in_seq ~outtrim ~out_records =
+  t.epoch <- epoch;
   t.wm <- Some watermark;
   t.wm_target <- watermark;
   if Telemetry.Gate.on () then
@@ -264,12 +301,9 @@ let resume_at t ~watermark ~bytes_written ~in_seq ~outtrim ~out_records =
   t.outtrim <- outtrim;
   t.out_records <- out_records
 
-let next_queue_num = ref 0
-
 let attach_output_chain t chain ~local ~remote =
   if t.ack_hold then begin
-    incr next_queue_num;
-    let qnum = !next_queue_num in
+    let qnum = Netfilter.fresh_queue_num chain in
     ignore
       (Netfilter.add_rule chain (fun pkt ->
            match pkt.Packet.payload with
@@ -329,8 +363,8 @@ let check_stall t =
               submit_ctl t
                 (Set
                    ( [
-                       (Keys.part_key t.cid, Keys.encode_part ~offset ~bytes);
-                       (Keys.ack_key t.cid, string_of_int inferred_ack);
+                       (Keys.part_key (ecid t), Keys.encode_part ~offset ~bytes);
+                       (Keys.ack_key (ecid t), string_of_int inferred_ack);
                      ],
                      [
                        (fun () ->
@@ -356,14 +390,14 @@ let on_rx_message t msg ~inferred_ack =
     let raw = Bgp.Msg.encode msg in
     let seq = t.in_seq in
     t.in_seq <- seq + 1;
-    let key = Keys.in_key t.cid seq in
+    let key = Keys.in_key (ecid t) seq in
     let is_update = match msg with Bgp.Msg.Update _ -> true | _ -> false in
     let st = { in_key = key; durable = false; applied = false } in
     if is_update then Queue.push st t.unapplied;
     (* A completed message supersedes any replicated fragment. *)
     if t.part_written then begin
       t.part_written <- false;
-      submit_ctl t (Del [ Keys.part_key t.cid ])
+      submit_ctl t (Del [ Keys.part_key (ecid t) ])
     end;
     let on_durable () =
       if inferred_ack > t.wm_target then begin
@@ -379,7 +413,7 @@ let on_rx_message t msg ~inferred_ack =
       (Set
          ( [
              (key, Keys.encode_in_record ~ack:inferred_ack ~raw);
-             (Keys.ack_key t.cid, string_of_int inferred_ack);
+             (Keys.ack_key (ecid t), string_of_int inferred_ack);
            ],
            [ on_durable ] ))
   end
@@ -406,7 +440,7 @@ let on_tx_message t ~raw ~release =
     t.written <- offset + len;
     t.out_records <- t.out_records @ [ (offset, len) ];
     submit_ctl t
-      (Set ([ (Keys.out_key t.cid offset, Keys.hex raw) ], [ release ]))
+      (Set ([ (Keys.out_key (ecid t) offset, Keys.hex raw) ], [ release ]))
   end
 
 (* --- Routing-table checkpoints ------------------------------------------------ *)
@@ -439,9 +473,9 @@ let note_snd_una t ~iss ~snd_una =
       t.out_records <- kept;
       if trimmed <> [] then begin
         submit_bulk t
-          (Set ([ (Keys.outtrim_key t.cid, string_of_int acked) ], []));
+          (Set ([ (Keys.outtrim_key (ecid t), string_of_int acked) ], []));
         submit_bulk t
-          (Del (List.map (fun (off, _) -> Keys.out_key t.cid off) trimmed))
+          (Del (List.map (fun (off, _) -> Keys.out_key (ecid t) off) trimmed))
       end
     end
   end

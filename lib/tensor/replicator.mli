@@ -58,21 +58,31 @@ val session_established : t -> irs:int -> unit
 val session_down : t -> unit
 (** The session's transport died without a handover: clears the
     watermark (back to pass-through, so a successor connection's
-    handshake is not held against the dead stream's sequence space) and
-    flushes held segments, reported as [Ack_dropped]. A later
-    {!session_established} re-arms holding for the new stream. *)
+    handshake is not held against the dead stream's sequence space),
+    flushes held segments (reported as [Ack_dropped]), retires the dead
+    stream's send/receive accounting, and rolls the connection {!epoch}
+    so a successor connection writes its stream records under a fresh
+    key space. A later {!session_established} re-arms holding for the
+    new stream. *)
+
+val epoch : t -> int
+(** The current connection epoch (0 for the first connection). The meta
+    record written at establishment must carry this value: recovery
+    reads only the epoch the meta record names, which is what makes a
+    straggler write from a dead stream harmless. *)
 
 val resume_at :
   t ->
+  epoch:int ->
   watermark:int ->
   bytes_written:int ->
   in_seq:int ->
   outtrim:int ->
   out_records:(int * int) list ->
   unit
-(** Recovery path: continue a predecessor's counters. [out_records] are
-    the retained (offset, length) outbound replicas, re-tracked for
-    future trimming. *)
+(** Recovery path: continue a predecessor's counters under its recorded
+    epoch. [out_records] are the retained (offset, length) outbound
+    replicas, re-tracked for future trimming. *)
 
 val set_tail_source : t -> (unit -> (int * int * string) option) -> unit
 (** Installs the partial-frame tail source — [(parsed_offset,

@@ -1,0 +1,260 @@
+(* The chaos engine's own guarantees: descriptors are an exact one-line
+   serialization of a run, generated scenarios execute green and
+   deterministically (the replay property CI relies on), the shrinker
+   produces a smaller descriptor that still fails, and corpus entries
+   round-trip through the filesystem. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- Descriptors ----------------------------------------------------------- *)
+
+let test_generate_valid () =
+  for seed = 1 to 50 do
+    let d = Chaos.Descriptor.generate ~seed in
+    (match Chaos.Descriptor.validate d with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: invalid descriptor: %s" seed e);
+    checki "engine seed is the descriptor seed" seed d.Chaos.Descriptor.seed
+  done
+
+let test_roundtrip_generated () =
+  for seed = 1 to 200 do
+    let d = Chaos.Descriptor.generate ~seed in
+    let line = Chaos.Descriptor.to_string d in
+    match Chaos.Descriptor.of_string line with
+    | Ok d' ->
+        if not (Chaos.Descriptor.equal d d') then
+          Alcotest.failf "seed %d: roundtrip changed descriptor: %s" seed line
+    | Error e -> Alcotest.failf "seed %d: reparse failed: %s (%s)" seed e line
+  done
+
+let test_parse_errors () =
+  let bad =
+    [
+      "";
+      "chaos2 seed=1 peers=1 hosts=3 ppfx=1 spfx=1 churn=0 delay=1 window=1 settle=1 faults=-";
+      "chaos1 peers=1 hosts=3 ppfx=1 spfx=1 churn=0 delay=1 window=1 settle=1 faults=-";
+      "chaos1 seed=1 peers=0 hosts=3 ppfx=1 spfx=1 churn=0 delay=1 window=1000 settle=1 faults=-";
+      "chaos1 seed=1 peers=1 hosts=3 ppfx=1 spfx=1 churn=0 delay=1 window=1000 settle=1 faults=zap@3";
+      (* vrf index out of range for peers=1 *)
+      "chaos1 seed=1 peers=1 hosts=3 ppfx=1 spfx=1 churn=0 delay=1 window=1000 settle=1 faults=rst.1@3";
+      (* fault beyond the window *)
+      "chaos1 seed=1 peers=1 hosts=3 ppfx=1 spfx=1 churn=0 delay=1 window=1000 settle=1 faults=planned@5000";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Chaos.Descriptor.of_string line with
+      | Ok _ -> Alcotest.failf "accepted bad descriptor: %S" line
+      | Error _ -> ())
+    bad
+
+let test_sub_seed_spread () =
+  (* The campaign derivation must give distinct, order-independent
+     sub-seeds: a failure reported as (campaign, index) has to replay in
+     isolation. *)
+  let seen = Hashtbl.create 64
+  and campaign = 42 in
+  for i = 0 to 499 do
+    let s = Chaos.Descriptor.sub_seed ~seed:campaign i in
+    if Hashtbl.mem seen s then Alcotest.failf "sub_seed collision at %d" i;
+    Hashtbl.add seen s ()
+  done;
+  checki "sub_seed is stateless"
+    (Chaos.Descriptor.sub_seed ~seed:campaign 7)
+    (Chaos.Descriptor.sub_seed ~seed:campaign 7)
+
+let test_applicability_matrix () =
+  let parse line = Result.get_ok (Chaos.Descriptor.of_string line) in
+  let base =
+    "chaos1 seed=1 peers=2 hosts=3 ppfx=5 spfx=5 churn=0 delay=500 window=9000 settle=20000 faults="
+  in
+  checkb "clean schedule disables nothing" true
+    (Chaos.Runner.disabled_checkers (parse (base ^ "-")) = []);
+  let rst = Chaos.Runner.disabled_checkers (parse (base ^ "rst.0@100")) in
+  checkb "rst disables reset checker" true
+    (List.mem "no_peer_visible_reset" rst);
+  checkb "rst keeps flap checker" false (List.mem "route_flap_absence" rst);
+  let cease = Chaos.Runner.disabled_checkers (parse (base ^ "cease.1@100")) in
+  checkb "cease disables reset checker" true
+    (List.mem "no_peer_visible_reset" cease);
+  checkb "cease disables flap checker" true
+    (List.mem "route_flap_absence" cease)
+
+(* --- Replay determinism (the property CI's corpus gate relies on) ---------- *)
+
+let prop_replay_deterministic =
+  QCheck.Test.make ~name:"two runs of one descriptor give equal digests"
+    ~count:8
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let d = Chaos.Descriptor.generate ~seed:(seed + 1) in
+      let o1 = Chaos.Runner.run d in
+      let o2 = Chaos.Runner.run d in
+      String.equal o1.Chaos.Runner.digest o2.Chaos.Runner.digest
+      && o1.Chaos.Runner.events = o2.Chaos.Runner.events)
+
+let test_generated_runs_green () =
+  for seed = 1 to 10 do
+    let o = Chaos.Runner.run (Chaos.Descriptor.generate ~seed) in
+    if not (Chaos.Runner.ok o) then
+      Alcotest.failf "seed %d not green: %s" seed (Chaos.Runner.summary o)
+  done
+
+(* --- Shrinking ------------------------------------------------------------- *)
+
+(* A seeded product fault (promoting without fencing) makes any
+   app-failure migration fail the single-primary checker, so the
+   shrinker has a real, reproducible failure to minimize — and its
+   minimum must keep exactly the one fault that forces the unfenced
+   migration. *)
+let test_shrink_minimizes () =
+  Monitor.Faults.with_fault Monitor.Faults.no_fence (fun () ->
+      let d =
+        Result.get_ok
+          (Chaos.Descriptor.of_string
+             "chaos1 seed=5 peers=2 hosts=3 ppfx=8 spfx=8 churn=1 delay=500 \
+              window=16000 settle=20000 \
+              faults=flap.1@1000+80,kill.app@4000,loss.1@9000+400:20")
+      in
+      match Chaos.Shrink.minimize ~max_runs:40 d with
+      | None -> Alcotest.fail "descriptor did not fail under no_fence"
+      | Some r ->
+          checkb "minimal still fails" false (Chaos.Runner.ok r.outcome);
+          let m = r.minimal in
+          checkb "fault schedule shrank to the kill" true
+            (match m.Chaos.Descriptor.faults with
+            | [ Chaos.Descriptor.Kill _ ] -> true
+            | _ -> false);
+          checkb "workload reduced" true
+            (m.Chaos.Descriptor.peers <= 2
+            && m.Chaos.Descriptor.churn = 0
+            && m.Chaos.Descriptor.peer_prefixes <= 8);
+          checkb "run budget respected" true (r.runs_used <= 40))
+
+(* --- Corpus ---------------------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chaos-corpus-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun e -> Sys.remove (Filename.concat dir e))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_corpus_roundtrip () =
+  with_temp_dir (fun dir ->
+      let d1 = Chaos.Descriptor.generate ~seed:11 in
+      let d2 = Chaos.Descriptor.generate ~seed:12 in
+      let p1 = Chaos.Corpus.save ~dir ~comment:"first\nsecond line" d1 in
+      let _p2 = Chaos.Corpus.save ~dir d2 in
+      (match Chaos.Corpus.load_file p1 with
+      | Ok d -> checkb "comment lines skipped" true (Chaos.Descriptor.equal d d1)
+      | Error e -> Alcotest.failf "load_file: %s" e);
+      let entries = Chaos.Corpus.load_dir dir in
+      checki "both entries listed" 2 (List.length entries);
+      List.iter
+        (fun (name, parsed) ->
+          checkb "chaos extension" true
+            (Filename.check_suffix name Chaos.Corpus.entry_extension);
+          match parsed with
+          | Ok d ->
+              checkb "entry parses to a saved descriptor" true
+                (Chaos.Descriptor.equal d d1 || Chaos.Descriptor.equal d d2)
+          | Error e -> Alcotest.failf "corpus entry %s: %s" name e)
+        entries)
+
+let test_corpus_missing_dir () =
+  checki "missing dir is empty corpus" 0
+    (List.length (Chaos.Corpus.load_dir "/nonexistent/chaos-corpus"))
+
+let test_corpus_replay_detects_failure () =
+  (* A replay must fail loudly for an entry whose bug has regressed —
+     simulated here with a seeded product fault instead of a code
+     regression. *)
+  Monitor.Faults.with_fault Monitor.Faults.no_fence (fun () ->
+      with_temp_dir (fun dir ->
+          let d =
+            Result.get_ok
+              (Chaos.Descriptor.of_string
+                 "chaos1 seed=5 peers=1 hosts=3 ppfx=5 spfx=5 churn=0 \
+                  delay=500 window=9000 settle=20000 faults=kill.app@2000")
+          in
+          let path = Chaos.Corpus.save ~dir d in
+          let r = Chaos.Corpus.replay_file path in
+          checkb "regressed entry fails replay" false (Chaos.Corpus.replay_ok r);
+          checks "entry name" (Filename.basename path) r.Chaos.Corpus.name))
+
+(* --- Campaigns ------------------------------------------------------------- *)
+
+let test_campaign_green () =
+  let c = Chaos.Fuzz.run ~runs:15 ~seed:42 () in
+  checkb "15-run campaign green" true (Chaos.Fuzz.campaign_ok c);
+  checki "all runs executed" 15 c.Chaos.Fuzz.runs;
+  checkb "checkers saw events" true (c.Chaos.Fuzz.events_total > 0)
+
+let test_campaign_captures_and_saves () =
+  Monitor.Faults.with_fault Monitor.Faults.no_fence (fun () ->
+      with_temp_dir (fun dir ->
+          (* Most generated schedules contain a migration-forcing fault,
+             so a short campaign under no_fence must fail at least once;
+             shrinking writes each repro to the corpus dir. *)
+          let c = Chaos.Fuzz.run ~runs:5 ~seed:7 ~shrink:true ~corpus_dir:dir () in
+          checkb "campaign failed" false (Chaos.Fuzz.campaign_ok c);
+          match c.Chaos.Fuzz.failures with
+          | [] -> Alcotest.fail "no failures recorded"
+          | f :: _ -> (
+              checkb "failure index in range" true
+                (f.Chaos.Fuzz.index >= 0 && f.Chaos.Fuzz.index < 5);
+              match (f.Chaos.Fuzz.shrunk, f.Chaos.Fuzz.saved) with
+              | Some s, Some path ->
+                  checkb "saved entry exists" true (Sys.file_exists path);
+                  (match Chaos.Corpus.load_file path with
+                  | Ok d ->
+                      checkb "saved entry is the minimal descriptor" true
+                        (Chaos.Descriptor.equal d s.Chaos.Shrink.minimal)
+                  | Error e -> Alcotest.failf "saved entry: %s" e)
+              | _ -> Alcotest.fail "failure missing shrink result or path")))
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "descriptor",
+        [
+          Alcotest.test_case "generated are valid" `Quick test_generate_valid;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_generated;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "sub-seed spread" `Quick test_sub_seed_spread;
+          Alcotest.test_case "applicability matrix" `Quick
+            test_applicability_matrix;
+        ] );
+      ( "runner",
+        Alcotest.test_case "generated runs green" `Slow
+          test_generated_runs_green
+        :: List.map QCheck_alcotest.to_alcotest [ prop_replay_deterministic ]
+      );
+      ("shrink", [ Alcotest.test_case "minimizes" `Slow test_shrink_minimizes ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "missing dir" `Quick test_corpus_missing_dir;
+          Alcotest.test_case "replay detects regressions" `Quick
+            test_corpus_replay_detects_failure;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "green campaign" `Slow test_campaign_green;
+          Alcotest.test_case "captures, shrinks, saves" `Slow
+            test_campaign_captures_and_saves;
+        ] );
+    ]

@@ -168,7 +168,7 @@ let test_replicate_false_is_inert () =
 
 let test_resume_continues_counters () =
   let r = make_rig () in
-  Tensor.Replicator.resume_at r.repl ~watermark:2000 ~bytes_written:500
+  Tensor.Replicator.resume_at r.repl ~epoch:0 ~watermark:2000 ~bytes_written:500
     ~in_seq:7 ~outtrim:300
     ~out_records:[ (300, 100); (400, 100) ];
   checkb "watermark restored" true

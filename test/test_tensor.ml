@@ -16,7 +16,8 @@ let vip1 = Addr.of_string "203.0.113.10"
 
 let sample_meta =
   {
-    Tensor.Keys.vrf = "v0";
+    Tensor.Keys.epoch = 0;
+    vrf = "v0";
     local_addr = vip1;
     local_port = 49152;
     peer_addr = Addr.of_string "198.51.100.7";
