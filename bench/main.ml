@@ -188,7 +188,7 @@ let micro () =
       (fun test ->
         let results = Benchmark.all cfg [ instance ] test in
         let stats = Analyze.all ols instance results in
-        Hashtbl.fold
+        Sim.Det.fold_sorted ~compare:String.compare
           (fun name ols acc ->
             let ns =
               match Analyze.OLS.estimates ols with
@@ -260,17 +260,21 @@ let () =
   Format.printf
     "TENSOR reproduction — benchmark harness (%s mode)@."
     (if !quick then "quick" else "full");
+  (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (id, f) ->
+      (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
       let t = Unix.gettimeofday () in
       let e0 = Sim.Engine.global_processed_events () in
       f ();
+      (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
       let wall = Unix.gettimeofday () -. t in
       bench_rows :=
         (id, wall, Sim.Engine.global_processed_events () - e0) :: !bench_rows;
       Format.printf "@.[%s done in %.1fs wall]@." id wall)
     selected;
+  (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
   let total_wall = Unix.gettimeofday () -. t0 in
   Format.printf "@.All selected experiments done in %.1fs wall.@." total_wall;
   (match !emit_bench with

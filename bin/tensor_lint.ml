@@ -1,0 +1,88 @@
+(* tensor-lint: the repo's determinism & protocol-safety linter.
+
+     tensor-lint                         # lint lib/ bin/ bench/ examples/
+     tensor-lint --json lib/bgp          # machine-readable report
+     tensor-lint --baseline FILE PATHS   # fail only on NEW findings
+     tensor-lint --update-baseline FILE  # rewrite the baseline from HEAD
+     tensor-lint --list-passes           # pass catalogue
+
+   Exit status: 0 clean, 1 new findings, 2 usage or I/O error. *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage =
+  "tensor-lint [--json] [--baseline FILE] [--update-baseline FILE] \
+   [--list-passes] [PATHS...]"
+
+let () =
+  let json = ref false in
+  let baseline = ref None in
+  let update_baseline = ref None in
+  let list_passes = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " Emit a JSON report on stdout");
+      ( "--baseline",
+        Arg.String (fun f -> baseline := Some f),
+        "FILE Fail only on findings absent from FILE" );
+      ( "--update-baseline",
+        Arg.String (fun f -> update_baseline := Some f),
+        "FILE Write the current findings to FILE and exit 0" );
+      ("--list-passes", Arg.Set list_passes, " Print the pass catalogue");
+    ]
+  in
+  (try Arg.parse_argv Sys.argv spec (fun p -> paths := p :: !paths) usage
+   with
+  | Arg.Bad msg ->
+      prerr_string msg;
+      exit 2
+  | Arg.Help msg ->
+      print_string msg;
+      exit 0);
+  if !list_passes then begin
+    List.iter
+      (fun (p : Lint.Pass.t) ->
+        Printf.printf "%-4s %-7s %s\n" p.name
+          (Lint.Finding.severity_to_string p.severity)
+          p.doc)
+      Lint.Driver.passes;
+    Printf.printf "%-4s %-7s %s\n" Lint.Suppress.meta_pass "error"
+      "meta: malformed, reasonless, unknown-pass or unused suppressions";
+    Printf.printf "%-4s %-7s %s\n" "parse" "error"
+      "meta: files must parse (not suppressible)";
+    exit 0
+  end;
+  let paths = if !paths = [] then default_paths else List.rev !paths in
+  (match List.filter (fun p -> not (Sys.file_exists p)) paths with
+  | [] -> ()
+  | missing ->
+      Printf.eprintf "tensor-lint: no such path: %s\n"
+        (String.concat ", " missing);
+      exit 2);
+  let report = Lint.Driver.run ~paths in
+  let new_findings =
+    match !baseline with
+    | None -> report.findings
+    | Some file -> (
+        match Lint.Baseline.load file with
+        | Ok entries -> Lint.Baseline.diff entries report.findings
+        | Error e ->
+            Printf.eprintf "tensor-lint: bad baseline: %s\n" e;
+            exit 2)
+  in
+  (match !update_baseline with
+  | Some file ->
+      let oc = open_out_bin file in
+      output_string oc (Lint.Driver.to_json report ~new_findings);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "tensor-lint: wrote %d finding(s) to %s\n"
+        (List.length report.findings)
+        file;
+      exit 0
+  | None -> ());
+  print_endline
+    (if !json then Lint.Driver.to_json report ~new_findings
+     else Lint.Driver.to_text report ~new_findings);
+  exit (if new_findings = [] then 0 else 1)

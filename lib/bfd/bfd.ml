@@ -162,16 +162,21 @@ let handle_control ep s (ctl : control) =
       transition s Up
     in
     match (s.st, ctl.state) with
+    (* RFC 5880 §6.8.6: a session held in AdminDown discards whatever the
+       peer reports; only a local command re-enables it. The former
+       [_, Admin_down] wildcard matched first and knocked an
+       administratively-down session back to Down on a peer AdminDown. *)
+    | Admin_down, (Admin_down | Down | Init | Up) -> ()
     | Down, Down -> transition s Init
     | Down, Init -> to_up ()
+    | Down, Up -> (* illegal from Down; wait for the peer's Init *) ()
     | Init, (Init | Up) -> to_up ()
+    | Init, Down -> ()
     | Up, Down ->
         (* Peer restarted its session. *)
         transition s Down
     | Up, (Init | Up) -> ()
-    | _, Admin_down -> transition s Down
-    | (Init | Down), _ -> ()
-    | Admin_down, _ -> ()
+    | (Down | Init | Up), Admin_down -> transition s Down
   end
 
 let handle_packet ep (pkt : Packet.t) =

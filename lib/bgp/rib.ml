@@ -140,11 +140,19 @@ let candidates t prefix =
 let size t = PrefixTbl.length t.table
 let path_count t = t.npaths
 
+(* Every whole-table traversal goes through [sorted_entries]: ascending
+   prefix order, so adj-out update batches, digests, and telemetry are
+   independent of the table's insertion history (lint pass d1). *)
+let sorted_entries t =
+  (* lint: allow d1 — the RIB's single collect-then-sort point; all other traversals use it *)
+  PrefixTbl.fold (fun prefix e acc -> (prefix, e) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> Netsim.Addr.compare_prefix a b)
+
 let fold_best t ~init ~f =
-  PrefixTbl.fold
-    (fun prefix e acc ->
+  List.fold_left
+    (fun acc (prefix, e) ->
       match e.best with Some p -> f acc prefix p | None -> acc)
-    t.table init
+    init (sorted_entries t)
 
 let best_prefixes ?source_key t =
   fold_best t ~init:[] ~f:(fun acc prefix path ->
@@ -171,15 +179,15 @@ let digest ?source_key t =
   Printf.sprintf "%016Lx" !h
 
 let transform_source t ~key ~f =
-  (* Apply [f] to each (prefix, entry) holding a path from [key]; collect
-     best-path changes. *)
-  let touched = ref [] in
-  PrefixTbl.iter
-    (fun prefix e ->
-      if List.exists (fun p -> String.equal p.source.key key) e.paths then
-        touched := (prefix, e) :: !touched)
-    t.table;
-  List.filter_map (fun (prefix, e) -> f prefix e) !touched
+  (* Apply [f] to each (prefix, entry) holding a path from [key], in
+     ascending prefix order; collect best-path changes. *)
+  let touched =
+    List.filter
+      (fun (_, e) ->
+        List.exists (fun p -> String.equal p.source.key key) e.paths)
+      (sorted_entries t)
+  in
+  List.filter_map (fun (prefix, e) -> f prefix e) touched
 
 let remove_source t ~key =
   transform_source t ~key ~f:(fun prefix e ->
@@ -191,8 +199,8 @@ let remove_source t ~key =
 
 let mark_source_stale t ~key =
   let marked = ref 0 in
-  PrefixTbl.iter
-    (fun _ e ->
+  List.iter
+    (fun (_, e) ->
       e.paths <-
         List.map
           (fun p ->
@@ -205,7 +213,7 @@ let mark_source_stale t ~key =
       (* The best pointer may reference a replaced record; refresh it
          without reporting a change (attrs are unchanged). *)
       e.best <- select_best e.paths)
-    t.table;
+    (sorted_entries t);
   !marked
 
 let sweep_stale t ~key =
@@ -219,11 +227,11 @@ let sweep_stale t ~key =
       recompute t prefix e)
 
 let stale_count t ~key =
-  PrefixTbl.fold
-    (fun _ e acc ->
+  List.fold_left
+    (fun acc (_, e) ->
       acc
       + List.length
           (List.filter
              (fun p -> String.equal p.source.key key && p.stale)
              e.paths))
-    t.table 0
+    0 (sorted_entries t)

@@ -295,7 +295,9 @@ let handle_message t msg size =
   t.on_message msg ~size;
   reset_hold t;
   match (t.st, msg) with
-  | _, Msg.Notification n -> teardown t (Notification_received n)
+  | ( (Idle | Connecting | Open_sent | Open_confirm | Established | Down),
+      Msg.Notification n ) ->
+      teardown t (Notification_received n)
   | Open_sent, Msg.Open o -> handle_open t o
   | Open_sent, _ -> send_notification_and_die t 5 0 (* FSM error *)
   | Open_confirm, Msg.Keepalive ->

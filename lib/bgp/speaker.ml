@@ -615,7 +615,9 @@ let accept_incoming t conn =
             | Some s -> (
                 match Session.state s with
                 | Session.Connecting | Session.Open_sent -> true
-                | _ -> false)
+                | Session.Idle | Session.Open_confirm | Session.Established
+                | Session.Down ->
+                    false)
             | None -> false)
           (peers t)
       with

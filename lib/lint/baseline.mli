@@ -1,0 +1,13 @@
+(** The committed zero-findings baseline the CI gate diffs against. *)
+
+type entry = { b_pass : string; b_file : string; b_message : string }
+
+val of_finding : Finding.t -> entry
+
+val load : string -> (entry list, string) result
+(** Reads a [tensor-lint --json] report (or hand-written baseline):
+    only [pass]/[file]/[message] of each entry under ["findings"] are
+    consulted. *)
+
+val diff : entry list -> Finding.t list -> Finding.t list
+(** Findings not absorbed by a baseline entry; multiset semantics. *)

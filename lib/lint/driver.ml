@@ -1,0 +1,121 @@
+let passes =
+  [ Pass_d1.pass; Pass_d2.pass; Pass_d3.pass; Pass_p1.pass; Pass_p2.pass ]
+
+let known_passes =
+  Suppress.meta_pass :: List.map (fun p -> p.Pass.name) passes
+
+let parse_finding ~file ~loc msg =
+  let p = loc.Location.loc_start in
+  Finding.v ~pass:"parse" ~severity:Finding.Error ~file
+    ~line:(max 1 p.Lexing.pos_lnum)
+    ~col:(max 0 (p.Lexing.pos_cnum - p.Lexing.pos_bol))
+    msg
+
+let lint_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | exception Syntaxerr.Error e ->
+      ( [ parse_finding ~file ~loc:(Syntaxerr.location_of_error e)
+            "syntax error" ],
+        0 )
+  | exception Lexer.Error (_, loc) ->
+      ([ parse_finding ~file ~loc "lexer error" ], 0)
+  | exception _ ->
+      ([ parse_finding ~file ~loc:Location.none "unparseable source" ], 0)
+  | str ->
+      let ctx = { Pass.file } in
+      let raw = List.concat_map (fun p -> p.Pass.check ctx str) passes in
+      let directives = Suppress.scan source in
+      Suppress.apply ~file ~known_passes directives raw
+
+let rec files_under path =
+  if not (Sys.file_exists path) then []
+  else if not (Sys.is_directory path) then
+    if Filename.check_suffix path ".ml" then [ path ] else []
+  else
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.concat_map (fun name ->
+             if name = "_build" || (name <> "" && name.[0] = '.') then []
+             else files_under (Filename.concat path name))
+
+type report = {
+  findings : Finding.t list;
+  files : int;
+  suppressed : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run ~paths =
+  let files = List.concat_map files_under paths in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, n) file ->
+        let found, suppressed = lint_source ~file (read_file file) in
+        (found :: fs, n + suppressed))
+      ([], 0) files
+  in
+  {
+    findings = List.sort Finding.compare (List.concat findings);
+    files = List.length files;
+    suppressed;
+  }
+
+(* --- Reporters ----------------------------------------------------------- *)
+
+let summary_line report ~new_findings =
+  Printf.sprintf
+    "%d file(s), %d finding(s) (%d new), %d suppression(s) honoured"
+    report.files
+    (List.length report.findings)
+    (List.length new_findings)
+    report.suppressed
+
+let to_text report ~new_findings =
+  let baseline_note =
+    if List.length new_findings <> List.length report.findings then
+      Printf.sprintf " [%d baselined]"
+        (List.length report.findings - List.length new_findings)
+    else ""
+  in
+  String.concat "\n"
+    (List.map Finding.to_string new_findings
+    @ [ summary_line report ~new_findings ^ baseline_note ])
+
+let esc s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_json (f : Finding.t) =
+  Printf.sprintf
+    "{\"pass\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+    (esc f.pass)
+    (Finding.severity_to_string f.severity)
+    (esc f.file) f.line f.col (esc f.message)
+
+let to_json report ~new_findings =
+  Printf.sprintf
+    "{\"version\":1,\"tool\":\"tensor-lint\",\"summary\":{\"files\":%d,\"findings\":%d,\"new\":%d,\"suppressed\":%d},\"findings\":[%s],\"new_findings\":[%s]}"
+    report.files
+    (List.length report.findings)
+    (List.length new_findings)
+    report.suppressed
+    (String.concat "," (List.map finding_json report.findings))
+    (String.concat "," (List.map finding_json new_findings))

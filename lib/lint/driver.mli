@@ -1,0 +1,34 @@
+(** The linter driver: parse with compiler-libs, run every registered
+    pass, apply source-comment suppressions, report. *)
+
+val passes : Pass.t list
+(** The registered passes, in catalogue order. *)
+
+val known_passes : string list
+(** Pass names valid in suppressions (registered passes plus the
+    ["suppress"] meta pass; the ["parse"] pseudo-pass cannot be
+    suppressed). *)
+
+val lint_source : file:string -> string -> Finding.t list * int
+(** Lint one compilation unit given as text. Returns surviving findings
+    (sorted) and the number of suppressed ones. Unparseable source
+    yields a single ["parse"] finding. *)
+
+val files_under : string -> string list
+(** [.ml] files under a file or directory path, sorted; skips [_build]
+    and dot-directories. Nonexistent paths yield []. *)
+
+type report = {
+  findings : Finding.t list;
+  files : int;
+  suppressed : int;
+}
+
+val run : paths:string list -> report
+
+val to_text : report -> new_findings:Finding.t list -> string
+(** Human report: one line per finding plus a summary tail. *)
+
+val to_json : report -> new_findings:Finding.t list -> string
+(** Machine report; parses with [Monitor.Json] and doubles as a
+    baseline file. *)

@@ -1,0 +1,33 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  pass : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~pass ~severity ~file ~line ~col message =
+  { pass; severity; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.pass b.pass in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col f.pass
+    (severity_to_string f.severity)
+    f.message

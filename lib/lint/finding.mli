@@ -1,0 +1,29 @@
+(** One linter finding: a pass, a location, and a message. *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+
+type t = {
+  pass : string;
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports *)
+  message : string;
+}
+
+val v :
+  pass:string ->
+  severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+val compare : t -> t -> int
+(** Orders by file, line, column, pass, message. *)
+
+val to_string : t -> string
+(** [file:line:col: [pass] severity: message] — one line, clickable. *)

@@ -1,0 +1,52 @@
+type ctx = { file : string }
+
+type t = {
+  name : string;
+  severity : Finding.severity;
+  doc : string;
+  check : ctx -> Parsetree.structure -> Finding.t list;
+}
+
+let finding ctx ~pass ~loc fmt =
+  let p = loc.Location.loc_start in
+  Printf.ksprintf
+    (Finding.v ~pass:pass.name ~severity:pass.severity ~file:ctx.file
+       ~line:p.Lexing.pos_lnum
+       ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol))
+    fmt
+
+let rec last = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, l) -> last l
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (l, _) -> flatten l
+
+let normalize file =
+  let file = String.map (function '\\' -> '/' | c -> c) file in
+  if String.starts_with ~prefix:"./" file then
+    String.sub file 2 (String.length file - 2)
+  else file
+
+let file_in_dirs ctx dirs =
+  let file = normalize ctx.file in
+  List.exists
+    (fun d ->
+      let d = if String.ends_with ~suffix:"/" d then d else d ^ "/" in
+      String.starts_with ~prefix:d file
+      ||
+      (* ".../<d>/..." anywhere, so absolute paths scope too *)
+      let needle = "/" ^ d in
+      let n = String.length needle and len = String.length file in
+      let rec scan i =
+        i + n <= len && (String.sub file i n = needle || scan (i + 1))
+      in
+      scan 0)
+    dirs
+
+let file_is ctx suffix =
+  let file = normalize ctx.file in
+  String.equal file suffix || String.ends_with ~suffix:("/" ^ suffix) file

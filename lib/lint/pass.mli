@@ -1,0 +1,26 @@
+(** Pass registry types and the helpers every pass shares. *)
+
+type ctx = { file : string  (** repo-relative path, '/'-separated *) }
+
+type t = {
+  name : string;  (** short id used in suppressions, e.g. ["d1"] *)
+  severity : Finding.severity;
+  doc : string;  (** one-line description for [--list-passes] and docs *)
+  check : ctx -> Parsetree.structure -> Finding.t list;
+}
+
+val finding :
+  ctx -> pass:t -> loc:Location.t -> ('a, unit, string, Finding.t) format4 -> 'a
+(** Build a finding at [loc]'s start position. *)
+
+val last : Longident.t -> string
+(** Last component of a dotted path ([Hashtbl.iter] -> ["iter"]). *)
+
+val flatten : Longident.t -> string list
+(** Components of a dotted path; [Lapply] collapses to its functor. *)
+
+val file_in_dirs : ctx -> string list -> bool
+(** Does [ctx.file] live under one of the directory prefixes? *)
+
+val file_is : ctx -> string -> bool
+(** Suffix match, so ["lib/sim/det.ml"] also matches an absolute path. *)

@@ -1,0 +1,60 @@
+(* d2 — ambient nondeterminism.
+
+   A descriptor plus a seed must reproduce a byte-identical run. Ambient
+   entropy (the [Random] module, wall-clock reads, digests of mutable
+   buffers, [Marshal]'s representation-dependent output) silently breaks
+   that contract. All simulation randomness must come from [Sim.Rng]
+   ([lib/sim/rng.ml] is the one allowed implementation site); wall-clock
+   measurements in harnesses need an explicit suppression stating that
+   wall time is the datum being reported. *)
+
+open Parsetree
+
+let unix_time_fns = [ "gettimeofday"; "time"; "gmtime"; "localtime"; "times" ]
+let digest_mutable = [ "bytes"; "subbytes"; "channel"; "file"; "input" ]
+let rng_file = "lib/sim/rng.ml"
+
+let rec pass =
+  {
+    Pass.name = "d2";
+    severity = Finding.Error;
+    doc =
+      "ambient nondeterminism: Random outside Sim.Rng, wall-clock reads, \
+       Digest of mutable data, Marshal";
+    check;
+  }
+
+and check ctx str =
+  let findings = ref [] in
+  let hit loc fmt = Printf.ksprintf (fun msg ->
+      findings := Pass.finding ctx ~pass ~loc "%s" msg :: !findings) fmt
+  in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+        match Pass.flatten txt with
+        | "Random" :: _ when not (Pass.file_is ctx rng_file) ->
+            hit loc
+              "ambient randomness (%s): draw from the run's seeded Sim.Rng \
+               instead"
+              (String.concat "." (Pass.flatten txt))
+        | [ "Sys"; "time" ] ->
+            hit loc "wall-clock read (Sys.time) breaks seeded replay"
+        | [ "Unix"; fn ] when List.mem fn unix_time_fns ->
+            hit loc "wall-clock read (Unix.%s) breaks seeded replay" fn
+        | [ "Digest"; fn ] when List.mem fn digest_mutable ->
+            hit loc
+              "Digest.%s hashes mutable/IO input; digest an immutable \
+               string built in canonical order"
+              fn
+        | "Marshal" :: _ ->
+            hit loc
+              "Marshal output depends on runtime representation; use an \
+               explicit canonical encoding"
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  !findings

@@ -1,0 +1,55 @@
+(* d3 — float equality.
+
+   [=] / [<>] on floats is almost never what sim-time arithmetic wants:
+   accumulated rounding makes "equal" timestamps drift apart, and
+   [nan = nan] is false, so sentinel checks silently fail. Compare with
+   a tolerance, use [Float.is_nan], or restructure around an option.
+   Flagged when either operand is syntactically a float: a float
+   literal, a [(e : float)] annotation, or a float constant like [nan]. *)
+
+open Parsetree
+
+let eq_ops = [ "="; "<>"; "=="; "!=" ]
+let float_idents = [ "nan"; "infinity"; "neg_infinity"; "epsilon_float" ]
+
+let floaty (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt; _ }, []); _ }) ->
+      Pass.last txt = "float"
+  | Pexp_ident { txt = Longident.Lident id; _ } -> List.mem id float_idents
+  | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Float", id); _ } ->
+      List.mem id [ "nan"; "infinity"; "neg_infinity"; "epsilon" ]
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, _)
+    when List.mem op [ "+."; "-."; "*."; "/." ] ->
+      true
+  | _ -> false
+
+let rec pass =
+  {
+    Pass.name = "d3";
+    severity = Finding.Warning;
+    doc = "float equality in sim arithmetic (tolerance or Float.is_nan)";
+    check;
+  }
+
+and check ctx str =
+  let findings = ref [] in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; loc }; _ },
+          [ (_, a); (_, b) ] )
+      when List.mem op eq_ops && (floaty a || floaty b) ->
+        findings :=
+          Pass.finding ctx ~pass ~loc
+            "float equality (%s) is rounding- and nan-hostile; compare \
+             with a tolerance or match on the producing branch"
+            op
+          :: !findings
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  !findings

@@ -1,0 +1,167 @@
+(* p1 — wildcard arms over protocol FSM states.
+
+   A [| _ ->] arm in a match over the BGP/TCP/BFD session-state variants
+   swallows every state added later: the type checker stays silent and a
+   missed transition becomes a silent no-op. The manifest below names
+   each FSM's constructors; a case list that matches one of them in some
+   arm may not hide the same position behind a wildcard in another.
+
+   Detection is positional: for every tuple/constructor-argument slot
+   where any arm places a manifest constructor, every other arm must be
+   explicit at that slot (a constructor, or an or-pattern of them) —
+   [Ppat_any] and catch-all variables are findings. Intentional
+   any-state arms (e.g. "NOTIFICATION tears down in every state") carry
+   a suppression with the RFC reference as the reason. *)
+
+open Parsetree
+
+type fsm = {
+  label : string;
+  dirs : string list;  (** unqualified constructors match under these *)
+  modules : string list;  (** qualified constructors match everywhere *)
+  ctors : string list;
+}
+
+let manifest =
+  [
+    {
+      label = "BGP session states";
+      dirs = [ "lib/bgp" ];
+      modules = [ "Session" ];
+      ctors =
+        [ "Idle"; "Connecting"; "Open_sent"; "Open_confirm"; "Established";
+          "Down" ];
+    };
+    {
+      label = "TCP connection states";
+      dirs = [ "lib/tcp" ];
+      modules = [ "Tcp" ];
+      ctors =
+        [ "Syn_sent"; "Syn_received"; "Established"; "Fin_wait_1";
+          "Fin_wait_2"; "Close_wait"; "Last_ack"; "Closed" ];
+    };
+    {
+      label = "BFD session states";
+      dirs = [ "lib/bfd" ];
+      modules = [ "Bfd" ];
+      ctors = [ "Admin_down"; "Down"; "Init"; "Up" ];
+    };
+  ]
+
+(* Steps from the scrutinee down to a slot: tuple index or constructor
+   argument. *)
+type step = T of int | C of string
+
+let fsm_of_ctor ctx lid =
+  let name = Pass.last lid in
+  let qualifier =
+    match List.rev (Pass.flatten lid) with _ :: m :: _ -> Some m | _ -> None
+  in
+  List.find_opt
+    (fun f ->
+      List.mem name f.ctors
+      && (Pass.file_in_dirs ctx f.dirs
+         || match qualifier with
+            | Some m -> List.mem m f.modules
+            | None -> false))
+    manifest
+
+(* Collect every slot where some arm puts a manifest constructor. *)
+let state_slots ctx cases =
+  let slots = ref [] in
+  let add path f =
+    if not (List.exists (fun (p, _) -> p = path) !slots) then
+      slots := (path, f) :: !slots
+  in
+  let rec walk path (p : pattern) =
+    match p.ppat_desc with
+    | Ppat_or (a, b) ->
+        walk path a;
+        walk path b
+    | Ppat_alias (q, _) | Ppat_constraint (q, _) | Ppat_open (_, q) ->
+        walk path q
+    | Ppat_tuple ps -> List.iteri (fun i q -> walk (path @ [ T i ]) q) ps
+    | Ppat_construct (lid, arg) -> (
+        (match fsm_of_ctor ctx lid.txt with
+        | Some f -> add path f
+        | None -> ());
+        match arg with
+        | Some (_, q) -> walk (path @ [ C (Pass.last lid.txt) ]) q
+        | None -> ())
+    | _ -> ()
+  in
+  List.iter
+    (fun c ->
+      match c.pc_lhs.ppat_desc with
+      | Ppat_exception _ -> ()
+      | _ -> walk [] c.pc_lhs)
+    cases;
+  !slots
+
+(* Does this arm hide [path] behind a wildcard? *)
+let rec swallows (p : pattern) path =
+  match p.ppat_desc with
+  | Ppat_or (a, b) -> swallows a path || swallows b path
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) | Ppat_open (_, q) ->
+      swallows q path
+  | Ppat_any | Ppat_var _ -> true
+  | _ -> (
+      match path with
+      | [] -> false
+      | T i :: rest -> (
+          match p.ppat_desc with
+          | Ppat_tuple ps when i < List.length ps ->
+              swallows (List.nth ps i) rest
+          | _ -> false)
+      | C name :: rest -> (
+          match p.ppat_desc with
+          | Ppat_construct (lid, Some (_, q)) when Pass.last lid.txt = name ->
+              swallows q rest
+          | _ -> false))
+
+let rec pass =
+  {
+    Pass.name = "p1";
+    severity = Finding.Error;
+    doc =
+      "wildcard arm hides protocol FSM states; list the states so new \
+       ones cannot be silently swallowed";
+    check;
+  }
+
+and check ctx str =
+  let findings = ref [] in
+  let handle_cases cases =
+    match state_slots ctx cases with
+    | [] -> ()
+    | slots ->
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_exception _ -> ()
+            | _ ->
+                let hit =
+                  List.filter (fun (path, _) -> swallows c.pc_lhs path) slots
+                in
+                let labels =
+                  List.sort_uniq String.compare
+                    (List.map (fun (_, f) -> f.label) hit)
+                in
+                if labels <> [] then
+                  findings :=
+                    Pass.finding ctx ~pass ~loc:c.pc_lhs.ppat_loc
+                      "wildcard arm swallows %s: make the arms explicit so \
+                       a new state cannot silently fall through"
+                      (String.concat " and " labels)
+                    :: !findings)
+          cases
+  in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_match (_, cases) | Pexp_function cases -> handle_cases cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  !findings

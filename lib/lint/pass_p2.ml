@@ -1,0 +1,60 @@
+(* p2 — panic budget in protocol hot paths.
+
+   [failwith], [assert false] and [Obj.magic] inside the BGP/TCP/BFD/
+   replication code kill a speaker that NSR promised would survive.
+   Every such site must either handle the case or carry a suppression
+   whose reason explains why it cannot fire. *)
+
+open Parsetree
+
+let hot_dirs =
+  [
+    "lib/bgp";
+    "lib/tcp";
+    "lib/bfd";
+    "lib/netfilter";
+    "lib/tensor";
+    "lib/orch";
+    "lib/store";
+  ]
+
+let rec pass =
+  {
+    Pass.name = "p2";
+    severity = Finding.Error;
+    doc =
+      "failwith / assert false / Obj.magic in protocol hot paths must \
+       carry a suppression explaining why it cannot fire";
+    check;
+  }
+
+and check ctx str =
+  if not (Pass.file_in_dirs ctx hot_dirs) then []
+  else begin
+    let findings = ref [] in
+    let hit loc what =
+      findings :=
+        Pass.finding ctx ~pass ~loc
+          "%s in a protocol hot path: handle the case, or suppress with \
+           the reason it cannot fire"
+          what
+        :: !findings
+    in
+    let expr it (e : expression) =
+      (match e.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident "failwith"; loc } ->
+          hit loc "failwith"
+      | Pexp_ident { txt; loc } when Pass.flatten txt = [ "Obj"; "magic" ] ->
+          hit loc "Obj.magic"
+      | Pexp_assert
+          { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None);
+            pexp_loc = loc;
+            _ } ->
+          hit loc "assert false"
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it str;
+    !findings
+  end

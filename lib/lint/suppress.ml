@@ -1,0 +1,184 @@
+type directive = {
+  d_line : int;
+  target : int;
+  passes : string list;
+  reason : string option;
+  error : string option;
+}
+
+let meta_pass = "suppress"
+
+(* The marker is assembled at runtime so this file's own literals never
+   look like a directive to the scanner. *)
+let marker = "lint:"
+let em_dash = "\xe2\x80\x94"
+
+let find_sub ?(from = 0) hay needle =
+  let n = String.length needle and len = String.length hay in
+  let rec scan i =
+    if i + n > len then None
+    else if String.sub hay i n = needle then Some i
+    else scan (i + 1)
+  in
+  scan (max 0 from)
+
+let is_blank = function ' ' | '\t' -> true | _ -> false
+
+let skip_blanks s i =
+  let len = String.length s in
+  let rec go i = if i < len && is_blank s.[i] then go (i + 1) else i in
+  go i
+
+let token_ok tok =
+  tok <> ""
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       tok
+
+let split_tokens s =
+  String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) s)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* Parse one line; [None] when it holds no directive. *)
+let parse_line ~lineno line =
+  (* Find "(*" followed (only by blanks) by the marker. *)
+  let rec find_opener from =
+    match find_sub ~from line "(*" with
+    | None -> None
+    | Some i ->
+        let j = skip_blanks line (i + 2) in
+        if
+          j + String.length marker <= String.length line
+          && String.sub line j (String.length marker) = marker
+        then Some (i, j + String.length marker)
+        else find_opener (i + 1)
+  in
+  match find_opener 0 with
+  | None -> None
+  | Some (open_at, after_marker) ->
+      let before = String.sub line 0 open_at in
+      let target =
+        if String.trim before = "" then lineno + 1 else lineno
+      in
+      let body_end =
+        match find_sub ~from:after_marker line "*)" with
+        | Some e -> e
+        | None -> String.length line
+      in
+      let body =
+        String.trim (String.sub line after_marker (body_end - after_marker))
+      in
+      let mk ?(passes = []) ?reason ?error () =
+        Some { d_line = lineno; target; passes; reason; error }
+      in
+      if not (String.starts_with ~prefix:"allow" body) then
+        mk ~error:"unknown lint directive; expected 'allow <pass> \xe2\x80\x94 reason'" ()
+      else
+        let rest =
+          String.trim (String.sub body 5 (String.length body - 5))
+        in
+        let names_part, reason =
+          match find_sub rest em_dash with
+          | Some i ->
+              ( String.sub rest 0 i,
+                Some
+                  (String.trim
+                     (String.sub rest
+                        (i + String.length em_dash)
+                        (String.length rest - i - String.length em_dash))) )
+          | None -> (
+              match find_sub rest "--" with
+              | Some i ->
+                  ( String.sub rest 0 i,
+                    Some
+                      (String.trim
+                         (String.sub rest (i + 2) (String.length rest - i - 2)))
+                  )
+              | None -> (rest, None))
+        in
+        let reason =
+          match reason with Some "" -> None | r -> r
+        in
+        let passes = split_tokens (String.trim names_part) in
+        if passes = [] then
+          mk ~error:"lint directive names no pass" ()
+        else if not (List.for_all token_ok passes) then
+          mk ~error:"lint directive has a malformed pass name" ()
+        else mk ~passes ?reason ()
+
+let scan source =
+  let lines = String.split_on_char '\n' source in
+  let rec go lineno acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+        let acc =
+          match parse_line ~lineno line with
+          | Some d -> d :: acc
+          | None -> acc
+        in
+        go (lineno + 1) acc rest
+  in
+  go 1 [] lines
+
+let meta ~file ~line fmt =
+  Printf.ksprintf
+    (Finding.v ~pass:meta_pass ~severity:Finding.Error ~file ~line ~col:0)
+    fmt
+
+let apply ~file ~known_passes directives findings =
+  let used = Array.make (List.length directives) false in
+  let directives_arr = Array.of_list directives in
+  let active (d : directive) = d.error = None && d.reason <> None in
+  let suppressed f =
+    let hit = ref None in
+    Array.iteri
+      (fun i d ->
+        if
+          !hit = None && active d
+          && d.target = f.Finding.line
+          && List.mem f.Finding.pass d.passes
+        then hit := Some i)
+      directives_arr;
+    match !hit with
+    | Some i ->
+        used.(i) <- true;
+        true
+    | None -> false
+  in
+  let survivors = List.filter (fun f -> not (suppressed f)) findings in
+  let n_suppressed = List.length findings - List.length survivors in
+  let meta_findings =
+    Array.to_list directives_arr
+    |> List.mapi (fun i (d : directive) ->
+           match d.error with
+           | Some e -> [ meta ~file ~line:d.d_line "%s" e ]
+           | None -> (
+               let unknown =
+                 List.filter (fun p -> not (List.mem p known_passes)) d.passes
+               in
+               let unknown_findings =
+                 List.map
+                   (fun p ->
+                     meta ~file ~line:d.d_line
+                       "suppression names unknown pass %S" p)
+                   unknown
+               in
+               match d.reason with
+               | None ->
+                   meta ~file ~line:d.d_line
+                     "suppression for %s is missing a reason: append an \
+                      em-dash and the why"
+                     (String.concat "," d.passes)
+                   :: unknown_findings
+               | Some _ when not used.(i) ->
+                   meta ~file ~line:d.d_line
+                     "unused suppression for %s: no matching finding on \
+                      line %d"
+                     (String.concat "," d.passes)
+                     d.target
+                   :: unknown_findings
+               | Some _ -> unknown_findings))
+    |> List.concat
+  in
+  (List.sort Finding.compare (survivors @ meta_findings), n_suppressed)

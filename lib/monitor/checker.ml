@@ -206,13 +206,13 @@ let events_seen t = t.events_seen
 let queue_drop_events t = t.queue_drop_events
 
 let check_queue_drain t =
-  let conns = Hashtbl.create 8 in
-  let note tbl = Hashtbl.iter (fun k _ -> Hashtbl.replace conns k ()) tbl in
-  note t.held;
-  note t.released;
-  note t.dropped;
-  Hashtbl.iter
-    (fun conn () ->
+  let keys tbl = Sim.Det.keys ~compare:String.compare tbl in
+  let conns =
+    List.sort_uniq String.compare
+      (keys t.held @ keys t.released @ keys t.dropped)
+  in
+  List.iter
+    (fun conn ->
       let get tbl = Option.value (Hashtbl.find_opt tbl conn) ~default:0 in
       let h = get t.held and r = get t.released and d = get t.dropped in
       if h <> r + d then
@@ -233,7 +233,7 @@ let check_rib_convergence t =
       let cur = Option.value (Hashtbl.find_opt groups sn.sn_group) ~default:[] in
       Hashtbl.replace groups sn.sn_group (sn :: cur))
     t.snapshots;
-  Hashtbl.iter
+  Sim.Det.iter_sorted ~compare:String.compare
     (fun group sns ->
       match sns with
       | [] | [ _ ] -> ()

@@ -152,8 +152,9 @@ let declare_host_failed t (he : host_entry) =
      lease. *)
   Rpc.call t.ep ~timeout:(Time.ms 300) ~dst:(Host.addr he.host)
     ~service:"host_ctl" Host.Host_fence (fun _ -> ());
-  (* Migrate every managed container living there. *)
-  Hashtbl.iter
+  (* Migrate every managed container living there, in name order so the
+     replayed migration sequence is deterministic. *)
+  Det.iter_sorted ~compare:String.compare
     (fun _ m ->
       if String.equal (Container.host_name m.cont) (Host.name he.host) then
         start_migration t m Host_failure)

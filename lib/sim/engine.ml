@@ -172,7 +172,7 @@ let every t ?(jitter = 0.0) period f =
      from the shared root generator: a timer's firing pattern must not
      shift when an unrelated subsystem (created mid-run, e.g. by a fault
      injector) starts drawing from the engine RNG. *)
-  let rng = if jitter = 0.0 then None else Some (Rng.split t.root_rng) in
+  let rng = if jitter <= 0.0 then None else Some (Rng.split t.root_rng) in
   let next_delay () =
     match rng with
     | None -> period

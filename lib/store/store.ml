@@ -70,14 +70,10 @@ module Server = struct
   let peek t key = Hashtbl.find_opt t.table key
 
   let keys_with_prefix t prefix =
-    Hashtbl.fold
-      (fun k _ acc ->
-        if String.length k >= String.length prefix
-           && String.sub k 0 (String.length prefix) = prefix
-        then k :: acc
-        else acc)
-      t.table []
-    |> List.sort compare
+    Det.keys ~compare:String.compare t.table
+    |> List.filter (fun k ->
+           String.length k >= String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix)
 
   (* Serialize request processing through the server's modelled CPU, like
      the TCP stack does. *)

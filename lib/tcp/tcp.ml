@@ -183,6 +183,7 @@ let cancel_rto c =
 
 let update_rtt c sample_s =
   Telemetry.Registry.observe m_rtt sample_s;
+  (* lint: allow d3 — 0.0 is the exact "no RTT sample yet" sentinel assigned at creation, never computed *)
   if c.srtt_v = 0.0 then begin
     c.srtt_v <- sample_s;
     c.rttvar <- sample_s /. 2.0
@@ -343,7 +344,8 @@ and maybe_send_fin c =
     (match c.st with
     | Established -> c.st <- Fin_wait_1
     | Close_wait -> c.st <- Last_ack
-    | _ -> ());
+    | Syn_sent | Syn_received | Fin_wait_1 | Fin_wait_2 | Last_ack | Closed ->
+        ());
     if c.rto_handle = None then arm_rto c
   end
 
@@ -402,7 +404,8 @@ let fin_acked c =
   match c.st with
   | Fin_wait_1 -> c.st <- Fin_wait_2
   | Last_ack -> teardown c Closed_normally
-  | _ -> ()
+  | Syn_sent | Syn_received | Established | Fin_wait_2 | Close_wait | Closed ->
+      ()
 
 let process_ack c (seg : Segment.t) =
   if seg.flags.ack then begin
@@ -677,7 +680,8 @@ let connect stack ?src ?src_port ?(mss = default_mss)
   arm_rto c;
   c
 
-let connections stack = Hashtbl.fold (fun _ c acc -> c :: acc) stack.conns []
+let connections stack =
+  List.map snd (Det.bindings ~compare:Quad.compare stack.conns)
 
 let write c data =
   (match c.st with
@@ -692,7 +696,8 @@ let close c =
   match c.st with
   | Closed -> ()
   | Syn_sent -> teardown c Closed_normally
-  | _ ->
+  | Syn_received | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
+  | Last_ack ->
       if not c.fin_pending && c.fin_seq = None then begin
         c.fin_pending <- true;
         try_send c;
@@ -723,6 +728,7 @@ let bytes_acked c = c.acked
 let retransmits c = c.rtx
 let segments_in c = c.n_in
 let segments_out c = c.n_out
+(* lint: allow d3 — 0.0 is the exact "no RTT sample yet" sentinel assigned at creation, never computed *)
 let srtt c = if c.srtt_v = 0.0 then None else Some c.srtt_v
 
 let export_repair c =

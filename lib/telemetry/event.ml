@@ -240,8 +240,7 @@ let field_json = function
   | Float f ->
       (* JSON has no literal for non-finite numbers. *)
       if Float.is_nan f then "null"
-      else if f = Float.infinity then "1e999"
-      else if f = Float.neg_infinity then "-1e999"
+      else if not (Float.is_finite f) then (if f > 0.0 then "1e999" else "-1e999")
       else if Float.is_integer f && Float.abs f < 1e15 then
         Printf.sprintf "%.1f" f
       else Printf.sprintf "%.9g" f

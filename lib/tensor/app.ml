@@ -291,7 +291,7 @@ let start_bfd t pv ?resume () =
     pv.bfd <- Some session;
     Bfd.on_state_change session (fun ~old st ->
         match (old, st) with
-        | _, Bfd.Up ->
+        | (Bfd.Admin_down | Bfd.Down | Bfd.Init | Bfd.Up), Bfd.Up ->
             write_bfd_discs t pv;
             t.bfd_up_cb ~vrf:pv.spec.vrf session
         | Bfd.Up, Bfd.Down ->
@@ -299,7 +299,10 @@ let start_bfd t pv ?resume () =
                (§3.3.2); the BGP session's own timers take it from
                here. *)
             ()
-        | _ -> ());
+        | Bfd.Up, (Bfd.Admin_down | Bfd.Init) -> ()
+        | ( (Bfd.Admin_down | Bfd.Down | Bfd.Init),
+            (Bfd.Admin_down | Bfd.Down | Bfd.Init) ) ->
+            ());
     if resume <> None then begin
       write_bfd_discs t pv;
       t.bfd_up_cb ~vrf:pv.spec.vrf session

@@ -74,6 +74,7 @@ let setup mon =
   Monitor.Checker.note_primary mon ~service:"chk"
     ~container:(Orch.Container.id (Deploy.service_container svc));
   if not (Deploy.wait_established dep svc ()) then
+    (* lint: allow p2 — harness precondition: abort the scenario loudly before any measurement; not a product path *)
     failwith "check scenario: session did not establish";
   Bgp.Speaker.originate peer.Deploy.pa_speaker ~vrf
     (Workload.Prefixes.distinct 300);

@@ -128,7 +128,7 @@ let one_mode ~mode ~store_delay ~ack_hold =
         let cur = try Hashtbl.find tbl key with Not_found -> [] in
         Hashtbl.replace tbl key ((pfx, attrs) :: cur))
       routes;
-    Hashtbl.iter
+    Det.iter_sorted ~compare:Int.compare
       (fun _ l ->
         match l with
         | (_, attrs) :: _ ->

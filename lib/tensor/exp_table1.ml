@@ -34,6 +34,7 @@ let scenario kind =
       ]
   in
   if not (Deploy.wait_established dep svc ()) then
+    (* lint: allow p2 — harness precondition: abort the experiment loudly before any measurement; not a product path *)
     failwith "table1: session did not establish";
   (* Average workload: a few hundred routes each way. *)
   Bgp.Speaker.originate peer.Deploy.pa_speaker ~vrf:"v0"

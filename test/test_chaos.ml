@@ -178,6 +178,34 @@ let test_corpus_missing_dir () =
   checki "missing dir is empty corpus" 0
     (List.length (Chaos.Corpus.load_dir "/nonexistent/chaos-corpus"))
 
+(* Pinned telemetry digests for every committed corpus entry. These
+   change ONLY when event emission genuinely changes; in particular the
+   sorted-key table folds feeding digests/snapshots must keep them
+   byte-identical. Update deliberately, never to silence a failure. *)
+let pinned_digests =
+  [
+    ( "seed352025351311880476-a489e3e4.chaos",
+      "cce19579ceb519046c58eb784dfe8082" );
+    ( "seed508528403378398481-3411f630.chaos",
+      "4231d6d13fdf065bcb3d58d8ef0bd6e3" );
+  ]
+
+let test_corpus_digests_pinned () =
+  let dir = if Sys.file_exists "corpus" then "corpus" else "../corpus" in
+  let entries = Chaos.Corpus.load_dir dir in
+  checki "every committed entry is pinned" (List.length pinned_digests)
+    (List.length entries);
+  List.iter
+    (fun (name, expected) ->
+      let r = Chaos.Corpus.replay_file (Filename.concat dir name) in
+      checkb (name ^ " replays green") true (Chaos.Corpus.replay_ok r);
+      match r.Chaos.Corpus.outcome with
+      | Some o -> checks (name ^ " digest") expected o.Chaos.Runner.digest
+      | None ->
+          Alcotest.failf "%s: %s" name
+            (Option.value r.Chaos.Corpus.parse_error ~default:"no outcome"))
+    pinned_digests
+
 let test_corpus_replay_detects_failure () =
   (* A replay must fail loudly for an entry whose bug has regressed —
      simulated here with a seeded product fault instead of a code
@@ -250,6 +278,8 @@ let () =
           Alcotest.test_case "missing dir" `Quick test_corpus_missing_dir;
           Alcotest.test_case "replay detects regressions" `Quick
             test_corpus_replay_detects_failure;
+          Alcotest.test_case "committed digests pinned" `Slow
+            test_corpus_digests_pinned;
         ] );
       ( "campaign",
         [

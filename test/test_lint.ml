@@ -1,0 +1,320 @@
+(* tensor-lint's own guarantees: each pass fires on the construct it
+   documents, stays quiet on the allowlisted blessed sites, honours
+   reasoned suppressions and rejects reasonless ones, emits JSON that
+   lib/monitor's reader can parse back, and the baseline gate flags a
+   seeded violation as NEW (the CI exit-1 condition). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let lint ~file src = Lint.Driver.lint_source ~file src
+
+let passes_of findings =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Lint.Finding.t) -> f.pass) findings)
+
+let check_passes what expected (findings, _suppressed) =
+  Alcotest.(check (list string)) what expected (passes_of findings)
+
+(* --- d1: unordered iteration ----------------------------------------------- *)
+
+let test_d1_positive () =
+  check_passes "Hashtbl.iter in product code" [ "d1" ]
+    (lint ~file:"lib/bgp/fixture.ml"
+       "let f tbl = Hashtbl.iter (fun k v -> ignore k; ignore v) tbl\n");
+  check_passes "Hashtbl.fold in product code" [ "d1" ]
+    (lint ~file:"lib/orch/fixture.ml"
+       "let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n")
+
+let test_d1_functor_instance () =
+  (* Local [Hashtbl.Make] instances are picked up by the first sweep, so
+     the RIB's PrefixTbl cannot dodge the pass by renaming. *)
+  check_passes "Hashtbl.Make instance traversal" [ "d1" ]
+    (lint ~file:"lib/bgp/fixture.ml"
+       "module M = Hashtbl.Make (String)\n\
+        let g tbl = M.fold (fun _ v acc -> v :: acc) tbl []\n")
+
+let test_d1_allowlisted () =
+  let findings, suppressed =
+    lint ~file:"lib/sim/det.ml"
+      "let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"
+  in
+  checki "Sim.Det is the blessed traversal point" 0 (List.length findings);
+  checki "allowlist is not a suppression" 0 suppressed
+
+let test_d1_suppressed () =
+  let findings, suppressed =
+    lint ~file:"lib/bgp/fixture.ml"
+      "(* lint: allow d1 -- collect-then-sort: sorted on the next line *)\n\
+       let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"
+  in
+  checki "reasoned suppression silences d1" 0 (List.length findings);
+  checki "one suppression honoured" 1 suppressed
+
+let test_suppression_without_reason_rejected () =
+  let findings, suppressed =
+    lint ~file:"lib/bgp/fixture.ml"
+      "(* lint: allow d1 *)\n\
+       let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"
+  in
+  checki "nothing suppressed" 0 suppressed;
+  check_passes "finding survives and the directive is flagged"
+    [ "d1"; Lint.Suppress.meta_pass ]
+    (findings, suppressed)
+
+let test_suppression_unknown_pass_rejected () =
+  check_passes "unknown pass name is flagged" [ Lint.Suppress.meta_pass ]
+    (lint ~file:"lib/bgp/fixture.ml"
+       "(* lint: allow zz -- no such pass *)\nlet x = 1\n")
+
+let test_suppression_unused_flagged () =
+  check_passes "unused directive is flagged" [ Lint.Suppress.meta_pass ]
+    (lint ~file:"lib/bgp/fixture.ml"
+       "(* lint: allow d1 -- nothing to suppress here *)\nlet x = 1\n")
+
+(* --- d2: ambient nondeterminism -------------------------------------------- *)
+
+let test_d2_positive () =
+  check_passes "Unix.gettimeofday" [ "d2" ]
+    (lint ~file:"lib/tcp/fixture.ml" "let now () = Unix.gettimeofday ()\n");
+  check_passes "Random outside the engine RNG" [ "d2" ]
+    (lint ~file:"lib/bgp/fixture.ml" "let r () = Random.int 5\n");
+  check_passes "Marshal" [ "d2" ]
+    (lint ~file:"lib/store/fixture.ml"
+       "let s v = Marshal.to_string v []\n")
+
+let test_d2_rng_allowlisted () =
+  check_passes "lib/sim/rng.ml may use Random" []
+    (lint ~file:"lib/sim/rng.ml" "let r () = Random.int 5\n")
+
+(* --- d3: float equality ---------------------------------------------------- *)
+
+let test_d3_positive () =
+  check_passes "comparison against a float literal" [ "d3" ]
+    (lint ~file:"lib/sim/fixture.ml" "let is_zero x = x = 0.0\n");
+  check_passes "comparison of a float expression" [ "d3" ]
+    (lint ~file:"lib/sim/fixture.ml" "let f a b c = (a +. b) = c\n")
+
+let test_d3_ints_quiet () =
+  check_passes "integer equality is fine" []
+    (lint ~file:"lib/sim/fixture.ml" "let eq (a : int) b = a = b\n")
+
+(* --- p1: wildcard FSM arms -------------------------------------------------- *)
+
+let fsm_fixture arm =
+  "type t = Idle | Connecting | Open_sent | Open_confirm | Established | \
+   Down\n\
+   let f st = match st with Established -> 1 | " ^ arm ^ " -> 0\n"
+
+let test_p1_positive () =
+  check_passes "wildcard over BGP session states" [ "p1" ]
+    (lint ~file:"lib/bgp/fixture.ml" (fsm_fixture "_"));
+  check_passes "binder over BGP session states" [ "p1" ]
+    (lint ~file:"lib/bgp/fixture.ml" (fsm_fixture "other"))
+
+let test_p1_explicit_quiet () =
+  check_passes "explicit arms are fine" []
+    (lint ~file:"lib/bgp/fixture.ml"
+       (fsm_fixture "Idle | Connecting | Open_sent | Open_confirm | Down"))
+
+let test_p1_outside_owning_dir_quiet () =
+  (* Same constructor names in a non-protocol directory: not our FSM. *)
+  check_passes "manifest is scoped to the owning directories" []
+    (lint ~file:"lib/workload/fixture.ml" (fsm_fixture "_"))
+
+(* --- p2: panic budget -------------------------------------------------------- *)
+
+let test_p2_positive () =
+  check_passes "failwith in a protocol hot path" [ "p2" ]
+    (lint ~file:"lib/bgp/fixture.ml" "let f () = failwith \"boom\"\n");
+  check_passes "assert false in a protocol hot path" [ "p2" ]
+    (lint ~file:"lib/tcp/fixture.ml" "let f () = assert false\n");
+  check_passes "Obj.magic in a protocol hot path" [ "p2" ]
+    (lint ~file:"lib/bfd/fixture.ml" "let f x = Obj.magic x\n")
+
+let test_p2_cold_dir_quiet () =
+  check_passes "panics outside hot paths are not budgeted" []
+    (lint ~file:"lib/workload/fixture.ml" "let f () = failwith \"boom\"\n")
+
+let test_p2_suppressed () =
+  let findings, suppressed =
+    lint ~file:"lib/bgp/fixture.ml"
+      "(* lint: allow p2 -- precondition: caller guarantees a frame *)\n\
+       let f () = failwith \"boom\"\n"
+  in
+  checki "reasoned suppression silences p2" 0 (List.length findings);
+  checki "one suppression honoured" 1 suppressed
+
+(* --- driver over a tree, JSON round-trip, baseline gate --------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Unix.mkdir dir 0o755
+  end
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_tree f =
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tensor-lint-test-%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      let write rel content =
+        let path = Filename.concat root rel in
+        mkdir_p (Filename.dirname path);
+        let oc = open_out_bin path in
+        output_string oc content;
+        close_out oc;
+        path
+      in
+      f root write)
+
+let json_mem name j =
+  match Monitor.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "JSON report lacks %S" name
+
+let test_json_roundtrips_through_monitor () =
+  with_temp_tree (fun root write ->
+      let _ =
+        write "lib/bgp/dirty.ml"
+          "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n"
+      in
+      let _ = write "lib/bgp/clean.ml" "let x = 1\n" in
+      let report = Lint.Driver.run ~paths:[ root ] in
+      let json = Lint.Driver.to_json report ~new_findings:report.findings in
+      match Monitor.Json.parse json with
+      | Error e -> Alcotest.failf "Monitor.Json rejected the report: %s" e
+      | Ok j ->
+          let summary = json_mem "summary" j in
+          let geti name =
+            match Monitor.Json.to_int (json_mem name summary) with
+            | Some i -> i
+            | None -> Alcotest.failf "summary.%s is not an int" name
+          in
+          checki "summary.files" 2 (geti "files");
+          checki "summary.findings" 1 (geti "findings");
+          checki "summary.new" 1 (geti "new");
+          let findings =
+            match Monitor.Json.to_list (json_mem "findings" j) with
+            | Some l -> l
+            | None -> Alcotest.fail "findings is not a list"
+          in
+          checki "one finding serialized" 1 (List.length findings);
+          let f = List.hd findings in
+          let gets name =
+            match Monitor.Json.to_str (json_mem name f) with
+            | Some s -> s
+            | None -> Alcotest.failf "finding.%s is not a string" name
+          in
+          checks "finding.pass" "d1" (gets "pass");
+          checkb "finding.file points at the fixture" true
+            (Filename.basename (gets "file") = "dirty.ml"))
+
+let test_baseline_gates_new_findings () =
+  with_temp_tree (fun root write ->
+      let _ =
+        write "lib/bgp/old.ml" "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n"
+      in
+      let report = Lint.Driver.run ~paths:[ root ] in
+      checki "one pre-existing finding" 1 (List.length report.findings);
+      let baseline_file = write "baseline.json" "" in
+      let oc = open_out_bin baseline_file in
+      output_string oc
+        (Lint.Driver.to_json report ~new_findings:report.findings);
+      close_out oc;
+      let entries =
+        match Lint.Baseline.load baseline_file with
+        | Ok e -> e
+        | Error e -> Alcotest.failf "baseline did not load: %s" e
+      in
+      (* Unchanged tree: the gate is green (exit 0). *)
+      checki "baselined finding is not NEW" 0
+        (List.length (Lint.Baseline.diff entries report.findings));
+      (* Seed a violation: the gate must go red (exit 1 in the CI job). *)
+      let _ =
+        write "lib/tcp/seeded.ml" "let now () = Unix.gettimeofday ()\n"
+      in
+      let report' = Lint.Driver.run ~paths:[ root ] in
+      checki "two findings total" 2 (List.length report'.findings);
+      let fresh = Lint.Baseline.diff entries report'.findings in
+      checki "exactly the seeded violation is NEW" 1 (List.length fresh);
+      checks "and it is the d2 one" "d2" (List.hd fresh).Lint.Finding.pass)
+
+let test_zero_finding_repo_baseline () =
+  (* The committed contract: the repo itself lints clean, so the
+     committed baseline stays empty and any regression is NEW. Under
+     [dune runtest] the cwd is [_build/default/test]; under
+     [dune exec test/test_lint.exe] it is the workspace root. *)
+  let root = if Sys.file_exists "lib" then "." else ".." in
+  let paths = List.map (Filename.concat root) [ "lib"; "bin"; "bench" ] in
+  let report = Lint.Driver.run ~paths in
+  Alcotest.(check (list string))
+    "repo lints clean" []
+    (List.map Lint.Finding.to_string report.findings)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "d1",
+        [
+          Alcotest.test_case "positive" `Quick test_d1_positive;
+          Alcotest.test_case "functor instance" `Quick test_d1_functor_instance;
+          Alcotest.test_case "allowlisted" `Quick test_d1_allowlisted;
+          Alcotest.test_case "suppressed" `Quick test_d1_suppressed;
+        ] );
+      ( "suppress",
+        [
+          Alcotest.test_case "reasonless rejected" `Quick
+            test_suppression_without_reason_rejected;
+          Alcotest.test_case "unknown pass rejected" `Quick
+            test_suppression_unknown_pass_rejected;
+          Alcotest.test_case "unused flagged" `Quick
+            test_suppression_unused_flagged;
+        ] );
+      ( "d2",
+        [
+          Alcotest.test_case "positive" `Quick test_d2_positive;
+          Alcotest.test_case "rng allowlisted" `Quick test_d2_rng_allowlisted;
+        ] );
+      ( "d3",
+        [
+          Alcotest.test_case "positive" `Quick test_d3_positive;
+          Alcotest.test_case "ints quiet" `Quick test_d3_ints_quiet;
+        ] );
+      ( "p1",
+        [
+          Alcotest.test_case "positive" `Quick test_p1_positive;
+          Alcotest.test_case "explicit quiet" `Quick test_p1_explicit_quiet;
+          Alcotest.test_case "outside owning dir quiet" `Quick
+            test_p1_outside_owning_dir_quiet;
+        ] );
+      ( "p2",
+        [
+          Alcotest.test_case "positive" `Quick test_p2_positive;
+          Alcotest.test_case "cold dir quiet" `Quick test_p2_cold_dir_quiet;
+          Alcotest.test_case "suppressed" `Quick test_p2_suppressed;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "json roundtrips through Monitor.Json" `Quick
+            test_json_roundtrips_through_monitor;
+          Alcotest.test_case "baseline gates a seeded violation" `Quick
+            test_baseline_gates_new_findings;
+          Alcotest.test_case "repo lints clean" `Quick
+            test_zero_finding_repo_baseline;
+        ] );
+    ]
