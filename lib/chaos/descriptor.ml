@@ -9,6 +9,9 @@ type fault =
   | Bfd_perturb of { at_ms : int; vrf : int; factor_pct : int }
   | Peer_rst of { at_ms : int; vrf : int }
   | Peer_cease of { at_ms : int; vrf : int }
+  | Store_crash of { at_ms : int; dur_ms : int }
+  | Store_partition of { at_ms : int; dur_ms : int }
+  | Store_slow of { at_ms : int; dur_ms : int; factor_pct : int }
 
 type t = {
   seed : int;
@@ -31,7 +34,10 @@ let fault_at = function
   | Loss { at_ms; _ }
   | Bfd_perturb { at_ms; _ }
   | Peer_rst { at_ms; _ }
-  | Peer_cease { at_ms; _ } ->
+  | Peer_cease { at_ms; _ }
+  | Store_crash { at_ms; _ }
+  | Store_partition { at_ms; _ }
+  | Store_slow { at_ms; _ } ->
       at_ms
 
 let kill_kind_name = function
@@ -49,6 +55,9 @@ let fault_kind_name = function
   | Bfd_perturb _ -> "bfd"
   | Peer_rst _ -> "rst"
   | Peer_cease _ -> "cease"
+  | Store_crash _ -> "store_crash"
+  | Store_partition _ -> "store_partition"
+  | Store_slow _ -> "store_slow"
 
 let equal (a : t) (b : t) = a = b
 
@@ -87,6 +96,47 @@ let validate t =
           err "bfd factor %d%% outside [10, 500]" factor_pct
         else Ok ()
     | Peer_rst { vrf; _ } | Peer_cease { vrf; _ } -> vrf_in_range name vrf
+    | Store_crash { dur_ms; _ } ->
+        if dur_ms < 0 then err "store_crash duration must be >= 0" else Ok ()
+    | Store_partition { dur_ms; _ } ->
+        if dur_ms <= 0 then err "store_partition duration must be positive"
+        else Ok ()
+    | Store_slow { dur_ms; factor_pct; _ } ->
+        if dur_ms <= 0 then err "store_slow duration must be positive"
+        else if factor_pct < 101 || factor_pct > 10_000 then
+          err "store_slow factor %d%% outside [101, 10000]" factor_pct
+        else Ok ()
+  in
+  (* The store is the recovery substrate: a migration scheduled while the
+     store is down (or gone for good — a permanent [store_crash] lasts
+     until the end of the run) would hand the replacement an empty state.
+     The controller defers such migrations, so a kill inside an outage
+     window never completes within the run — reject the combination
+     outright instead of producing schedules that cannot settle. *)
+  let outage_conflict () =
+    let outage_end at dur = if dur = 0 then max_int else at + dur in
+    let outages =
+      List.filter_map
+        (function
+          | Store_crash { at_ms; dur_ms } | Store_partition { at_ms; dur_ms }
+            ->
+              Some (at_ms, outage_end at_ms dur_ms)
+          | _ -> None)
+        t.faults
+    in
+    List.fold_left
+      (fun acc f ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+            match f with
+            | (Kill { at_ms; _ } | Planned { at_ms })
+              when List.exists (fun (s, e) -> at_ms >= s && at_ms <= e) outages
+              ->
+                err "%s at %d ms falls inside a store outage window"
+                  (fault_kind_name f) at_ms
+            | _ -> Ok ()))
+      (Ok ()) t.faults
   in
   if t.seed < 0 then err "negative seed"
   else if t.peers < 1 || t.peers > 8 then err "peers %d outside [1, 8]" t.peers
@@ -101,9 +151,12 @@ let validate t =
   else if t.window_ms < 1000 then err "window shorter than 1 s"
   else if t.settle_ms < 0 then err "negative settle"
   else
-    List.fold_left
-      (fun acc f -> match acc with Error _ -> acc | Ok () -> check_fault f)
-      (Ok ()) t.faults
+    let per_fault =
+      List.fold_left
+        (fun acc f -> match acc with Error _ -> acc | Ok () -> check_fault f)
+        (Ok ()) t.faults
+    in
+    match per_fault with Error _ -> per_fault | Ok () -> outage_conflict ()
 
 (* --- Serialization -------------------------------------------------------- *)
 
@@ -122,6 +175,13 @@ let fault_to_string = function
       Printf.sprintf "bfd.%d@%dx%d" vrf at_ms factor_pct
   | Peer_rst { at_ms; vrf } -> Printf.sprintf "rst.%d@%d" vrf at_ms
   | Peer_cease { at_ms; vrf } -> Printf.sprintf "cease.%d@%d" vrf at_ms
+  | Store_crash { at_ms; dur_ms } ->
+      if dur_ms = 0 then Printf.sprintf "store_crash@%d" at_ms
+      else Printf.sprintf "store_crash@%d+%d" at_ms dur_ms
+  | Store_partition { at_ms; dur_ms } ->
+      Printf.sprintf "store_partition@%d+%d" at_ms dur_ms
+  | Store_slow { at_ms; dur_ms; factor_pct } ->
+      Printf.sprintf "store_slow@%d+%d:%d" at_ms dur_ms factor_pct
 
 let to_string t =
   let faults =
@@ -216,6 +276,34 @@ let fault_of_string tok =
           let* vrf = vrf () in
           let* at_ms = at () in
           Ok (Peer_cease { at_ms; vrf })
+      | "store_crash" -> (
+          match split1 ~on:'+' tail with
+          | None ->
+              let* at_ms = at () in
+              Ok (Store_crash { at_ms; dur_ms = 0 })
+          | Some (t, d) ->
+              let* at_ms = parse_int (tok ^ ": time") t in
+              let* dur_ms = parse_int (tok ^ ": duration") d in
+              Ok (Store_crash { at_ms; dur_ms }))
+      | "store_partition" -> (
+          match split1 ~on:'+' tail with
+          | None -> Error (Printf.sprintf "fault %S: expected T+DUR" tok)
+          | Some (t, d) ->
+              let* at_ms = parse_int (tok ^ ": time") t in
+              let* dur_ms = parse_int (tok ^ ": duration") d in
+              Ok (Store_partition { at_ms; dur_ms }))
+      | "store_slow" -> (
+          match split1 ~on:'+' tail with
+          | None -> Error (Printf.sprintf "fault %S: expected T+DUR:FACTOR" tok)
+          | Some (t, rest) -> (
+              match split1 ~on:':' rest with
+              | None ->
+                  Error (Printf.sprintf "fault %S: expected T+DUR:FACTOR" tok)
+              | Some (d, f) ->
+                  let* at_ms = parse_int (tok ^ ": time") t in
+                  let* dur_ms = parse_int (tok ^ ": duration") d in
+                  let* factor_pct = parse_int (tok ^ ": factor") f in
+                  Ok (Store_slow { at_ms; dur_ms; factor_pct })))
       | other -> Error (Printf.sprintf "unknown fault kind %S" other))
 
 let of_string line =
@@ -308,7 +396,14 @@ let sub_seed ~seed i =
      the deliberate planned+kill overlap which targets the old primary
      while the controller has detection suspended.
    - Loss bursts and RST/Cease recover within the settle period
-     (GR 120 s is advertised on both sides; active reconnect is 5 s). *)
+     (GR 120 s is advertised on both sides; active reconnect is 5 s).
+   - Store faults are exclusive with every instance-level fault (kills,
+     planned switchovers, RST/Cease): the store is the recovery
+     substrate, so a migration during an outage cannot complete, and a
+     peer-initiated reset while degraded is exactly what the
+     degraded_mode_exclusion oracle flags. Outages end early enough
+     (at + dur bounded well inside window + settle) for the heal probe,
+     re-arm and RIB re-checkpoint to finish before end-state checks. *)
 let generate ~seed =
   let rng = Sim.Rng.create (sub_seed ~seed:seed 0x5eed) in
   let peers = Sim.Rng.int_in rng 1 3 in
@@ -411,7 +506,38 @@ let generate ~seed =
       [ Peer_cease { at_ms; vrf } ]
     else []
   in
-  let faults = heavies @ overlap @ lights @ rst @ cease in
+  (* Degraded-store survival scenarios. The crash/partition durations
+     straddle the runner's held-ACK deadline (0.15 x 90 s hold =
+     13.5 s): short outages exercise retry/failover alone, long ones
+     force the degrade → re-arm path. A duration of 0 is the permanent
+     crash: the replica takes over and the primary never returns. *)
+  let store =
+    if Sim.Rng.bernoulli rng 0.35 then
+      let at = Sim.Rng.int_in rng 2_000 8_000 in
+      match Sim.Rng.int_in rng 0 3 with
+      | 0 -> [ Store_crash { at_ms = at; dur_ms = 0 } ]
+      | 1 ->
+          [ Store_crash { at_ms = at; dur_ms = Sim.Rng.int_in rng 6_000 34_000 } ]
+      | 2 ->
+          [
+            Store_partition
+              { at_ms = at; dur_ms = Sim.Rng.int_in rng 6_000 34_000 };
+          ]
+      | _ ->
+          [
+            Store_slow
+              {
+                at_ms = at;
+                dur_ms = Sim.Rng.int_in rng 2_000 10_000;
+                factor_pct = Sim.Rng.int_in rng 200 2_000;
+              };
+          ]
+    else []
+  in
+  let faults =
+    if store <> [] then lights @ store
+    else heavies @ overlap @ lights @ rst @ cease
+  in
   let faults =
     if faults = [] then heavy (Sim.Rng.int_in rng 2_000 6_000) else faults
   in

@@ -34,6 +34,21 @@ type fault =
   | Peer_cease of { at_ms : int; vrf : int }
       (** The remote AS administratively stops the session (Cease
           NOTIFICATION), then re-enables it 1 s later. *)
+  | Store_crash of { at_ms : int; dur_ms : int }
+      (** The primary store server dies losing all RAM (no-persistence
+          Redis). [dur_ms = 0] is a permanent crash — the deployment gets
+          a synchronous replica and clients fail over to it; otherwise
+          the primary restarts {e empty} after [dur_ms] and the service
+          re-arms replication under a fresh epoch (degraded pass-through
+          first, when the outage outlives the held-ACK deadline).
+          Token: [store_crash@T] or [store_crash@T+DUR]. *)
+  | Store_partition of { at_ms : int; dur_ms : int }
+      (** The store server's network goes down for [dur_ms] (RAM
+          preserved). Token: [store_partition@T+DUR]. *)
+  | Store_slow of { at_ms : int; dur_ms : int; factor_pct : int }
+      (** Store operation costs scaled to [factor_pct]% (in
+          [\[101, 10000\]]) for [dur_ms] — held-ACK latency stress
+          without unreachability. Token: [store_slow@T+DUR:FACTOR]. *)
 
 type t = {
   seed : int;  (** Engine seed for the deployment. *)
@@ -76,5 +91,7 @@ val equal : t -> t -> bool
 
 val validate : t -> (unit, string) result
 (** Structural sanity: positive counts, fault vrf indices in range,
-    times within the window. [of_string] applies it; [generate] always
-    satisfies it. *)
+    times within the window, and no kill/planned fault inside a store
+    outage window (the store is the recovery substrate — such a
+    migration can never complete). [of_string] applies it; [generate]
+    always satisfies it. *)

@@ -20,11 +20,38 @@ let peer_name i = Printf.sprintf "peerAS%d" i
 let peer_asn i = 65_010 + i
 let vip i = Netsim.Addr.of_string (Printf.sprintf "203.0.113.%d" (10 + i))
 
+(* Store faults deploy the survival machinery (retrying clients, a
+   replica for the permanent crash, the held-ACK deadline) and arm the
+   degraded_mode_exclusion oracle; they disable nothing. *)
+let has_store_fault (d : Descriptor.t) =
+  List.exists
+    (function
+      | Descriptor.Store_crash _ | Descriptor.Store_partition _
+      | Descriptor.Store_slow _ -> true
+      | _ -> false)
+    d.Descriptor.faults
+
+let has_permanent_store_crash (d : Descriptor.t) =
+  List.exists
+    (function Descriptor.Store_crash { dur_ms = 0; _ } -> true | _ -> false)
+    d.Descriptor.faults
+
+(* Fraction of the negotiated hold time (90 s in every chaos deployment)
+   after which unachievable durability flips to degraded pass-through:
+   13.5 s — orders of magnitude past any healthy-store hold time, well
+   inside the peer's 90 s hold timer even when the blocked write is a
+   keepalive at the 30 s mark (30 + 13.5 < 90). *)
+let degrade_frac = 0.15
+let hold_time_s = 90.
+
 let disabled_checkers (d : Descriptor.t) =
   let has p = List.exists p d.Descriptor.faults in
   let rst = has (function Descriptor.Peer_rst _ -> true | _ -> false) in
   let cease = has (function Descriptor.Peer_cease _ -> true | _ -> false) in
-  (if rst || cease then [ "no_peer_visible_reset" ] else [])
+  (* A peer-initiated reset is a legal session drop even while degraded:
+     the exclusion oracle only polices resets the *store outage* caused. *)
+  (if rst || cease then [ "no_peer_visible_reset"; "degraded_mode_exclusion" ]
+   else [])
   @ if cease then [ "route_flap_absence" ] else []
 
 (* --- Scenario assembly ---------------------------------------------------- *)
@@ -36,7 +63,11 @@ type ctx = {
 }
 
 let build (d : Descriptor.t) =
-  let dep = Deploy.build ~seed:d.Descriptor.seed ~hosts:d.Descriptor.hosts () in
+  let store = has_store_fault d in
+  let dep =
+    Deploy.build ~seed:d.Descriptor.seed ~hosts:d.Descriptor.hosts
+      ~store_replica:(has_permanent_store_crash d) ()
+  in
   let peers =
     Array.init d.Descriptor.peers (fun i ->
         let pa =
@@ -57,7 +88,17 @@ let build (d : Descriptor.t) =
              ~peer_addr:pa.Deploy.pa_addr ~peer_asn:(peer_asn i) ())
          peers)
   in
-  let svc = Deploy.deploy_service dep ~id:service_id ~local_asn specs in
+  let svc =
+    Deploy.deploy_service dep ~id:service_id ~local_asn
+      ~store_resilient:store
+      ~degrade_frac:(if store then degrade_frac else 0.)
+      specs
+  in
+  (* Only store-fault runs probe the store: the probe draws jittered
+     heartbeat timers from the engine RNG, so arming it unconditionally
+     would perturb every pinned replay digest. *)
+  if store then
+    Orch.Controller.register_store dep.Deploy.ctrl ~addr:dep.Deploy.store_addr;
   { dep; svc; peers }
 
 let seed_routes (d : Descriptor.t) ctx =
@@ -174,6 +215,33 @@ let schedule_fault ctx partitioned (f : Descriptor.fault) =
         ignore
           (Engine.schedule_after eng (Time.sec 1) (fun () ->
                Bgp.Speaker.start_peer pa.Deploy.pa_speaker ph))
+    | Descriptor.Store_crash { dur_ms; _ } -> (
+        Store.Server.crash dep.Deploy.store_server;
+        if dur_ms = 0 then
+          (* Permanent: the store cluster's own failover promotes the
+             replica; clients find it on retry exhaustion. *)
+          match dep.Deploy.store_replica_server with
+          | Some rep ->
+              ignore
+                (Engine.schedule_after eng (Time.ms 300) (fun () ->
+                     Store.Server.promote rep))
+          | None -> ()
+        else
+          ignore
+            (Engine.schedule_after eng (Time.ms dur_ms) (fun () ->
+                 Store.Server.restart dep.Deploy.store_server)))
+    | Descriptor.Store_partition { dur_ms; _ } ->
+        let n = Store.Server.node dep.Deploy.store_server in
+        Netsim.Node.set_up n false;
+        ignore
+          (Engine.schedule_after eng (Time.ms dur_ms) (fun () ->
+               Netsim.Node.set_up n true))
+    | Descriptor.Store_slow { dur_ms; factor_pct; _ } ->
+        Store.Server.set_cost_factor dep.Deploy.store_server
+          (float_of_int factor_pct /. 100.);
+        ignore
+          (Engine.schedule_after eng (Time.ms dur_ms) (fun () ->
+               Store.Server.set_cost_factor dep.Deploy.store_server 1.))
   in
   ignore (Engine.schedule_after eng (Time.ms (Descriptor.fault_at f)) apply)
 
@@ -222,7 +290,13 @@ let run (d : Descriptor.t) =
   let peer_names = List.init d.Descriptor.peers peer_name in
   let mon =
     Monitor.Checker.install
-      ~cfg:{ Monitor.Checker.default_config with peers = peer_names }
+      ~cfg:
+        {
+          Monitor.Checker.default_config with
+          peers = peer_names;
+          ack_deadline_s =
+            (if has_store_fault d then degrade_frac *. hold_time_s else 0.);
+        }
       ()
   in
   let errors = ref [] in

@@ -17,7 +17,9 @@ let clamp_vrfs peers faults =
       | Descriptor.Peer_rst r -> Descriptor.Peer_rst { r with vrf = cl r.vrf }
       | Descriptor.Peer_cease r ->
           Descriptor.Peer_cease { r with vrf = cl r.vrf }
-      | Descriptor.Kill _ | Descriptor.Planned _ | Descriptor.Heal _ -> f)
+      | Descriptor.Kill _ | Descriptor.Planned _ | Descriptor.Heal _
+      | Descriptor.Store_crash _ | Descriptor.Store_partition _
+      | Descriptor.Store_slow _ -> f)
     faults
 
 (* Topology/workload reductions, tried in order once the fault list is

@@ -20,9 +20,10 @@ type result = Pass | Violations of violation list
 type config = {
   peers : string list;
   bfd_tolerance : float;
+  ack_deadline_s : float;
 }
 
-let default_config = { peers = []; bfd_tolerance = 0.25 }
+let default_config = { peers = []; bfd_tolerance = 0.25; ack_deadline_s = 0. }
 
 let names =
   [
@@ -34,6 +35,7 @@ let names =
     "split_brain_exclusion";
     "route_flap_absence";
     "queue_drain";
+    "degraded_mode_exclusion";
   ]
 
 type snapshot = { sn_group : string; sn_node : string; sn_size : int; sn_digest : string; sn_seq : int }
@@ -52,11 +54,15 @@ type t = {
      connection is under repair, which covers every check scenario). *)
   mutable max_wm : int; (* min_int until the first Wm_durable *)
   wm_by_conn : (string, int) Hashtbl.t;
-  (* queue_drain: held = released + dropped, per connection. *)
+  (* queue_drain: held = released + dropped + shed, per connection. *)
   held : (string, int) Hashtbl.t;
   released : (string, int) Hashtbl.t;
   dropped : (string, int) Hashtbl.t;
+  shed : (string, int) Hashtbl.t;
   conn_last_seq : (string, int) Hashtbl.t;
+  (* degraded_mode_exclusion: connections currently in degraded
+     pass-through. *)
+  degraded : (string, unit) Hashtbl.t;
   mutable queue_drop_events : int; (* informational (see netfilter.mli) *)
   (* split_brain_exclusion *)
   primaries : (string, string) Hashtbl.t; (* service -> container id *)
@@ -90,12 +96,27 @@ let on_entry t (e : Telemetry.Bus.entry) =
   let viol checker detail =
     violate t checker ~seq:e.seq ~span:(ambient_span ()) ~at:e.at detail
   in
+  (* [ack_deadline_s = 0.] leaves the deadline discipline unarmed (no
+     degraded mode deployed); the 10% + 100 ms slack absorbs watchdog
+     granularity. *)
+  let over_deadline held_s =
+    t.cfg.ack_deadline_s > 0.
+    && held_s > (t.cfg.ack_deadline_s *. 1.1) +. 0.1
+  in
   match e.event with
   | Telemetry.Event.Session_down { node; peer; reason } ->
-      if List.mem node t.cfg.peers then
+      if List.mem node t.cfg.peers then begin
         viol "no_peer_visible_reset"
           (Printf.sprintf "peer %s saw its session to %s go down (%s)" node
-             peer reason)
+             peer reason);
+        if Hashtbl.length t.degraded > 0 then
+          viol "degraded_mode_exclusion"
+            (Printf.sprintf
+               "peer %s saw its session to %s go down (%s) while the service \
+                was in degraded pass-through — degradation failed to keep \
+                the session alive"
+               node peer reason)
+      end
   | Wm_durable { conn; ack } ->
       if t.max_wm = min_int || ack > t.max_wm then t.max_wm <- ack;
       let cur = Option.value (Hashtbl.find_opt t.wm_by_conn conn) ~default:min_int in
@@ -114,8 +135,14 @@ let on_entry t (e : Telemetry.Bus.entry) =
              conn rcv_nxt (rcv_nxt - t.max_wm) t.max_wm)
   | Ack_held { conn; _ } ->
       bump t.held conn;
-      Hashtbl.replace t.conn_last_seq conn e.seq
-  | Ack_released { conn; ack; _ } ->
+      Hashtbl.replace t.conn_last_seq conn e.seq;
+      if Hashtbl.mem t.degraded conn then
+        viol "degraded_mode_exclusion"
+          (Printf.sprintf
+             "%s: ACK held while in degraded pass-through — nothing may be \
+              held once durability was declared unachievable"
+             conn)
+  | Ack_released { conn; ack; held_s } ->
       bump t.released conn;
       Hashtbl.replace t.conn_last_seq conn e.seq;
       let wm = Option.value (Hashtbl.find_opt t.wm_by_conn conn) ~default:min_int in
@@ -124,9 +151,36 @@ let on_entry t (e : Telemetry.Bus.entry) =
           (Printf.sprintf
              "%s: ACK %d released to the peer beyond the durable watermark %s"
              conn ack
-             (if wm = min_int then "(none recorded)" else string_of_int wm))
+             (if wm = min_int then "(none recorded)" else string_of_int wm));
+      if over_deadline held_s then
+        viol "degraded_mode_exclusion"
+          (Printf.sprintf
+             "%s: ACK %d held %.3fs — past the %.3fs degrade deadline \
+              without entering degraded mode"
+             conn ack held_s t.cfg.ack_deadline_s)
   | Ack_dropped { conn; _ } ->
       bump t.dropped conn;
+      Hashtbl.replace t.conn_last_seq conn e.seq
+  | Ack_shed { conn; ack; held_s } ->
+      bump t.shed conn;
+      Hashtbl.replace t.conn_last_seq conn e.seq;
+      if over_deadline held_s then
+        viol "degraded_mode_exclusion"
+          (Printf.sprintf
+             "%s: ACK %d shed after %.3fs — held past the %.3fs degrade \
+              deadline before degraded mode engaged"
+             conn ack held_s t.cfg.ack_deadline_s)
+  | Degraded_enter { conn; oldest_held_s; _ } ->
+      Hashtbl.replace t.degraded conn ();
+      Hashtbl.replace t.conn_last_seq conn e.seq;
+      if over_deadline oldest_held_s then
+        viol "degraded_mode_exclusion"
+          (Printf.sprintf
+             "%s: degraded mode engaged with the oldest ACK already held \
+              %.3fs — past the %.3fs deadline"
+             conn oldest_held_s t.cfg.ack_deadline_s)
+  | Degraded_exit { conn; _ } ->
+      Hashtbl.remove t.degraded conn;
       Hashtbl.replace t.conn_last_seq conn e.seq
   | Bfd_down { node; peer; silent_s; interval_s; mult; _ } ->
       let bound = interval_s *. float_of_int mult in
@@ -189,7 +243,9 @@ let install ?(cfg = default_config) () =
       held = Hashtbl.create 8;
       released = Hashtbl.create 8;
       dropped = Hashtbl.create 8;
+      shed = Hashtbl.create 8;
       conn_last_seq = Hashtbl.create 8;
+      degraded = Hashtbl.create 8;
       queue_drop_events = 0;
       primaries = Hashtbl.create 8;
       fenced = Hashtbl.create 8;
@@ -209,21 +265,22 @@ let check_queue_drain t =
   let keys tbl = Sim.Det.keys ~compare:String.compare tbl in
   let conns =
     List.sort_uniq String.compare
-      (keys t.held @ keys t.released @ keys t.dropped)
+      (keys t.held @ keys t.released @ keys t.dropped @ keys t.shed)
   in
   List.iter
     (fun conn ->
       let get tbl = Option.value (Hashtbl.find_opt tbl conn) ~default:0 in
       let h = get t.held and r = get t.released and d = get t.dropped in
-      if h <> r + d then
+      let s = get t.shed in
+      if h <> r + d + s then
         violate t "queue_drain"
           ~seq:(Option.value (Hashtbl.find_opt t.conn_last_seq conn)
                   ~default:t.last_seq)
           ~span:Telemetry.Span.none ~at:t.last_at
           (Printf.sprintf
-             "%s: %d ACK(s) held but only %d released + %d dropped — %d \
-              vanished from the hold queue"
-             conn h r d (h - (r + d))))
+             "%s: %d ACK(s) held but only %d released + %d dropped + %d \
+              shed — %d vanished from the hold queue"
+             conn h r d s (h - (r + d + s))))
     conns
 
 let check_rib_convergence t =

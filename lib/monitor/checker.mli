@@ -2,7 +2,7 @@
 
     [install] subscribes a checker set to the telemetry firehose
     ({!Telemetry.Bus.subscribe}); every entry is folded, synchronously
-    and in global-sequence order, into per-invariant state. The eight
+    and in global-sequence order, into per-invariant state. The nine
     checkers mirror the paper's correctness claims:
 
     - [no_peer_visible_reset] — no [Session_down] at a configured peer
@@ -24,8 +24,16 @@
       or its host is declared dead (§3.3's fence-before-promote).
     - [route_flap_absence] — no [Routes_withdrawn] delivered at a peer
       node: migrations never flap routes on the wire (§4.4).
-    - [queue_drain] — every [Ack_held] is eventually [Ack_released] or
-      accounted [Ack_dropped] (checked at {!finalize}).
+    - [queue_drain] — every [Ack_held] is eventually [Ack_released],
+      accounted [Ack_dropped], or flushed as [Ack_shed] at degraded-mode
+      entry (checked at {!finalize}).
+    - [degraded_mode_exclusion] — the degraded-store contract: no ACK is
+      held past the configured deadline (an [Ack_released]/[Ack_shed]
+      with [held_s] beyond [ack_deadline_s] plus slack, or a
+      [Degraded_enter] arriving that late, is a violation), nothing is
+      held while degraded, and no configured peer sees a [Session_down]
+      while any connection is in degraded pass-through — suspending NSR
+      must keep the session alive, or it bought nothing.
 
     [Queue_dropped] events are informational only: the no-consumer drop
     of a dying instance's FIN/RST is load-bearing NSR behaviour (see
@@ -49,12 +57,18 @@ type config = {
           peer-visible surface. *)
   bfd_tolerance : float;
       (** Fractional slack on the BFD detection bound (default 0.25). *)
+  ack_deadline_s : float;
+      (** The held-ACK degrade deadline, in seconds; [0.] (default)
+          leaves [degraded_mode_exclusion]'s deadline discipline unarmed
+          (deployments without degraded mode hold ACKs indefinitely by
+          design). Checked with 10% + 100 ms slack for watchdog
+          granularity. *)
 }
 
 val default_config : config
 
 val names : string list
-(** The eight checker names, in report order. *)
+(** The nine checker names, in report order. *)
 
 type t
 

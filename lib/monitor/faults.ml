@@ -42,6 +42,9 @@ let flap_on_migration =
 let leak_held_acks =
   make "leak_held_acks" "silently swallow one ready-to-release held ACK"
 
+let late_degrade =
+  make "late_degrade" "arm the degrade watchdog at twice the configured deadline"
+
 let names () = List.map (fun f -> f.name) !registry
 let active () = List.filter_map (fun f -> if !(f.on) then Some f.name else None) !registry
 let doc name =

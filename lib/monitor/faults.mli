@@ -43,6 +43,13 @@ val leak_held_acks : bool ref
     hide it, but the held/released balance no longer closes.
     Self-clearing after the first leak. *)
 
+val late_degrade : bool ref
+(** [degraded_mode_exclusion]: arm the replicator's degrade watchdog at
+    twice the configured deadline, so during a store outage held ACKs
+    (and the shed that eventually frees them) age past the bound the
+    session negotiated — exactly the hold-timer exposure the checker
+    exists to catch. *)
+
 val names : unit -> string list
 (** All flag names, in declaration order. *)
 

@@ -3,7 +3,21 @@ open Sim
 type body = ..
 type body += Ping | Pong
 
-type error = [ `Timeout ]
+type error = [ `Timeout | `Exhausted of int ]
+
+type retry = {
+  attempts : int;
+  base_backoff : Time.span;
+  max_backoff : Time.span;
+  jitter : float;
+}
+
+let retry_policy ?(attempts = 3) ?(base_backoff = Time.ms 50)
+    ?(max_backoff = Time.sec 2) ?(jitter = 0.2) () =
+  if attempts < 1 then invalid_arg "Rpc.retry_policy: attempts must be >= 1";
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Rpc.retry_policy: jitter must be in [0, 1)";
+  { attempts; base_backoff; max_backoff; jitter }
 
 type Packet.payload +=
   | Request of { call_id : int; service : string; body : body }
@@ -18,6 +32,13 @@ type endpoint = {
   ep_node : Node.t;
   services : (string, src:Addr.t -> body -> reply:(?size:int -> body -> unit) -> unit) Hashtbl.t;
   pending : (int, pending) Hashtbl.t;
+  unknown_hits : (string, int) Hashtbl.t;
+  mutable next_client : int;
+  (* Backoff-jitter stream, split from the engine RNG lazily at the
+     first actual backoff computation: endpoints that never retry (the
+     default) leave the engine's stream untouched, so existing replay
+     digests are unaffected. *)
+  mutable retry_rng : Rng.t option;
 }
 
 (* One endpoint per node, keyed physically: nodes are unique mutable
@@ -36,7 +57,16 @@ let handle_packet ep (pkt : Packet.t) =
   match pkt.payload with
   | Request { call_id; service; body } -> (
       (match Hashtbl.find_opt ep.services service with
-      | None -> () (* unknown service: silently dropped, caller times out *)
+      | None ->
+          (* Unknown service: the caller still times out (no NAK on the
+             wire), but the drop is now counted and visible. *)
+          let count =
+            1 + Option.value ~default:0 (Hashtbl.find_opt ep.unknown_hits service)
+          in
+          Hashtbl.replace ep.unknown_hits service count;
+          Telemetry.Bus.emit (Node.engine ep.ep_node)
+            (Telemetry.Event.Rpc_unknown_service
+               { node = Node.name ep.ep_node; service; count })
       | Some handler ->
           let replied = ref false in
           let reply ?(size = 128) rbody =
@@ -67,16 +97,55 @@ let endpoint node =
   | Some ep when ep.ep_node == node -> ep
   | Some _ | None ->
       let ep =
-        { ep_node = node; services = Hashtbl.create 8; pending = Hashtbl.create 16 }
+        {
+          ep_node = node;
+          services = Hashtbl.create 8;
+          pending = Hashtbl.create 16;
+          unknown_hits = Hashtbl.create 4;
+          next_client = 0;
+          retry_rng = None;
+        }
       in
       Node.add_handler node (handle_packet ep);
       Hashtbl.replace registry key ep;
       ep
 
+let fresh_client_id ep =
+  ep.next_client <- ep.next_client + 1;
+  ep.next_client
+
 let serve ep ~service handler = Hashtbl.replace ep.services service handler
 let unserve ep ~service = Hashtbl.remove ep.services service
 
-let call ep ?(timeout = Time.sec 1) ?(size = 128) ~dst ~service body k =
+let unknown_service_counts ep =
+  Det.bindings ~compare:String.compare ep.unknown_hits
+
+let retry_rng ep =
+  match ep.retry_rng with
+  | Some rng -> rng
+  | None ->
+      let rng = Rng.split (Engine.rng (Node.engine ep.ep_node)) in
+      ep.retry_rng <- Some rng;
+      rng
+
+(* Backoff before attempt [failed + 1]: exponential in the number of
+   failures, capped, then perturbed by ±jitter so synchronized callers
+   spread out. The draw comes from the endpoint's split of the seeded
+   engine RNG, never from ambient randomness. *)
+let backoff_span ep (r : retry) ~failed =
+  let base = Time.to_sec_f r.base_backoff in
+  let capped =
+    Float.min
+      (base *. Float.of_int (1 lsl (failed - 1)))
+      (Time.to_sec_f r.max_backoff)
+  in
+  let factor =
+    if r.jitter <= 0. then 1.0
+    else 1.0 +. (r.jitter *. ((2.0 *. Rng.float (retry_rng ep) 1.0) -. 1.0))
+  in
+  Time.of_sec_f (capped *. factor)
+
+let send_attempt ep ~timeout ~size ~dst ~service body k =
   incr next_call_id;
   let call_id = !next_call_id in
   let eng = Node.engine ep.ep_node in
@@ -94,10 +163,28 @@ let call ep ?(timeout = Time.sec 1) ?(size = 128) ~dst ~service body k =
   in
   Node.send ep.ep_node pkt
 
+let call ep ?(timeout = Time.sec 1) ?(size = 128) ?retry ~dst ~service body k =
+  match retry with
+  | None ->
+      (* Default: single attempt, one timeout = one detected failure —
+         exactly the pre-retry semantics liveness probes rely on. *)
+      send_attempt ep ~timeout ~size ~dst ~service body k
+  | Some r ->
+      let eng = Node.engine ep.ep_node in
+      let rec attempt n =
+        send_attempt ep ~timeout ~size ~dst ~service body (function
+          | Ok body -> k (Ok body)
+          | Error _ when n < r.attempts ->
+              let span = backoff_span ep r ~failed:n in
+              ignore (Engine.schedule_after eng span (fun () -> attempt (n + 1)))
+          | Error _ -> k (Error (`Exhausted r.attempts)))
+      in
+      attempt 1
+
 let ping ep ?timeout ~dst ~service k =
   call ep ?timeout ~dst ~service Ping (function
     | Ok _ -> k true
-    | Error `Timeout -> k false)
+    | Error (`Timeout | `Exhausted _) -> k false)
 
 let serve_ping ep ~service =
   serve ep ~service (fun ~src:_ body ~reply ->

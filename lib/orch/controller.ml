@@ -27,6 +27,10 @@ type config = {
   confirm_timer : Time.span;
   initiate_container : Time.span;
   initiate_host : Time.span;
+  ipsla_timeout : Time.span;
+  agent_timeout : Time.span;
+  host_ctl_timeout : Time.span;
+  reprobe_timeout : Time.span;
 }
 
 let default_config =
@@ -36,6 +40,10 @@ let default_config =
     confirm_timer = Time.sec 3;
     initiate_container = Time.ms 100;
     initiate_host = Time.ms 200;
+    ipsla_timeout = Time.ms 150;
+    agent_timeout = Time.ms 400;
+    host_ctl_timeout = Time.ms 300;
+    reprobe_timeout = Time.ms 300;
   }
 
 type managed = {
@@ -48,6 +56,17 @@ type managed = {
 type host_entry = {
   host : Host.t;
   mutable hphase : [ `Healthy | `Confirming | `Failed ];
+}
+
+(* Liveness of the replicated store, maintained by {!register_store}.
+   A store outage is NOT an instance failure: migrating while the store
+   is unreachable would hand the replacement an empty state and reset
+   the peer — exactly what NSR exists to prevent — so migrations are
+   deferred until the store answers again. *)
+type store_probe = {
+  saddr : Addr.t;
+  mutable sok : bool;
+  mutable down_since : Time.t option;
 }
 
 type t = {
@@ -68,6 +87,7 @@ type t = {
     done_:(Container.t -> unit) ->
     unit;
   mutable quarantine : string list;
+  mutable store_probe : store_probe option;
 }
 
 let node t = t.cnode
@@ -88,9 +108,11 @@ let host_entry_of t name =
 
 (* --- Migration driver ---------------------------------------------------- *)
 
-let start_migration t m reason =
-  if m.phase <> `Migrating then begin
-    m.phase <- `Migrating;
+let store_reachable t =
+  match t.store_probe with None -> true | Some p -> p.sok
+
+let proceed_migration t m reason =
+  begin
     let initiate_delay =
       match reason with
       | Host_failure | Host_network_failure -> t.cfg.initiate_host
@@ -121,23 +143,44 @@ let start_migration t m reason =
                m.phase <- `Healthy)))
   end
 
+let start_migration t m reason =
+  if m.phase <> `Migrating then begin
+    m.phase <- `Migrating;
+    if store_reachable t then proceed_migration t m reason
+    else begin
+      (* Store-unreachable, not instance-dead: defer until the store
+         answers. The phase flip above parks the heartbeat ticks, so a
+         store outage cannot cascade into spurious failovers. *)
+      Telemetry.Bus.emit ~legacy:t.tr t.eng
+        (Telemetry.Event.Migration_deferred
+           { id = m.mid; reason = "store-unreachable" });
+      let rec wait () =
+        ignore
+          (Engine.schedule_after t.eng t.cfg.grpc_interval (fun () ->
+               if store_reachable t then proceed_migration t m reason
+               else wait ()))
+      in
+      wait ()
+    end
+  end
+
 (* --- Host-level localization (E3/E5) ------------------------------------- *)
 
 let verify_host t (he : host_entry) k =
   (* Independent measurements: our probe and the agent's IP SLA. All must
      fail for the host to be presumed dead. *)
   let target = Host.addr he.host in
-  Rpc.ping t.ep ~timeout:(Time.ms 150) ~dst:target ~service:"ipsla"
+  Rpc.ping t.ep ~timeout:t.cfg.ipsla_timeout ~dst:target ~service:"ipsla"
     (fun own_ok ->
       if own_ok then k false
       else
         match t.agents with
         | [] -> k true
         | agent :: _ ->
-            Rpc.call t.ep ~timeout:(Time.ms 400) ~dst:(Agent.addr agent)
+            Rpc.call t.ep ~timeout:t.cfg.agent_timeout ~dst:(Agent.addr agent)
               ~service:"agent_ctl" (Agent.Agent_check target) (function
               | Ok (Agent.Agent_check_result ok) -> k (not ok)
-              | Ok _ | Error `Timeout ->
+              | Ok _ | Error _ ->
                   (* Agent unreachable: fall back to our own (failed)
                      measurement. *)
                   k true))
@@ -150,7 +193,7 @@ let declare_host_failed t (he : host_entry) =
     (Telemetry.Event.Host_failed { host = Host.name he.host });
   (* Best-effort fence; unreachable hosts fence themselves via the
      lease. *)
-  Rpc.call t.ep ~timeout:(Time.ms 300) ~dst:(Host.addr he.host)
+  Rpc.call t.ep ~timeout:t.cfg.host_ctl_timeout ~dst:(Host.addr he.host)
     ~service:"host_ctl" Host.Host_fence (fun _ -> ());
   (* Migrate every managed container living there, in name order so the
      replayed migration sequence is deterministic. *)
@@ -184,12 +227,12 @@ let check_container_via_host t m k =
   match host_entry_of t (Container.host_name m.cont) with
   | None -> k `Host_unreachable
   | Some he ->
-      Rpc.call t.ep ~timeout:(Time.ms 300) ~dst:(Host.addr he.host)
+      Rpc.call t.ep ~timeout:t.cfg.host_ctl_timeout ~dst:(Host.addr he.host)
         ~service:"host_ctl"
         (Host.Host_check_container (Container.id m.cont)) (function
         | Ok (Host.Host_container_state st) -> k (`Host_says st)
         | Ok _ -> k (`Host_says "unknown")
-        | Error `Timeout -> k `Host_unreachable)
+        | Error _ -> k `Host_unreachable)
 
 (* Suspicion-resolving callbacks arrive asynchronously (RPC timeouts) and
    may land after a migration has already started from another detection
@@ -212,12 +255,12 @@ let heartbeat_miss t m =
                missed. Re-probe before concluding a virtual-network
                failure (E4): the original miss may have straddled a
                transient glitch. *)
-            Rpc.ping t.ep ~timeout:(Time.ms 300)
+            Rpc.ping t.ep ~timeout:t.cfg.reprobe_timeout
               ~dst:(Container.veth_addr m.cont) ~service:"health" (fun ok ->
                 if not ok then
                   match host_entry_of t (Container.host_name m.cont) with
                   | Some he ->
-                      Rpc.call t.ep ~timeout:(Time.ms 300)
+                      Rpc.call t.ep ~timeout:t.cfg.host_ctl_timeout
                         ~dst:(Host.addr he.host) ~service:"host_ctl"
                         (Host.Host_kill_container (Container.id m.cont))
                         (fun _ -> start_migration t m Container_failure)
@@ -273,6 +316,39 @@ let register_host t host =
 
 let register_agent t agent = t.agents <- agent :: t.agents
 
+(* The store is probed like a host, but on the ["kv_health"] service the
+   store process answers only while alive — so a crash, a partition and
+   a dead node all read as unreachable. One missed probe flips the flag:
+   for migration deferral a false "down" merely delays initiation by one
+   probe interval, which is the safe direction. *)
+let register_store t ~addr =
+  let p = { saddr = addr; sok = true; down_since = None } in
+  t.store_probe <- Some p;
+  ignore
+    (Engine.every t.eng ~jitter:0.1 t.cfg.grpc_interval (fun () ->
+         Rpc.ping t.ep ~timeout:t.cfg.grpc_timeout ~dst:p.saddr
+           ~service:"kv_health" (fun ok ->
+             if ok then begin
+               (match p.down_since with
+               | Some since ->
+                   Telemetry.Bus.emit t.eng
+                     (Telemetry.Event.Store_recovered
+                        {
+                          node = t.cname;
+                          outage_s =
+                            Time.to_sec_f (Time.diff (Engine.now t.eng) since);
+                        })
+               | None -> ());
+               p.sok <- true;
+               p.down_since <- None
+             end
+             else if p.sok then begin
+               p.sok <- false;
+               p.down_since <- Some (Engine.now t.eng);
+               Telemetry.Bus.emit t.eng
+                 (Telemetry.Event.Store_unreachable { node = t.cname })
+             end)))
+
 let release_quarantine t host =
   Host.reset host;
   (match host_entry_of t (Host.name host) with
@@ -301,6 +377,7 @@ let create net ~fabric ?(config = default_config) cname =
       managed_tbl = Hashtbl.create 32;
       migrator = (fun ~reason:_ ~id:_ ~failed:_ ~done_:_ -> ());
       quarantine = [];
+      store_probe = None;
     }
   in
   Rpc.serve t.ep ~service:report_endpoint_service (fun ~src:_ body ~reply ->

@@ -43,6 +43,16 @@ type config = {
       (** Migration preparation for one container (100 ms). *)
   initiate_host : Sim.Time.span;
       (** Preparation when a whole host moves (200 ms). *)
+  ipsla_timeout : Sim.Time.span;
+      (** The controller's own IP SLA probe of a suspect host (150 ms). *)
+  agent_timeout : Sim.Time.span;
+      (** Cross-check via the agent's IP SLA (400 ms). *)
+  host_ctl_timeout : Sim.Time.span;
+      (** Host control-plane calls: fence, container check, kill
+          (300 ms). *)
+  reprobe_timeout : Sim.Time.span;
+      (** Direct container re-probe before declaring a virtual-network
+          failure (300 ms). *)
 }
 
 val default_config : config
@@ -61,6 +71,18 @@ val register_host : t -> Host.t -> unit
 
 val register_agent : t -> Agent.t -> unit
 (** The agent used for IP SLA cross-checks. *)
+
+val register_store : t -> addr:Netsim.Addr.t -> unit
+(** Starts probing the replicated store's ["kv_health"] service on the
+    heartbeat cadence. While the store is unreachable the controller
+    distinguishes store-down from instance-dead: migrations are deferred
+    (emitting [Migration_deferred]) rather than initiated, because a
+    takeover without a readable store would hand the replacement an
+    empty state and reset the peer. [Store_unreachable] /
+    [Store_recovered] events mark the outage window. *)
+
+val store_reachable : t -> bool
+(** [true] when no store is registered or the last probe answered. *)
 
 val set_migrator :
   t ->

@@ -42,6 +42,7 @@ type Rpc.body +=
   | Req_get of string list
   | Req_del of string list
   | Req_scan of string
+  | Req_idem of { client : string; seq : int; inner : Rpc.body }
   | Resp_set_ok
   | Resp_values of (string * string option) list
   | Resp_del_count of int
@@ -56,9 +57,24 @@ module Server = struct
     mutable bytes : int;
     mutable busy_until : Time.t;
     mutable replica : t option;
+    mutable alive : bool;
+    mutable cost_factor : float;
+    (* Per-client idempotency window: last seq seen and, once the
+       handler replied, the cached response a retransmission replays.
+       [None] marks the op as still in flight so a duplicate arriving
+       mid-processing is dropped rather than applied twice. One slot
+       per client suffices: resilient clients keep at most one request
+       outstanding. *)
+    idem : (string, int * (Rpc.body * int) option) Hashtbl.t;
   }
 
   let node t = t.snode
+  let alive t = t.alive
+
+  (* Serving requires both the process (RAM) and the node (network) up:
+     [Node.set_up false] models a partition — contents survive — while
+     [crash] models the process dying with its no-persistence RAM. *)
+  let up t = t.alive && Node.is_up t.snode
 
   let addr t =
     match Node.addresses t.snode with
@@ -90,14 +106,18 @@ module Server = struct
       let chunks = (n + t.cost.chunk - 1) / t.cost.chunk in
       let byte_ns = if writes then t.cost.write_byte_ns else t.cost.read_byte_ns in
       let byte_cost = int_of_float (float_of_int bytes *. byte_ns) in
-      if writes then
-        (chunks * t.cost.write_chunk_cost)
-        + (n * t.cost.write_record_cost)
-        + byte_cost
-      else
-        (chunks * t.cost.read_chunk_cost)
-        + (n * t.cost.read_record_cost)
-        + byte_cost
+      let raw =
+        if writes then
+          (chunks * t.cost.write_chunk_cost)
+          + (n * t.cost.write_record_cost)
+          + byte_cost
+        else
+          (chunks * t.cost.read_chunk_cost)
+          + (n * t.cost.read_record_cost)
+          + byte_cost
+      in
+      (* Exact for factor 1.0: every span fits a float mantissa. *)
+      int_of_float (float_of_int raw *. t.cost_factor)
 
   let apply_set t pairs =
     List.iter
@@ -126,36 +146,57 @@ module Server = struct
       0 pairs
 
   (* Writes go to the replica synchronously: the reply is withheld until
-     the replica has confirmed (same processing-cost model there). *)
+     the replica has confirmed (same processing-cost model there). A
+     replica found dead — crashed or partitioned — is detached and the
+     primary acknowledges alone (degraded redundancy, like Redis dropping
+     a sync replica), so a replica failure cannot wedge the write path. *)
   let replicate t op k =
-    match (t.replica, op) with
-    | None, _ -> k ()
-    | Some r, `Set pairs ->
-        let finish =
-          processing_finish r
-            (op_cost r ~writes:true
-               ~bytes:(payload_bytes_of_pairs pairs)
-               (List.length pairs))
+    match t.replica with
+    | None -> k ()
+    | Some r when not (up r) ->
+        t.replica <- None;
+        k ()
+    | Some r ->
+        let cost, apply =
+          match op with
+          | `Set pairs ->
+              ( op_cost r ~writes:true
+                  ~bytes:(payload_bytes_of_pairs pairs)
+                  (List.length pairs),
+                fun () -> apply_set r pairs )
+          | `Del keys ->
+              ( op_cost r ~writes:true ~bytes:0 (List.length keys),
+                fun () -> ignore (apply_del r keys) )
         in
+        let finish = processing_finish r cost in
         ignore
           (Engine.schedule_at r.eng finish (fun () ->
-               if Node.is_up r.snode then begin
-                 apply_set r pairs;
+               if up r then begin
+                 apply ();
                  k ()
-               end))
-    | Some r, `Del keys ->
-        let finish =
-          processing_finish r (op_cost r ~writes:true ~bytes:0 (List.length keys))
-        in
-        ignore
-          (Engine.schedule_at r.eng finish (fun () ->
-               if Node.is_up r.snode then begin
-                 ignore (apply_del r keys);
+               end
+               else begin
+                 t.replica <- None;
                  k ()
                end))
 
-  let handle t ~src:_ body ~reply:(reply : ?size:int -> Rpc.body -> unit) =
+  let rec handle t ~src body ~reply:(reply : ?size:int -> Rpc.body -> unit) =
     match body with
+    | Req_idem { client; seq; inner } -> (
+        match Hashtbl.find_opt t.idem client with
+        | Some (s, _) when seq < s -> () (* stale retransmission *)
+        | Some (s, Some (rbody, rsize)) when seq = s ->
+            (* Duplicate of an already-answered request: replay the
+               cached response without re-applying. *)
+            reply ~size:rsize rbody
+        | Some (s, None) when seq = s ->
+            () (* duplicate while the original is still processing *)
+        | _ ->
+            Hashtbl.replace t.idem client (seq, None);
+            handle t ~src inner
+              ~reply:(fun ?(size = 128) rbody ->
+                Hashtbl.replace t.idem client (seq, Some (rbody, size));
+                reply ~size rbody))
     | Req_set pairs ->
         let finish =
           processing_finish t
@@ -165,7 +206,7 @@ module Server = struct
         in
         ignore
           (Engine.schedule_at t.eng finish (fun () ->
-               if Node.is_up t.snode then begin
+               if up t then begin
                  apply_set t pairs;
                  replicate t (`Set pairs) (fun () -> reply ~size:64 Resp_set_ok)
                end))
@@ -184,7 +225,7 @@ module Server = struct
         in
         ignore
           (Engine.schedule_at t.eng finish (fun () ->
-               if Node.is_up t.snode then begin
+               if up t then begin
                  let values =
                    List.map (fun k -> (k, Hashtbl.find_opt t.table k)) keys
                  in
@@ -204,7 +245,7 @@ module Server = struct
         in
         ignore
           (Engine.schedule_at t.eng finish (fun () ->
-               if Node.is_up t.snode then begin
+               if up t then begin
                  let n = apply_del t keys in
                  replicate t (`Del keys) (fun () ->
                      reply ~size:64 (Resp_del_count n))
@@ -226,7 +267,7 @@ module Server = struct
         in
         ignore
           (Engine.schedule_at t.eng finish (fun () ->
-               if Node.is_up t.snode then begin
+               if up t then begin
                  let pairs =
                    List.filter_map
                      (fun k ->
@@ -249,22 +290,111 @@ module Server = struct
         bytes = 0;
         busy_until = Time.zero;
         replica = None;
+        alive = true;
+        cost_factor = 1.0;
+        idem = Hashtbl.create 16;
       }
     in
     Rpc.serve (Rpc.endpoint node) ~service:"kv" (handle t);
+    (* Process-liveness probe: answered only while alive, so a crashed
+       store reads as unreachable even though its node still forwards. *)
+    Rpc.serve (Rpc.endpoint node) ~service:"kv_health"
+      (fun ~src:_ _body ~reply -> if t.alive then reply Rpc.Pong);
     t
 
   let attach_replica primary replica =
     if primary.snode == replica.snode then
       invalid_arg "Store.Server.attach_replica: replica on the same node";
     primary.replica <- Some replica
+
+  (* The paper's Redis runs without persistence (§4.1): a process crash
+     loses every record. The node stays up — only the store process
+     died — so requests still arrive and are silently dropped until
+     [restart], exactly like a connection-refused backend behind an
+     engineered-loss-free channel. *)
+  let crash t =
+    if t.alive then begin
+      t.alive <- false;
+      Hashtbl.reset t.table;
+      t.bytes <- 0;
+      Hashtbl.reset t.idem;
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Store_crashed { node = Node.name t.snode })
+    end
+
+  let restart t =
+    if not t.alive then begin
+      t.alive <- true;
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Store_restarted { node = Node.name t.snode })
+    end
+
+  let promote t =
+    t.replica <- None;
+    Telemetry.Bus.emit t.eng
+      (Telemetry.Event.Store_promoted { node = Node.name t.snode })
+
+  let set_cost_factor t f =
+    if f < 1.0 then invalid_arg "Store.Server.set_cost_factor: factor < 1";
+    t.cost_factor <- f
 end
 
 module Client = struct
-  type t = { ep : Rpc.endpoint; server : Addr.t }
+  (* Resilient state, present only when the client opted into retry or
+     failover. Ops run strictly one at a time through [queue]: an op's
+     retransmissions and failover all complete (or fail) before the next
+     op is sent, which preserves per-client FIFO ordering even though a
+     retransmission is a fresh RPC. Each op carries an idempotency id
+     [(name, seq)] the server deduplicates on. *)
+  type resilient = {
+    name : string;
+    retry : Rpc.retry;
+    mutable replica : Addr.t option; (* failover target, consumed once *)
+    mutable failed : bool; (* true once failover has happened *)
+    mutable seq : int;
+    mutable queue : (unit -> unit) list; (* pending ops, FIFO order *)
+    mutable inflight : bool;
+  }
 
-  let create node ~server = { ep = Rpc.endpoint node; server }
+  type t = {
+    ep : Rpc.endpoint;
+    mutable server : Addr.t;
+    resilient : resilient option;
+  }
+
+  let create ?replica ?retry node ~server =
+    let ep = Rpc.endpoint node in
+    match (replica, retry) with
+    | None, None -> { ep; server; resilient = None }
+    | _ ->
+        let retry =
+          match retry with Some r -> r | None -> Rpc.retry_policy ()
+        in
+        (* The idempotency-id namespace: unique per node within a run,
+           deterministic across replays (the endpoint's counter dies
+           with its node). *)
+        let name =
+          Printf.sprintf "%s#%d" (Node.name node) (Rpc.fresh_client_id ep)
+        in
+        {
+          ep;
+          server;
+          resilient =
+            Some
+              {
+                name;
+                retry;
+                replica;
+                failed = false;
+                seq = 0;
+                queue = [];
+                inflight = false;
+              };
+        }
+
   let server_addr t = t.server
+  let failed_over t =
+    match t.resilient with Some r -> r.failed | None -> false
 
   let request_size_of_pairs pairs =
     64
@@ -272,33 +402,80 @@ module Client = struct
         (fun acc (k, v) -> acc + String.length k + String.length v)
         0 pairs
 
+  let start_next r =
+    match r.queue with
+    | [] -> ()
+    | job :: rest ->
+        r.queue <- rest;
+        r.inflight <- true;
+        job ()
+
+  let run_op t r ~size ~timeout inner k_done =
+    r.seq <- r.seq + 1;
+    let seq = r.seq in
+    let body = Req_idem { client = r.name; seq; inner } in
+    let rec attempt_target () =
+      Rpc.call t.ep ~timeout ~size ~retry:r.retry ~dst:t.server ~service:"kv"
+        body (function
+        | Ok resp -> k_done (Ok resp)
+        | Error _ -> (
+            match r.replica with
+            | Some addr ->
+                (* Primary declared dead after a full retry budget: fail
+                   over. The same idempotency id is reused, so a write
+                   the primary applied but never acknowledged is not
+                   double-applied if it raced the failover. *)
+                r.replica <- None;
+                r.failed <- true;
+                t.server <- addr;
+                Telemetry.Bus.emit
+                  (Node.engine (Rpc.node t.ep))
+                  (Telemetry.Event.Store_failover
+                     { client = r.name; attempts = r.retry.attempts });
+                attempt_target ()
+            | None -> k_done (Error `Timeout)))
+    in
+    attempt_target ()
+
+  let exec t ~size ~timeout inner parse =
+    match t.resilient with
+    | None ->
+        Rpc.call t.ep ~timeout ~size ~dst:t.server ~service:"kv" inner parse
+    | Some r ->
+        let job () =
+          run_op t r ~size ~timeout inner (fun res ->
+              r.inflight <- false;
+              parse res;
+              start_next r)
+        in
+        r.queue <- r.queue @ [ job ];
+        if not r.inflight then start_next r
+
   let set t ?(timeout = Time.sec 5) pairs k =
-    Rpc.call t.ep ~timeout ~size:(request_size_of_pairs pairs) ~dst:t.server
-      ~service:"kv" (Req_set pairs) (function
+    exec t ~size:(request_size_of_pairs pairs) ~timeout (Req_set pairs)
+      (function
       | Ok Resp_set_ok -> k (Ok ())
       | Ok _ -> k (Error `Timeout)
-      | Error `Timeout -> k (Error `Timeout))
+      | Error _ -> k (Error `Timeout))
 
   let get t ?(timeout = Time.sec 5) keys k =
     let size = 64 + List.fold_left (fun a s -> a + String.length s) 0 keys in
-    Rpc.call t.ep ~timeout ~size ~dst:t.server ~service:"kv" (Req_get keys)
-      (function
+    exec t ~size ~timeout (Req_get keys) (function
       | Ok (Resp_values vs) -> k (Ok vs)
       | Ok _ -> k (Error `Timeout)
-      | Error `Timeout -> k (Error `Timeout))
+      | Error _ -> k (Error `Timeout))
 
   let del t ?(timeout = Time.sec 5) keys k =
     let size = 64 + List.fold_left (fun a s -> a + String.length s) 0 keys in
-    Rpc.call t.ep ~timeout ~size ~dst:t.server ~service:"kv" (Req_del keys)
-      (function
+    exec t ~size ~timeout (Req_del keys) (function
       | Ok (Resp_del_count n) -> k (Ok n)
       | Ok _ -> k (Error `Timeout)
-      | Error `Timeout -> k (Error `Timeout))
+      | Error _ -> k (Error `Timeout))
 
   let scan t ?(timeout = Time.sec 30) ~prefix k =
-    Rpc.call t.ep ~timeout ~size:(64 + String.length prefix) ~dst:t.server
-      ~service:"kv" (Req_scan prefix) (function
+    exec t ~size:(64 + String.length prefix) ~timeout (Req_scan prefix)
+      (function
       | Ok (Resp_pairs ps) -> k (Ok ps)
       | Ok _ -> k (Error `Timeout)
-      | Error `Timeout -> k (Error `Timeout))
+      | Error _ -> k (Error `Timeout))
 end

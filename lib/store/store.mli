@@ -48,7 +48,31 @@ module Server : sig
       replica of [primary]: the primary acknowledges a write or delete
       only after the replica has applied it. The replica must have been
       created on a different node (it does not itself serve clients in
-      this role, though nothing prevents reads against it). *)
+      this role, though nothing prevents reads against it). A replica
+      found dead at apply time is detached and the primary acknowledges
+      alone — degraded redundancy rather than a wedged write path. *)
+
+  val crash : t -> unit
+  (** The store process dies: every record (and the idempotency cache)
+      is lost — the paper's no-persistence Redis — and requests are
+      dropped unanswered until {!restart}. The node itself stays up;
+      use [Netsim.Node.set_up] for a partition that preserves RAM.
+      Emits [Store_crashed]. Idempotent. *)
+
+  val restart : t -> unit
+  (** Brings a crashed process back, empty. Emits [Store_restarted]. *)
+
+  val alive : t -> bool
+
+  val promote : t -> unit
+  (** Declares this (replica) server the authoritative primary: any
+      replica pointer of its own is cleared and [Store_promoted] is
+      emitted. Clients switch to it via their failover path. *)
+
+  val set_cost_factor : t -> float -> unit
+  (** Multiplies every modelled processing cost by [factor >= 1] — a
+      slow store (GC pause, overload). [1.0] restores the calibrated
+      model. *)
 
   val node : t -> Netsim.Node.t
   val addr : t -> Netsim.Addr.t
@@ -70,7 +94,27 @@ end
 module Client : sig
   type t
 
-  val create : Netsim.Node.t -> server:Netsim.Addr.t -> t
+  val create :
+    ?replica:Netsim.Addr.t ->
+    ?retry:Netsim.Rpc.retry ->
+    Netsim.Node.t ->
+    server:Netsim.Addr.t ->
+    t
+  (** [create node ~server] is the plain client: one attempt per op,
+      [`Timeout] on silence — unchanged semantics.
+
+      Passing [?retry] and/or [?replica] makes the client {e resilient}:
+      ops are serialized (one outstanding at a time, preserving
+      per-client FIFO order across retransmissions), tagged with an
+      idempotency id the server deduplicates on, retried through the
+      policy ([Rpc.retry_policy ()] if only [?replica] was given), and —
+      once the budget is exhausted on the primary — failed over to
+      [replica] permanently (emitting [Store_failover]). Ops that fail
+      on both targets yield [`Timeout]; later ops re-try the promoted
+      replica, so a healed store resumes service. *)
+
+  val failed_over : t -> bool
+  (** Whether the client has switched to its replica. *)
 
   val set :
     t -> ?timeout:Sim.Time.span -> (string * string) list ->

@@ -1,6 +1,6 @@
-type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch
+type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch | Store
 
-let categories = [ Tcp; Bgp; Bfd; Netfilter; Replicator; Orch ]
+let categories = [ Tcp; Bgp; Bfd; Netfilter; Replicator; Orch; Store ]
 
 let category_name = function
   | Tcp -> "tcp"
@@ -9,6 +9,7 @@ let category_name = function
   | Netfilter -> "netfilter"
   | Replicator -> "replicator"
   | Orch -> "orch"
+  | Store -> "store"
 
 let category_of_name = function
   | "tcp" -> Some Tcp
@@ -17,6 +18,7 @@ let category_of_name = function
   | "netfilter" -> Some Netfilter
   | "replicator" -> Some Replicator
   | "orch" -> Some Orch
+  | "store" -> Some Store
   | _ -> None
 
 type t =
@@ -55,6 +57,9 @@ type t =
   | Ack_held of { conn : string; ack : int; depth : int }
   | Ack_released of { conn : string; ack : int; held_s : float }
   | Ack_dropped of { conn : string; ack : int }
+  | Ack_shed of { conn : string; ack : int; held_s : float }
+  | Degraded_enter of { conn : string; held : int; oldest_held_s : float }
+  | Degraded_exit of { conn : string; degraded_s : float; epoch : int }
   | Wm_durable of { conn : string; ack : int }
   | Catchup_start of { service : string; vrf : string }
   | Catchup_done of { service : string; vrf : string; msgs : int; bytes : int }
@@ -68,6 +73,14 @@ type t =
   | Failure_injected of { service : string; kind : string }
   | Planned_migration of { service : string }
   | Tcp_synced of { service : string; vrf : string }
+  | Store_unreachable of { node : string }
+  | Store_recovered of { node : string; outage_s : float }
+  | Migration_deferred of { id : string; reason : string }
+  | Store_crashed of { node : string }
+  | Store_restarted of { node : string }
+  | Store_promoted of { node : string }
+  | Store_failover of { client : string; attempts : int }
+  | Rpc_unknown_service of { node : string; service : string; count : int }
   | Generic of { cat : category; name : string; detail : string }
 
 let category = function
@@ -79,13 +92,18 @@ let category = function
       Bgp
   | Bfd_up _ | Bfd_down _ -> Bfd
   | Queue_dropped _ -> Netfilter
-  | Ack_held _ | Ack_released _ | Ack_dropped _ | Wm_durable _
+  | Ack_held _ | Ack_released _ | Ack_dropped _ | Ack_shed _
+  | Degraded_enter _ | Degraded_exit _ | Wm_durable _
   | Catchup_start _ | Catchup_done _ | Replica_promoted _ ->
       Replicator
   | Container_state _ | Failure_detected _ | Migration_initiated _
   | Migration_done _ | Host_suspect _ | Host_failed _ | Failure_injected _
-  | Planned_migration _ | Tcp_synced _ ->
+  | Planned_migration _ | Tcp_synced _ | Store_unreachable _
+  | Store_recovered _ | Migration_deferred _ ->
       Orch
+  | Store_crashed _ | Store_restarted _ | Store_promoted _ | Store_failover _
+  | Rpc_unknown_service _ ->
+      Store
   | Generic { cat; _ } -> cat
 
 let name = function
@@ -105,6 +123,9 @@ let name = function
   | Ack_held _ -> "ack_held"
   | Ack_released _ -> "ack_released"
   | Ack_dropped _ -> "ack_dropped"
+  | Ack_shed _ -> "ack_shed"
+  | Degraded_enter _ -> "degraded_enter"
+  | Degraded_exit _ -> "degraded_exit"
   | Wm_durable _ -> "wm_durable"
   | Catchup_start _ -> "catchup_start"
   | Catchup_done _ -> "catchup_done"
@@ -118,6 +139,14 @@ let name = function
   | Failure_injected _ -> "failure_injected"
   | Planned_migration _ -> "planned_migration"
   | Tcp_synced _ -> "tcp_synced"
+  | Store_unreachable _ -> "store_unreachable"
+  | Store_recovered _ -> "store_recovered"
+  | Migration_deferred _ -> "migration_deferred"
+  | Store_crashed _ -> "store_crashed"
+  | Store_restarted _ -> "store_restarted"
+  | Store_promoted _ -> "store_promoted"
+  | Store_failover _ -> "store_failover"
+  | Rpc_unknown_service _ -> "rpc_unknown_service"
   | Generic { name; _ } -> name
 
 type field = Int of int | Float of float | Str of string
@@ -167,6 +196,18 @@ let fields = function
   | Ack_released { conn; ack; held_s } ->
       [ ("conn", Str conn); ("ack", Int ack); ("held_s", Float held_s) ]
   | Ack_dropped { conn; ack } -> [ ("conn", Str conn); ("ack", Int ack) ]
+  | Ack_shed { conn; ack; held_s } ->
+      [ ("conn", Str conn); ("ack", Int ack); ("held_s", Float held_s) ]
+  | Degraded_enter { conn; held; oldest_held_s } ->
+      [
+        ("conn", Str conn); ("held", Int held);
+        ("oldest_held_s", Float oldest_held_s);
+      ]
+  | Degraded_exit { conn; degraded_s; epoch } ->
+      [
+        ("conn", Str conn); ("degraded_s", Float degraded_s);
+        ("epoch", Int epoch);
+      ]
   | Wm_durable { conn; ack } -> [ ("conn", Str conn); ("ack", Int ack) ]
   | Catchup_start { service; vrf } ->
       [ ("service", Str service); ("vrf", Str vrf) ]
@@ -190,6 +231,18 @@ let fields = function
   | Planned_migration { service } -> [ ("service", Str service) ]
   | Tcp_synced { service; vrf } ->
       [ ("service", Str service); ("vrf", Str vrf) ]
+  | Store_unreachable { node } -> [ ("node", Str node) ]
+  | Store_recovered { node; outage_s } ->
+      [ ("node", Str node); ("outage_s", Float outage_s) ]
+  | Migration_deferred { id; reason } ->
+      [ ("id", Str id); ("reason", Str reason) ]
+  | Store_crashed { node } -> [ ("node", Str node) ]
+  | Store_restarted { node } -> [ ("node", Str node) ]
+  | Store_promoted { node } -> [ ("node", Str node) ]
+  | Store_failover { client; attempts } ->
+      [ ("client", Str client); ("attempts", Int attempts) ]
+  | Rpc_unknown_service { node; service; count } ->
+      [ ("node", Str node); ("service", Str service); ("count", Int count) ]
   | Generic { detail; _ } -> [ ("detail", Str detail) ]
 
 (* The first group must stay byte-identical to the Trace.emitf strings

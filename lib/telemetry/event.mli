@@ -11,7 +11,7 @@
     keeps existing trace queries (e.g. Table 1's ["detect"] /
     ["tcp-synced"] lookups) working unchanged. *)
 
-type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch
+type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch | Store
 
 val categories : category list
 (** All categories, in a fixed order. *)
@@ -62,6 +62,13 @@ type t =
   | Ack_held of { conn : string; ack : int; depth : int }
   | Ack_released of { conn : string; ack : int; held_s : float }
   | Ack_dropped of { conn : string; ack : int }
+  | Ack_shed of { conn : string; ack : int; held_s : float }
+    (** Flushed without durability at degraded-mode entry: the deadline
+        expired, so the ACK is released to keep the peer's window open
+        while NSR protection is suspended. Distinct from [Ack_released]
+        (durable) and [Ack_dropped] (stream died). *)
+  | Degraded_enter of { conn : string; held : int; oldest_held_s : float }
+  | Degraded_exit of { conn : string; degraded_s : float; epoch : int }
   | Wm_durable of { conn : string; ack : int }
   | Catchup_start of { service : string; vrf : string }
   | Catchup_done of { service : string; vrf : string; msgs : int; bytes : int }
@@ -76,6 +83,15 @@ type t =
   | Failure_injected of { service : string; kind : string }
   | Planned_migration of { service : string }
   | Tcp_synced of { service : string; vrf : string }
+  | Store_unreachable of { node : string }
+  | Store_recovered of { node : string; outage_s : float }
+  | Migration_deferred of { id : string; reason : string }
+  (* store *)
+  | Store_crashed of { node : string }
+  | Store_restarted of { node : string }
+  | Store_promoted of { node : string }
+  | Store_failover of { client : string; attempts : int }
+  | Rpc_unknown_service of { node : string; service : string; count : int }
   (* escape hatch *)
   | Generic of { cat : category; name : string; detail : string }
 

@@ -34,9 +34,12 @@ let vrf_spec ~vrf ~vip ~peer_addr ?peer_asn ?(passive = false)
 type config = {
   service_id : string;
   store_addr : Addr.t;
+  store_replica : Addr.t option;
+  store_retry : bool;
   controller_addr : Addr.t option;
   local_asn : int;
   hold_time : int;
+  degrade_frac : float;
   vrfs : vrf_spec list;
   profile : Bgp.Speaker.profile;
   replicate : bool;
@@ -44,15 +47,21 @@ type config = {
   tcp_restore_cost : Time.span;
 }
 
-let config ~service_id ~store_addr ?controller_addr ~local_asn
-    ?(hold_time = 90) ?(profile = Baseline.tensor) ?(replicate = true)
-    ?(ack_hold = true) ?(tcp_restore_cost = Time.sec 1) vrfs =
+let config ~service_id ~store_addr ?store_replica ?(store_retry = false)
+    ?controller_addr ~local_asn ?(hold_time = 90) ?(degrade_frac = 0.)
+    ?(profile = Baseline.tensor) ?(replicate = true) ?(ack_hold = true)
+    ?(tcp_restore_cost = Time.sec 1) vrfs =
+  if degrade_frac < 0. || degrade_frac >= 1. then
+    invalid_arg "App.config: degrade_frac must be in [0, 1)";
   {
     service_id;
     store_addr;
+    store_replica;
+    store_retry;
     controller_addr;
     local_asn;
     hold_time;
+    degrade_frac;
     vrfs;
     profile;
     replicate;
@@ -262,6 +271,22 @@ let wire_peer_lifecycle t pv peer =
           | Some c -> Replicator.session_established pv.repl ~irs:(Tcp.irs c)
           | None -> ())
       | None -> ());
+      (* The held-ACK deadline derives from the *negotiated* hold time:
+         the degraded switch must fire well inside the peer's hold timer
+         (and the default quarter-fraction also sits inside one keepalive
+         interval of slack). *)
+      (if t.cfg.degrade_frac > 0. then
+         match Bgp.Speaker.peer_session peer with
+         | Some s -> (
+             match Bgp.Session.negotiated s with
+             | Some neg ->
+                 Replicator.set_degrade_after pv.repl
+                   (Some
+                      (Time.of_sec_f
+                         (t.cfg.degrade_frac
+                         *. float_of_int neg.Bgp.Session.hold_time)))
+             | None -> ())
+         | None -> ());
       write_meta t pv;
       start_trimmer t pv;
       wire_tail_source t pv);
@@ -340,6 +365,145 @@ let watch_tcp_sync ?(span = Telemetry.Span.none) t pv =
               | None -> ignore (Engine.schedule_after eng (Time.ms 50) poll))
           | None -> ())
       | Some _ | None -> (* session gone: stop polling *) ()
+  in
+  poll ()
+
+(* --- Degraded-store survival ---------------------------------------------------
+
+   The store healed while a session ran in degraded pass-through: re-arm
+   NSR without disturbing the peer. Wait for a quiescent send stream
+   (nothing unacknowledged, so the fresh epoch needs no out| records),
+   write the new epoch's meta + cursor baseline in one batch, flip the
+   replicator back to protected mode, then audit Adj-RIB-Out and rewrite
+   the routing-table checkpoint the degraded window left stale. Records
+   of the pre-outage epoch are left behind as garbage; after a store
+   crash (RAM wiped) there are none, and after a partition they stay
+   bounded by the trimming that ran before the outage. *)
+let rearm_from_degraded t pv =
+  let eng = engine t in
+  let service = t.cfg.service_id in
+  let recheckpoint spk client =
+    Store.Client.scan client ~prefix:(Keys.rib_prefix ~service) (fun res ->
+        if (not t.crashed) && not (Replicator.degraded pv.repl) then begin
+          let fresh =
+            try
+              let table = Bgp.Speaker.rib spk ~vrf:pv.spec.vrf in
+              Bgp.Rib.fold_best table ~init:[] ~f:(fun acc pfx path ->
+                  ( Keys.rib_key ~service ~vrf:pv.spec.vrf pfx,
+                    Keys.encode_rib_entry path.Bgp.Rib.source pfx
+                      path.Bgp.Rib.attrs )
+                  :: acc)
+            with Not_found -> []
+          in
+          let fresh_keys = List.map fst fresh in
+          let stale =
+            match res with
+            | Ok pairs ->
+                List.filter_map
+                  (fun (key, _) ->
+                    match Keys.vrf_prefix_of_rib_key ~service key with
+                    | Some (v, _)
+                      when String.equal v pv.spec.vrf
+                           && not (List.mem key fresh_keys) ->
+                        Some key
+                    | _ -> None)
+                  pairs
+            | Error `Timeout -> []
+          in
+          if stale <> [] then Store.Client.del client stale (fun _ -> ());
+          if fresh <> [] then persistent_set t client fresh
+        end)
+  in
+  let rec poll () =
+    if (not t.crashed) && Replicator.degraded pv.repl then
+      match (t.client, t.spk, pv.peer) with
+      | Some client, Some spk, Some p
+        when Bgp.Speaker.peer_state p = Bgp.Session.Established -> (
+          match Bgp.Speaker.peer_session p with
+          | Some s -> (
+              match (Bgp.Session.conn s, Bgp.Session.negotiated s) with
+              | Some c, Some neg ->
+                  if Tcp.snd_una c = Tcp.snd_nxt c then
+                    rearm client spk p s c neg
+                  else retry ()
+              | _ -> ())
+          | None -> ())
+      | _ -> () (* session gone: session_down already cleared degraded *)
+  and retry () = ignore (Engine.schedule_after eng (Time.ms 50) poll)
+  and rearm client spk p s c neg =
+    let epoch = Replicator.prepare_rearm pv.repl in
+    let cid = Keys.conn_id ~service ~vrf:pv.spec.vrf in
+    let ecid = Keys.epoch_cid cid epoch in
+    let parsed = Bgp.Session.parsed_bytes s in
+    let tail = Bgp.Session.unparsed_tail s in
+    let snd_nxt0 = Tcp.snd_nxt c in
+    let watermark = Tcp.irs c + 1 + parsed + String.length tail in
+    let stream_offset = snd_nxt0 - (Tcp.iss c + 1) in
+    let quad = Tcp.quad c in
+    let meta =
+      {
+        Keys.epoch;
+        vrf = pv.spec.vrf;
+        local_addr = quad.Tcp.Quad.local_addr;
+        local_port = quad.Tcp.Quad.local_port;
+        peer_addr = quad.Tcp.Quad.remote_addr;
+        peer_port = quad.Tcp.Quad.remote_port;
+        local_asn = t.cfg.local_asn;
+        hold_time = neg.Bgp.Session.hold_time;
+        as4 = neg.Bgp.Session.as4_in_use;
+        iss = Tcp.iss c;
+        irs = Tcp.irs c;
+        mss = Tcp.mss c;
+        rcv_wnd = 400_000;
+        peer_open_raw = Bgp.Msg.encode (Bgp.Msg.Open neg.Bgp.Session.peer_open);
+        peer_supports_gr = neg.Bgp.Session.peer_supports_gr;
+        peer_gr_restart_time = neg.Bgp.Session.peer_gr_restart_time;
+      }
+    in
+    let part_written = String.length tail > 0 in
+    let pairs =
+      [
+        (Keys.meta_key cid, Keys.encode_meta meta);
+        (Keys.ack_key ecid, string_of_int watermark);
+        (Keys.outtrim_key ecid, string_of_int stream_offset);
+      ]
+    in
+    let pairs =
+      if part_written then
+        (Keys.part_key ecid, Keys.encode_part ~offset:parsed ~bytes:tail)
+        :: pairs
+      else pairs
+    in
+    let rec put () =
+      if (not t.crashed) && Replicator.degraded pv.repl then
+        Store.Client.set client ~timeout:(Time.sec 1) pairs (function
+          | Ok () ->
+              if (not t.crashed) && Replicator.degraded pv.repl then begin
+                if
+                  Tcp.snd_nxt c = snd_nxt0
+                  && Tcp.snd_una c = snd_nxt0
+                  && Bgp.Session.parsed_bytes s = parsed
+                  && String.length (Bgp.Session.unparsed_tail s)
+                     = String.length tail
+                then begin
+                  Replicator.complete_rearm pv.repl ~watermark ~stream_offset
+                    ~part_written;
+                  (* Any UPDATE generated while degraded was sent without
+                     a checkpoint behind it: regenerate Adj-RIB-Out from
+                     the table, then rewrite the rib| checkpoint. *)
+                  Bgp.Speaker.resync_adj_out spk p;
+                  recheckpoint spk client
+                end
+                else
+                  (* The stream moved while the baseline was in flight:
+                     the written cursors are already stale. Snapshot
+                     again (under a fresh epoch). *)
+                  retry ()
+              end
+          | Error `Timeout ->
+              ignore (Engine.schedule_after eng (Time.ms 200) put))
+    in
+    put ()
   in
   poll ()
 
@@ -773,7 +937,15 @@ let bootstrap t () =
   let stack = Tcp.create_stack node in
   let chain = Netfilter.create ~eng:(Node.engine node) () in
   Tcp.set_output_chain stack (Some chain);
-  let client = Store.Client.create node ~server:t.cfg.store_addr in
+  let client =
+    match (t.cfg.store_replica, t.cfg.store_retry) with
+    | None, false -> Store.Client.create node ~server:t.cfg.store_addr
+    | replica, _ ->
+        (* Resilient mode: idempotent, retried, failing over to the
+           replica once the primary's budget is exhausted. *)
+        Store.Client.create ?replica ~retry:(Rpc.retry_policy ()) node
+          ~server:t.cfg.store_addr
+  in
   t.stack <- Some stack;
   t.client <- Some client;
   let eng = Node.engine node in
@@ -793,6 +965,12 @@ let bootstrap t () =
           established = false;
         })
       t.cfg.vrfs;
+  if t.cfg.degrade_frac > 0. then
+    List.iter
+      (fun pv ->
+        Replicator.set_on_store_healed pv.repl (fun () ->
+            rearm_from_degraded t pv))
+      t.per_vrf;
   let router_id =
     match t.cfg.vrfs with
     | spec :: _ -> spec.vip

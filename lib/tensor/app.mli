@@ -51,9 +51,25 @@ val vrf_spec :
 type config = {
   service_id : string;
   store_addr : Netsim.Addr.t;
+  store_replica : Netsim.Addr.t option;
+      (** Failover target for the store client (default none). *)
+  store_retry : bool;
+      (** Use a resilient store client (idempotent retried ops) even
+          without a replica. Either this or [store_replica] switches the
+          client out of the plain one-attempt mode. *)
   controller_addr : Netsim.Addr.t option;
   local_asn : int;
   hold_time : int;
+  degrade_frac : float;
+      (** Degraded-store survival: fraction of the {e negotiated} hold
+          time after which unachievable durability (a held ACK or a
+          blocked control-lane write aging past the deadline) flips the
+          session's replicator into degraded pass-through instead of
+          letting the peer's hold timer fire. [0.] (the default)
+          disables the mechanism — the replicator then blocks
+          indefinitely, the pre-existing behaviour. Once the store heals
+          the app re-arms NSR under a fresh epoch, audits Adj-RIB-Out
+          via the resync path and rewrites the rib| checkpoint. *)
   vrfs : vrf_spec list;
   profile : Bgp.Speaker.profile;
   replicate : bool;  (** Ablation: disable replication entirely. *)
@@ -69,15 +85,19 @@ type config = {
 val config :
   service_id:string ->
   store_addr:Netsim.Addr.t ->
+  ?store_replica:Netsim.Addr.t ->
+  ?store_retry:bool ->
   ?controller_addr:Netsim.Addr.t ->
   local_asn:int ->
   ?hold_time:int ->
+  ?degrade_frac:float ->
   ?profile:Bgp.Speaker.profile ->
   ?replicate:bool ->
   ?ack_hold:bool ->
   ?tcp_restore_cost:Sim.Time.span ->
   vrf_spec list ->
   config
+(** Raises [Invalid_argument] unless [degrade_frac] is in [\[0, 1)]. *)
 
 type mode = Fresh | Recover
 

@@ -12,7 +12,14 @@ open Sim
 
 let peer_name = "peerAS"
 let vrf = "v0"
-let scenarios = [ "failover"; "planned"; "split-brain" ]
+let scenarios = [ "failover"; "planned"; "split-brain"; "degraded" ]
+
+(* The degraded scenario's deadline: fraction of the negotiated 90 s
+   hold time after which an unreachable store suspends NSR. Shared with
+   the checker config so [degraded_mode_exclusion] verifies the same
+   bound the replicator promised. *)
+let degrade_frac = 0.1
+let hold_time_s = 90.
 
 let kind_name k = Format.asprintf "%a" Orch.Controller.pp_failure_kind k
 
@@ -61,14 +68,15 @@ let emit_rib_snapshots (dep : Deploy.t) (peer : Deploy.peer_as) svc ~vip =
 
 (* Shared episode skeleton: deployment, one peer AS, one service with a
    monitored primary, routes flowing both ways. *)
-let setup mon =
+let setup ?(store_resilient = false) ?(degrade_frac = 0.) mon =
   let dep = Deploy.build () in
   let eng = dep.Deploy.eng in
   let peer = Deploy.add_peer_as dep ~asn:65010 peer_name in
   let vip = Netsim.Addr.of_string "203.0.113.10" in
   ignore (Deploy.peer_expects peer ~vrf ~vip ~local_asn:64900);
   let svc =
-    Deploy.deploy_service dep ~id:"chk" ~local_asn:64900
+    Deploy.deploy_service dep ~id:"chk" ~local_asn:64900 ~store_resilient
+      ~degrade_frac
       [ App.vrf_spec ~vrf ~vip ~peer_addr:peer.Deploy.pa_addr ~peer_asn:65010 () ]
   in
   Monitor.Checker.note_primary mon ~service:"chk"
@@ -86,12 +94,17 @@ let setup mon =
   Engine.run_for eng (Time.sec 10);
   (dep, peer, vip, svc)
 
-let with_monitor ~scenario body =
+let with_monitor ?(ack_deadline_s = 0.) ~scenario body =
   Telemetry.Control.reset ();
   Telemetry.Control.set_enabled true;
   let mon =
     Monitor.Checker.install
-      ~cfg:{ Monitor.Checker.default_config with peers = [ peer_name ] }
+      ~cfg:
+        {
+          Monitor.Checker.default_config with
+          peers = [ peer_name ];
+          ack_deadline_s;
+        }
       ()
   in
   let finished = ref false in
@@ -143,11 +156,35 @@ let split_brain () =
   Engine.run_for eng (Time.sec 20);
   emit_rib_snapshots dep peer svc ~vip
 
+let degraded () =
+  with_monitor
+    ~ack_deadline_s:(degrade_frac *. hold_time_s)
+    ~scenario:"degraded"
+  @@ fun mon ->
+  let dep, peer, vip, svc = setup ~store_resilient:true ~degrade_frac mon in
+  let eng = dep.Deploy.eng in
+  let store_node = Store.Server.node dep.Deploy.store_server in
+  (* Partition the store (RAM intact), then keep routes arriving so the
+     replicator accumulates held ACKs it cannot make durable. The
+     deadline (9 s here) fires mid-outage: ACKs are shed, NSR drops to
+     pass-through, the session stays up. Heal at 20 s; the probe finds
+     the store, the app re-arms under a fresh epoch and re-audits
+     Adj-RIB-Out, and the end-state snapshots must converge. *)
+  Netsim.Node.set_up store_node false;
+  Bgp.Speaker.originate peer.Deploy.pa_speaker ~vrf
+    (Workload.Prefixes.distinct_from ~base:700_000 50);
+  ignore
+    (Engine.schedule_after eng (Time.sec 20) (fun () ->
+         Netsim.Node.set_up store_node true));
+  Engine.run_for eng (Time.sec 60);
+  emit_rib_snapshots dep peer svc ~vip
+
 let run ?kind name =
   match name with
   | "failover" -> Ok (failover ?kind ())
   | "planned" -> Ok (planned ())
   | "split-brain" | "split_brain" -> Ok (split_brain ())
+  | "degraded" -> Ok (degraded ())
   | other ->
       Error
         (Printf.sprintf "unknown scenario %S (expected: %s)" other

@@ -8,7 +8,7 @@
     which is how the mutation tests exercise each checker. *)
 
 val scenarios : string list
-(** ["failover"; "planned"; "split-brain"]. *)
+(** ["failover"; "planned"; "split-brain"; "degraded"]. *)
 
 val snapshot_session :
   Sim.Engine.t ->
@@ -38,6 +38,13 @@ val planned : unit -> Monitor.Health.report
 val split_brain : unit -> Monitor.Health.report
 (** Host-network partition, migration, then partition heal: the old
     primary must stay fenced (no dual speaker). *)
+
+val degraded : unit -> Monitor.Health.report
+(** Store partitioned past the degrade deadline while routes keep
+    arriving: held ACKs must be shed within the configured bound
+    (NSR suspended, session alive), and after the store heals the
+    re-armed session must converge. The [degraded_mode_exclusion]
+    checker runs armed with the scenario's deadline. *)
 
 val run :
   ?kind:Orch.Controller.failure_kind ->

@@ -10,6 +10,7 @@ type t = {
   ctrl : Orch.Controller.t;
   store_server : Store.Server.t;
   store_addr : Addr.t;
+  store_replica_server : Store.Server.t option;
   trace : Trace.t;
   warm_boot : Time.span;
   cold_boot : Time.span;
@@ -190,16 +191,20 @@ let build ?(seed = 42) ?(hosts = 3) ?(warm_boot = Time.sec 1)
   (* The store's own fault tolerance: a synchronous replica on a second
      server (the paper treats store+primary double failures as out of
      scope, §4.1). *)
-  if store_replica then begin
-    let replica_node = Network.add_node net "store-replica" in
-    let _, rep_fabric_side, _ =
-      Network.connect net ~delay:store_delay fabric replica_node
-    in
-    Node.add_route replica_node (Addr.prefix_of_string "0.0.0.0/0")
-      rep_fabric_side;
-    let replica = Store.Server.create ?cost:store_cost replica_node in
-    Store.Server.attach_replica store_server replica
-  end;
+  let store_replica_server =
+    if store_replica then begin
+      let replica_node = Network.add_node net "store-replica" in
+      let _, rep_fabric_side, _ =
+        Network.connect net ~delay:store_delay fabric replica_node
+      in
+      Node.add_route replica_node (Addr.prefix_of_string "0.0.0.0/0")
+        rep_fabric_side;
+      let replica = Store.Server.create ?cost:store_cost replica_node in
+      Store.Server.attach_replica store_server replica;
+      Some replica
+    end
+    else None
+  in
   let t =
     {
       eng;
@@ -210,6 +215,7 @@ let build ?(seed = 42) ?(hosts = 3) ?(warm_boot = Time.sec 1)
       ctrl;
       store_server;
       store_addr = Store.Server.addr store_server;
+      store_replica_server;
       trace = Trace.create ();
       warm_boot;
       cold_boot;
@@ -258,12 +264,17 @@ let peer_expects pa ~vrf ~vip ~local_asn =
 (* --- Services ----------------------------------------------------------------------- *)
 
 let deploy_service t ?(primary_host = 0) ?(backup_host = 1)
-    ?(backup_mode = `Cold) ?(replicate = true) ?(ack_hold = true) ~id
-    ~local_asn vrfs =
+    ?(backup_mode = `Cold) ?(replicate = true) ?(ack_hold = true)
+    ?(store_resilient = false) ?(degrade_frac = 0.) ~id ~local_asn vrfs =
   let cfg =
     App.config ~service_id:id ~store_addr:t.store_addr
-      ~controller_addr:(Orch.Controller.addr t.ctrl) ~local_asn ~replicate
-      ~ack_hold vrfs
+      ?store_replica:
+        (if store_resilient then
+           Option.map Store.Server.addr t.store_replica_server
+         else None)
+      ~store_retry:store_resilient
+      ~controller_addr:(Orch.Controller.addr t.ctrl) ~local_asn ~degrade_frac
+      ~replicate ~ack_hold vrfs
   in
   let host = t.hosts.(primary_host) in
   let cont = Orch.Host.create_container host id in

@@ -22,6 +22,9 @@ type t = {
   ctrl : Orch.Controller.t;
   store_server : Store.Server.t;
   store_addr : Netsim.Addr.t;
+  store_replica_server : Store.Server.t option;
+      (** Present when [build ~store_replica:true]: the synchronous
+          replica, exposed so chaos scenarios can crash/promote it. *)
   trace : Sim.Trace.t;
   warm_boot : Sim.Time.span;
       (** Backup container boot for app/container failures (1 s). *)
@@ -84,6 +87,8 @@ val deploy_service :
   ?backup_mode:[ `Cold | `Preheat ] ->
   ?replicate:bool ->
   ?ack_hold:bool ->
+  ?store_resilient:bool ->
+  ?degrade_frac:float ->
   id:string ->
   local_asn:int ->
   App.vrf_spec list ->
@@ -92,6 +97,13 @@ val deploy_service :
     the VIPs, installs the app, registers the service with the controller
     and the BFD relays with the agent. [backup_host] (default 1) receives
     migrations.
+
+    [store_resilient] (default false) gives the app a retrying store
+    client, failing over to the deployment's replica when one was built
+    ({!build}'s [store_replica]). [degrade_frac] (default 0., disabled)
+    is forwarded to {!App.config}: the fraction of the negotiated hold
+    time after which an unreachable store flips replication into degraded
+    pass-through instead of letting the peer's hold timer fire.
 
     [backup_mode] (default [`Cold]) selects §3.3.2's energy/latency
     trade-off: [`Cold] creates and boots the backup container at

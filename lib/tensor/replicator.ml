@@ -7,6 +7,9 @@ let m_acks_held = Telemetry.Registry.counter "replicator.acks_held"
 let m_acks_released = Telemetry.Registry.counter "replicator.acks_released"
 let m_store_retries = Telemetry.Registry.counter "replicator.store_retries"
 let m_hold_s = Telemetry.Registry.histogram "replicator.ack_hold_s"
+let m_acks_shed = Telemetry.Registry.counter "replicator.acks_shed"
+let m_degrades = Telemetry.Registry.counter "replicator.degrades"
+let m_degraded_s = Telemetry.Registry.histogram "replicator.degraded_s"
 
 (* A strictly ordered, depth-one-pipelined stream of store operations.
    Consecutive sets (and consecutive deletes) coalesce into batches, which
@@ -16,7 +19,12 @@ type op =
   | Set of (string * string) list * (unit -> unit) list
   | Del of string list
 
-type lane = { mutable queue : op list (* reversed *); mutable inflight : bool }
+type lane = {
+  mutable queue : op list; (* reversed *)
+  mutable inflight : bool;
+  mutable current : op option; (* the op the pump holds, for shedding *)
+  mutable blocked_since : Time.t option; (* first unanswered store attempt *)
+}
 
 (* An inbound replica may be trimmed only once it is BOTH durable (its
    control-lane write completed) and applied to the routing table. The
@@ -61,6 +69,21 @@ type t = {
      stream-scoped records (ack/in/out/outtrim/part) under a fresh key
      space. Recovery follows the epoch recorded in the meta record. *)
   mutable epoch : int;
+  (* Degraded pass-through (store-outage survival). When durability
+     cannot be achieved within [degrade_after] of the oldest obligation
+     — a held ACK aging past the deadline, or the control lane unable to
+     land a write for that long — NSR protection is suspended rather
+     than letting the peer's hold timer fire: held ACKs are shed,
+     pending message releases fire without durability cover, and
+     everything passes through until the store answers again. [gen]
+     fences the stale store callbacks each transition orphans. *)
+  mutable degrade_after : Time.span option;
+  mutable degraded : bool;
+  mutable degraded_since : Time.t option;
+  mutable gen : int;
+  mutable heal_probe : Engine.timer option;
+  mutable heal_inflight : bool;
+  mutable on_store_healed : unit -> unit;
 }
 
 let create ?(replicate = true) ?(ack_hold = true) ?(max_batch = 128) ~engine
@@ -74,8 +97,8 @@ let create ?(replicate = true) ?(ack_hold = true) ?(max_batch = 128) ~engine
     cid = conn_id;
     service;
     stopped = false;
-    ctl = { queue = []; inflight = false };
-    bulk = { queue = []; inflight = false };
+    ctl = { queue = []; inflight = false; current = None; blocked_since = None };
+    bulk = { queue = []; inflight = false; current = None; blocked_since = None };
     wm = None;
     wm_target = 0;
     confirm_inflight = false;
@@ -90,6 +113,13 @@ let create ?(replicate = true) ?(ack_hold = true) ?(max_batch = 128) ~engine
     watchdog = None;
     part_written = false;
     epoch = 0;
+    degrade_after = None;
+    degraded = false;
+    degraded_since = None;
+    gen = 0;
+    heal_probe = None;
+    heal_inflight = false;
+    on_store_healed = (fun () -> ());
   }
 
 let ecid t = Keys.epoch_cid t.cid t.epoch
@@ -99,6 +129,8 @@ let held_segments t = Queue.length t.held
 let hold_samples t = t.holds
 let bytes_written t = t.written
 let pending_unapplied t = Queue.length t.unapplied
+let degraded t = t.degraded
+let set_on_store_healed t f = t.on_store_healed <- f
 
 (* --- Write pump ------------------------------------------------------------ *)
 
@@ -122,48 +154,77 @@ let enqueue_op t lane op =
    hold timer fire) nor — worse — release messages whose replication
    never actually happened. *)
 let rec pump t lane =
-  if (not lane.inflight) && not t.stopped then
+  if (not lane.inflight) && (not t.stopped) && not t.degraded then
     match List.rev lane.queue with
     | [] -> ()
     | op :: rest ->
         lane.queue <- List.rev rest;
         lane.inflight <- true;
+        lane.current <- Some op;
+        (* A degrade entry (or re-arm) orphans this op: its store
+           callbacks must then do nothing — the shed already fired the
+           release callbacks, and touching lane state would corrupt the
+           fresh generation's pipeline. *)
+        let gen0 = t.gen in
+        let live () = t.gen = gen0 in
         let finish () =
+          lane.current <- None;
           lane.inflight <- false;
+          lane.blocked_since <- None;
           pump t lane
         in
+        let miss attempt =
+          if live () then begin
+            if lane.blocked_since = None then
+              lane.blocked_since <- Some (Engine.now t.eng);
+            Telemetry.Registry.incr m_store_retries;
+            ignore (Engine.schedule_after t.eng (Time.ms 100) attempt)
+          end
+        in
         let rec attempt () =
-          if t.stopped then ()
+          if t.stopped || not (live ()) then ()
           else
             match op with
             | Set (pairs, ks) ->
                 Store.Client.set t.client ~timeout:(Time.sec 1) pairs
                   (function
                   | Ok () ->
-                      List.iter (fun k -> k ()) ks;
-                      finish ()
-                  | Error `Timeout ->
-                      Telemetry.Registry.incr m_store_retries;
-                      ignore
-                        (Engine.schedule_after t.eng (Time.ms 100) attempt))
+                      if live () then begin
+                        List.iter (fun k -> k ()) ks;
+                        finish ()
+                      end
+                  | Error `Timeout -> miss attempt)
             | Del keys ->
                 Store.Client.del t.client ~timeout:(Time.sec 1) keys
                   (function
-                  | Ok _ -> finish ()
-                  | Error `Timeout ->
-                      Telemetry.Registry.incr m_store_retries;
-                      ignore
-                        (Engine.schedule_after t.eng (Time.ms 100) attempt))
+                  | Ok _ -> if live () then finish ()
+                  | Error `Timeout -> miss attempt)
         in
         attempt ()
 
+(* While degraded the lanes are gone: a Set's callbacks (message
+   releases, durability notifications — the latter inert against the
+   cleared watermark) fire immediately, deletes are dropped; the re-arm
+   rewrites every cursor the skipped writes would have maintained. *)
 let submit_ctl t op =
-  enqueue_op t t.ctl op;
-  pump t t.ctl
+  if t.degraded then
+    match op with
+    | Set (_, ks) -> List.iter (fun k -> k ()) ks
+    | Del _ -> ()
+  else begin
+    enqueue_op t t.ctl op;
+    pump t t.ctl
+  end
 
 let submit_bulk t op =
-  enqueue_op t t.bulk op;
-  pump t t.bulk
+  if t.degraded then
+    match op with
+    | Set (_, ks) -> List.iter (fun k -> k ()) ks
+    | Del _ -> ()
+  else begin
+    enqueue_op t t.bulk op;
+    pump t t.bulk
+  end
 
 (* --- tcp_queue: the held-ACK discipline ------------------------------------ *)
 
@@ -239,6 +300,147 @@ let rec confirm_watermark t =
     | _ -> ()
   end
 
+(* --- Degraded pass-through (store-outage survival) ----------------------------
+
+   Holding ACKs (and messages) against a store that stays unreachable
+   eventually trades an invisible recovery property for a very visible
+   failure: the peer's hold timer. Past the configured deadline the
+   replicator sheds its obligations, suspends NSR, and keeps the session
+   alive; once the store answers again the app re-arms it under a fresh
+   epoch and re-audits Adj-RIB-Out. *)
+
+let stop_heal_probe t =
+  match t.heal_probe with
+  | Some p ->
+      Engine.stop_timer p;
+      t.heal_probe <- None
+  | None -> ()
+
+let degraded_seconds t =
+  match t.degraded_since with
+  | Some since -> Time.to_sec_f (Time.diff (Engine.now t.eng) since)
+  | None -> 0.
+
+(* Leaving degraded mode without a re-arm (the transport died instead):
+   successor-session bookkeeping starts from whatever path runs next. *)
+let clear_degraded t =
+  if t.degraded then begin
+    let degraded_s = degraded_seconds t in
+    t.degraded <- false;
+    t.degraded_since <- None;
+    t.gen <- t.gen + 1;
+    t.heal_inflight <- false;
+    stop_heal_probe t;
+    Telemetry.Registry.observe m_degraded_s degraded_s;
+    if Telemetry.Gate.on () then
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Degraded_exit
+           { conn = t.cid; degraded_s; epoch = t.epoch })
+  end
+
+let shed_lane lane =
+  let fire = function
+    | Set (_, ks) -> List.iter (fun k -> k ()) ks
+    | Del _ -> ()
+  in
+  (match lane.current with Some op -> fire op | None -> ());
+  List.iter fire (List.rev lane.queue);
+  lane.current <- None;
+  lane.queue <- [];
+  lane.inflight <- false;
+  lane.blocked_since <- None
+
+let heal_probe_tick t =
+  if t.degraded && (not t.stopped) && not t.heal_inflight then begin
+    t.heal_inflight <- true;
+    let gen0 = t.gen in
+    (* Any answered read proves reachability; the meta key exists for
+       every established session. *)
+    Store.Client.get t.client ~timeout:(Time.sec 1) [ Keys.meta_key t.cid ]
+      (fun result ->
+        if t.gen = gen0 then begin
+          t.heal_inflight <- false;
+          if t.degraded && not t.stopped then
+            match result with
+            | Ok _ ->
+                stop_heal_probe t;
+                t.on_store_healed ()
+            | Error `Timeout -> ()
+        end)
+  end
+
+let enter_degraded t =
+  if (not t.degraded) && not t.stopped then begin
+    let now = Engine.now t.eng in
+    let oldest_held_s =
+      if Queue.is_empty t.held then 0.
+      else
+        let _, since, _ = Queue.peek t.held in
+        Time.to_sec_f (Time.diff now since)
+    in
+    t.degraded <- true;
+    t.degraded_since <- Some now;
+    t.gen <- t.gen + 1;
+    Telemetry.Registry.incr m_degrades;
+    if Telemetry.Gate.on () then
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Degraded_enter
+           { conn = t.cid; held = Queue.length t.held; oldest_held_s });
+    (* Shed every held ACK — released to the peer without durability
+       cover, which is exactly the suspension being declared. *)
+    while not (Queue.is_empty t.held) do
+      let ack, since, reinject = Queue.pop t.held in
+      let held_s = Time.to_sec_f (Time.diff now since) in
+      Telemetry.Registry.incr m_acks_shed;
+      if Telemetry.Gate.on () then
+        Telemetry.Bus.emit t.eng
+          (Telemetry.Event.Ack_shed { conn = t.cid; ack; held_s });
+      reinject Netfilter.Accept
+    done;
+    t.wm <- None; (* pass-through: nothing is held while degraded *)
+    t.wm_target <- 0;
+    shed_lane t.ctl;
+    shed_lane t.bulk;
+    Queue.clear t.unapplied;
+    if t.heal_probe = None then
+      t.heal_probe <-
+        Some (Engine.every t.eng (Time.sec 1) (fun () -> heal_probe_tick t))
+  end
+
+let prepare_rearm t =
+  if not t.degraded then invalid_arg "Replicator.prepare_rearm: not degraded";
+  t.epoch <- t.epoch + 1;
+  t.epoch
+
+let complete_rearm t ~watermark ~stream_offset ~part_written =
+  if t.degraded then begin
+    let degraded_s = degraded_seconds t in
+    t.degraded <- false;
+    t.degraded_since <- None;
+    t.gen <- t.gen + 1;
+    t.heal_inflight <- false;
+    stop_heal_probe t;
+    t.ctl.blocked_since <- None;
+    t.bulk.blocked_since <- None;
+    t.wm <- Some watermark;
+    t.wm_target <- watermark;
+    t.in_seq <- 0;
+    t.written <- stream_offset;
+    t.outtrim <- stream_offset;
+    t.out_records <- [];
+    t.part_written <- part_written;
+    Queue.clear t.unapplied;
+    Telemetry.Registry.observe m_degraded_s degraded_s;
+    if Telemetry.Gate.on () then begin
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Degraded_exit
+           { conn = t.cid; degraded_s; epoch = t.epoch });
+      Telemetry.Bus.emit t.eng
+        (Telemetry.Event.Wm_durable { conn = t.cid; ack = watermark })
+    end;
+    release_ready t
+  end
+
 let session_established t ~irs =
   t.wm <- Some (irs + 1);
   t.wm_target <- irs + 1;
@@ -248,6 +450,10 @@ let session_established t ~irs =
   release_ready t
 
 let session_down t =
+  (* A transport death ends any degraded window: the successor session
+     starts with NSR armed (and will re-degrade if the store is still
+     out). *)
+  clear_degraded t;
   (* The connection is gone; its sequence space dies with it. Drop back
      to pass-through so the successor's handshake is not judged against
      a stale watermark, and flush anything still held (the dead
@@ -377,15 +583,55 @@ let check_stall t =
       | None -> ()
   end
 
+(* Deadline watch: the oldest held ACK, or a control-lane write unable
+   to land, aging past [degrade_after] is the signal that durability is
+   not coming in time — the deadline is chosen well inside the peer's
+   hold timer, so shedding here is what keeps the session alive. *)
+let check_degrade t =
+  match t.degrade_after with
+  | None -> ()
+  | Some d ->
+      (* Seeded fault: watch at twice the configured deadline, so
+         obligations age past the bound before being shed — tripping
+         [degraded_mode_exclusion] and nothing else. *)
+      let d = if !Monitor.Faults.late_degrade then 2 * d else d in
+      if (not t.degraded) && (not t.stopped) && t.wm <> None then begin
+        let now = Engine.now t.eng in
+        let held_over =
+          (not (Queue.is_empty t.held))
+          &&
+          let _, since, _ = Queue.peek t.held in
+          Time.diff now since >= d
+        in
+        let ctl_over =
+          match t.ctl.blocked_since with
+          | Some since -> Time.diff now since >= d
+          | None -> false
+        in
+        if held_over || ctl_over then enter_degraded t
+      end
+
+let ensure_watchdog t =
+  if t.watchdog = None then
+    t.watchdog <-
+      Some
+        (Engine.every t.eng (Time.ms 25) (fun () ->
+             check_stall t;
+             check_degrade t))
+
 let set_tail_source t source =
   t.tail_source <- Some source;
-  if t.watchdog = None then
-    t.watchdog <- Some (Engine.every t.eng (Time.ms 25) (fun () -> check_stall t))
+  ensure_watchdog t
+
+let set_degrade_after t span =
+  t.degrade_after <- span;
+  (* The deadline must be watched even before a tail source exists. *)
+  match span with Some _ -> ensure_watchdog t | None -> ()
 
 (* --- Receive replication ----------------------------------------------------- *)
 
 let on_rx_message t msg ~inferred_ack =
-  if t.replicate && not t.stopped then begin
+  if t.replicate && (not t.stopped) && not t.degraded then begin
     Telemetry.Registry.incr m_rx_repl;
     let raw = Bgp.Msg.encode msg in
     let seq = t.in_seq in
@@ -432,7 +678,7 @@ let on_rx_applied t =
 (* --- Delayed sending ---------------------------------------------------------- *)
 
 let on_tx_message t ~raw ~release =
-  if (not t.replicate) || t.stopped then release ()
+  if (not t.replicate) || t.stopped || t.degraded then release ()
   else begin
     Telemetry.Registry.incr m_tx_repl;
     let offset = t.written in
@@ -446,7 +692,7 @@ let on_tx_message t ~raw ~release =
 (* --- Routing-table checkpoints ------------------------------------------------ *)
 
 let on_rib_change t ~vrf change =
-  if t.replicate && not t.stopped then
+  if t.replicate && (not t.stopped) && not t.degraded then
     match change with
     | Bgp.Rib.Best_changed (prefix, path) ->
         submit_bulk t
@@ -463,7 +709,7 @@ let on_rib_change t ~vrf change =
 (* --- Outbound trimming ---------------------------------------------------------- *)
 
 let note_snd_una t ~iss ~snd_una =
-  if t.replicate && not t.stopped then begin
+  if t.replicate && (not t.stopped) && not t.degraded then begin
     let acked = snd_una - (iss + 1) in
     if acked > t.outtrim then begin
       t.outtrim <- acked;
@@ -493,6 +739,7 @@ let drain t k =
 
 let stop t =
   t.stopped <- true;
+  stop_heal_probe t;
   (match t.watchdog with
   | Some w ->
       Engine.stop_timer w;

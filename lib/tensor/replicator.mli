@@ -127,6 +127,49 @@ val hold_samples : t -> Sim.Metrics.samples
 
 val bytes_written : t -> int
 val pending_unapplied : t -> int
+
+(** {2 Degraded pass-through (store-outage survival)}
+
+    Holding ACKs (and delaying sends) against a store that stays
+    unreachable eventually turns an invisible recovery property into a
+    very visible failure: the peer's hold timer fires and the session
+    resets. Past a configurable deadline — a fraction of the negotiated
+    hold time, chosen well inside both the keepalive interval and the
+    peer's hold timer — the replicator instead {e sheds} its
+    obligations: held ACKs are released without durability cover
+    (reported as [Ack_shed]), pending message releases fire, and the
+    session runs unprotected ([Degraded_enter]) until the store answers
+    a probe again, at which point the application re-arms replication
+    under a fresh epoch ({!prepare_rearm} / {!complete_rearm},
+    [Degraded_exit]) and re-audits Adj-RIB-Out. *)
+
+val set_degrade_after : t -> Sim.Time.span option -> unit
+(** Arms (or disarms, with [None]) the held-ACK deadline and starts the
+    watchdog that enforces it. Never armed by default: without a
+    deadline the replicator blocks indefinitely, the pre-existing
+    behaviour. *)
+
+val degraded : t -> bool
+
+val set_on_store_healed : t -> (unit -> unit) -> unit
+(** Called (once per degraded episode) when the store answers the heal
+    probe again. The application is expected to quiesce the stream,
+    write the fresh epoch's baseline records, and call
+    {!complete_rearm}. *)
+
+val prepare_rearm : t -> int
+(** Rolls the epoch for re-arming and returns it — the caller writes the
+    new meta/cursor records under this epoch {e before} calling
+    {!complete_rearm}, so a crash mid-re-arm recovers the old (stale but
+    consistent) epoch. Raises [Invalid_argument] if not degraded. *)
+
+val complete_rearm :
+  t -> watermark:int -> stream_offset:int -> part_written:bool -> unit
+(** Ends the degraded episode: the watermark and send-stream accounting
+    restart from the freshly written baselines ([stream_offset] for both
+    written and trimmed — the stream was quiesced), and held-ACK
+    discipline resumes. *)
+
 val drain : t -> (unit -> unit) -> unit
 (** Invokes the callback once every queued store operation (both lanes)
     has completed — the quiesce step of a planned migration. *)

@@ -77,11 +77,137 @@ let test_applicability_matrix () =
   checkb "rst disables reset checker" true
     (List.mem "no_peer_visible_reset" rst);
   checkb "rst keeps flap checker" false (List.mem "route_flap_absence" rst);
+  checkb "rst disables degraded-exclusion checker" true
+    (List.mem "degraded_mode_exclusion" rst);
   let cease = Chaos.Runner.disabled_checkers (parse (base ^ "cease.1@100")) in
   checkb "cease disables reset checker" true
     (List.mem "no_peer_visible_reset" cease);
   checkb "cease disables flap checker" true
-    (List.mem "route_flap_absence" cease)
+    (List.mem "route_flap_absence" cease);
+  checkb "cease disables degraded-exclusion checker" true
+    (List.mem "degraded_mode_exclusion" cease);
+  List.iter
+    (fun tok ->
+      checkb (tok ^ " disables nothing") true
+        (Chaos.Runner.disabled_checkers (parse (base ^ tok)) = []))
+    [ "store_crash@2000"; "store_crash@2000+6000"; "store_partition@2000+6000";
+      "store_slow@2000+4000:300" ]
+
+(* --- Store-fault tokens ----------------------------------------------------- *)
+
+let test_store_fault_tokens () =
+  let base =
+    "chaos1 seed=1 peers=2 hosts=3 ppfx=5 spfx=5 churn=0 delay=500 window=9000 settle=20000 faults="
+  in
+  let roundtrip tok expected =
+    match Chaos.Descriptor.of_string (base ^ tok) with
+    | Error e -> Alcotest.failf "%s rejected: %s" tok e
+    | Ok d -> (
+        (match Chaos.Descriptor.validate d with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s invalid: %s" tok e);
+        checkb (tok ^ " serializes back") true
+          (String.length (Chaos.Descriptor.to_string d) > 0
+          && Chaos.Descriptor.of_string (Chaos.Descriptor.to_string d)
+             = Ok d);
+        match d.Chaos.Descriptor.faults with
+        | [ f ] -> checkb (tok ^ " parses to expected fault") true (f = expected)
+        | _ -> Alcotest.failf "%s: expected one fault" tok)
+  in
+  roundtrip "store_crash@2000"
+    (Chaos.Descriptor.Store_crash { at_ms = 2000; dur_ms = 0 });
+  roundtrip "store_crash@2000+6000"
+    (Chaos.Descriptor.Store_crash { at_ms = 2000; dur_ms = 6000 });
+  roundtrip "store_partition@2000+6000"
+    (Chaos.Descriptor.Store_partition { at_ms = 2000; dur_ms = 6000 });
+  roundtrip "store_slow@2000+4000:300"
+    (Chaos.Descriptor.Store_slow
+       { at_ms = 2000; dur_ms = 4000; factor_pct = 300 });
+  List.iter
+    (fun tok ->
+      match Chaos.Descriptor.of_string (base ^ tok) with
+      | Ok _ -> Alcotest.failf "accepted bad store token: %s" tok
+      | Error _ -> ())
+    [
+      "store_partition@2000" (* a partition needs a heal time *);
+      "store_partition@2000+0";
+      "store_slow@2000+4000" (* slowdown needs a factor *);
+      "store_slow@2000+4000:100" (* factor must exceed 1x *);
+      "store_slow@2000+4000:20000" (* absurd factor rejected *);
+      "store_crash@2000+-5";
+    ]
+
+let test_validate_rejects_kill_inside_outage () =
+  let base =
+    "chaos1 seed=1 peers=2 hosts=3 ppfx=5 spfx=5 churn=0 delay=500 window=9000 settle=20000 faults="
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let reject tok =
+    match Chaos.Descriptor.of_string (base ^ tok) with
+    | Ok _ -> Alcotest.failf "accepted kill inside store outage: %s" tok
+    | Error e -> checkb (tok ^ " names the outage") true (contains e "outage")
+  in
+  (* Inside a bounded outage, and any time after a permanent crash. *)
+  reject "store_crash@2000+8000,kill.app@4000";
+  reject "store_crash@2000,kill.app@7000";
+  reject "store_partition@2000+6000,planned@3000";
+  (* Before or after the outage window is fine. *)
+  match
+    Chaos.Descriptor.of_string (base ^ "store_partition@3000+2000,kill.app@800")
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "kill before the outage rejected: %s" e
+
+let test_pre_store_descriptors_still_parse () =
+  (* Descriptor lines written before the store-fault tokens existed must
+     keep parsing unchanged — the committed corpus depends on it. *)
+  let old_lines =
+    [
+      "chaos1 seed=5 peers=2 hosts=3 ppfx=8 spfx=8 churn=1 delay=500 \
+       window=16000 settle=20000 \
+       faults=flap.1@1000+80,kill.app@4000,loss.1@9000+400:20";
+      "chaos1 seed=9 peers=1 hosts=3 ppfx=5 spfx=5 churn=0 delay=500 \
+       window=9000 settle=20000 faults=-";
+      "chaos1 seed=3 peers=2 hosts=4 ppfx=6 spfx=6 churn=2 delay=800 \
+       window=12000 settle=20000 faults=rst.0@2000,bfd.1@5000x300";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Chaos.Descriptor.of_string line with
+      | Ok d -> (
+          match Chaos.Descriptor.validate d with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "pre-store line now invalid: %s (%s)" e line)
+      | Error e -> Alcotest.failf "pre-store line rejected: %s (%s)" e line)
+    old_lines
+
+let test_store_fault_runs_green () =
+  (* Seeds whose generated schedules carry store faults, including ones
+     that push the replicator into degraded mode and back (found by
+     scanning; the generator draws store faults for ~a third of seeds). *)
+  List.iter
+    (fun seed ->
+      let d = Chaos.Descriptor.generate ~seed in
+      checkb
+        (Printf.sprintf "seed %d generates a store fault" seed)
+        true
+        (List.exists
+           (function
+             | Chaos.Descriptor.Store_crash _ | Chaos.Descriptor.Store_partition _
+             | Chaos.Descriptor.Store_slow _ ->
+                 true
+             | _ -> false)
+           d.Chaos.Descriptor.faults);
+      let o = Chaos.Runner.run d in
+      if not (Chaos.Runner.ok o) then
+        Alcotest.failf "store-fault seed %d not green: %s" seed
+          (Chaos.Runner.summary o))
+    [ 28; 35; 38 ]
 
 (* --- Replay determinism (the property CI's corpus gate relies on) ---------- *)
 
@@ -184,6 +310,8 @@ let test_corpus_missing_dir () =
    byte-identical. Update deliberately, never to silence a failure. *)
 let pinned_digests =
   [
+    ( "seed28-e4ee3cac.chaos",
+      "986b817f3385ed5b35cb5a48a2ca01d9" );
     ( "seed352025351311880476-a489e3e4.chaos",
       "cce19579ceb519046c58eb784dfe8082" );
     ( "seed508528403378398481-3411f630.chaos",
@@ -265,10 +393,18 @@ let () =
           Alcotest.test_case "sub-seed spread" `Quick test_sub_seed_spread;
           Alcotest.test_case "applicability matrix" `Quick
             test_applicability_matrix;
+          Alcotest.test_case "store fault tokens" `Quick
+            test_store_fault_tokens;
+          Alcotest.test_case "kill inside store outage rejected" `Quick
+            test_validate_rejects_kill_inside_outage;
+          Alcotest.test_case "pre-store descriptors still parse" `Quick
+            test_pre_store_descriptors_still_parse;
         ] );
       ( "runner",
         Alcotest.test_case "generated runs green" `Slow
           test_generated_runs_green
+        :: Alcotest.test_case "store-fault runs green" `Slow
+             test_store_fault_runs_green
         :: List.map QCheck_alcotest.to_alcotest [ prop_replay_deterministic ]
       );
       ("shrink", [ Alcotest.test_case "minimizes" `Slow test_shrink_minimizes ]);

@@ -116,6 +116,28 @@ let test_leak_held_acks =
     (fun () -> Tensor.Check.failover ())
     "queue_drain"
 
+let test_clean_degraded () =
+  Monitor.Faults.reset ();
+  let r = Tensor.Check.degraded () in
+  assert_all_pass r;
+  checkb "report ok" true (Monitor.Health.ok r);
+  (* Not vacuous: the store outage really pushed the session through a
+     degrade-and-rearm cycle. *)
+  let saw ev =
+    List.exists
+      (fun (e : Telemetry.Bus.entry) -> ev e.event)
+      (Telemetry.Bus.events ())
+  in
+  checkb "entered degraded" true
+    (saw (function Telemetry.Event.Degraded_enter _ -> true | _ -> false));
+  checkb "exited degraded" true
+    (saw (function Telemetry.Event.Degraded_exit _ -> true | _ -> false))
+
+let test_late_degrade =
+  mutation Monitor.Faults.late_degrade
+    (fun () -> Tensor.Check.degraded ())
+    "degraded_mode_exclusion"
+
 (* The BFD bound needs an actual BFD detection, which the NSR scenarios
    mask by design (the relay keeps the peer fed). Drive a raw session
    pair instead: same checker, observed directly. *)
@@ -170,7 +192,7 @@ let test_health_json_parses () =
   checks "scenario" "planned"
     (Option.get (Monitor.Json.to_str (get "scenario")));
   let checkers = Option.get (Monitor.Json.to_list (get "checkers")) in
-  checki "eight checkers" 8 (List.length checkers);
+  checki "nine checkers" 9 (List.length checkers);
   List.iter
     (fun c ->
       checkb "status is pass" true
@@ -266,6 +288,7 @@ let () =
           Alcotest.test_case "planned" `Quick test_clean_planned;
           Alcotest.test_case "split-brain" `Quick test_clean_split_brain;
           Alcotest.test_case "bfd-detection" `Quick test_bfd_clean;
+          Alcotest.test_case "degraded" `Quick test_clean_degraded;
         ] );
       ( "mutations",
         [
@@ -277,6 +300,7 @@ let () =
           Alcotest.test_case "no_fence" `Quick test_no_fence;
           Alcotest.test_case "flap_on_migration" `Quick test_flap_on_migration;
           Alcotest.test_case "leak_held_acks" `Quick test_leak_held_acks;
+          Alcotest.test_case "late_degrade" `Quick test_late_degrade;
         ] );
       ( "health",
         [

@@ -393,6 +393,51 @@ let test_rpc_concurrent_calls () =
   Engine.run eng;
   checki "all answered" 10 (List.length !got)
 
+let test_rpc_unknown_service_counted () =
+  let eng, _, a, b, _, _, addr_b = two_nodes () in
+  let ep_a = Rpc.endpoint a and ep_b = Rpc.endpoint b in
+  let r1 = ref None and r2 = ref None in
+  Rpc.call ep_a ~timeout:(Time.ms 100) ~dst:addr_b ~service:"nope" (Echo "x")
+    (fun r -> r1 := Some r);
+  Rpc.call ep_a ~timeout:(Time.ms 100) ~dst:addr_b ~service:"nope" (Echo "y")
+    (fun r -> r2 := Some r);
+  Engine.run eng;
+  (match (!r1, !r2) with
+  | Some (Error `Timeout), Some (Error `Timeout) -> ()
+  | _ -> Alcotest.fail "expected both calls to time out");
+  Alcotest.(check (list (pair string int)))
+    "drops counted per service" [ ("nope", 2) ]
+    (Rpc.unknown_service_counts ep_b)
+
+let test_rpc_retry_transient_outage () =
+  let eng, _, a, b, _, _, addr_b = two_nodes () in
+  let ep_a = Rpc.endpoint a and ep_b = Rpc.endpoint b in
+  Rpc.serve ep_b ~service:"echo" (fun ~src:_ body ~reply -> reply body);
+  Node.set_up b false;
+  ignore (Engine.schedule_after eng (Time.ms 300) (fun () -> Node.set_up b true));
+  let got = ref None in
+  (* Attempt 1 at t=0 times out at 100 ms; backoff 50 ms (±20%) puts
+     attempt 2 around 150 ms, timing out around 250 ms; backoff 100 ms
+     (±20%) lands attempt 3 past 300 ms, when [b] is back up. *)
+  Rpc.call ep_a ~timeout:(Time.ms 100) ~retry:(Rpc.retry_policy ()) ~dst:addr_b
+    ~service:"echo" (Echo "back") (fun r -> got := Some r);
+  Engine.run eng;
+  match !got with
+  | Some (Ok (Echo "back")) -> ()
+  | _ -> Alcotest.fail "expected a later attempt to succeed"
+
+let test_rpc_retry_exhausted () =
+  let eng, _, a, b, _, _, addr_b = two_nodes () in
+  let ep_a = Rpc.endpoint a in
+  Node.set_up b false;
+  let got = ref None in
+  Rpc.call ep_a ~timeout:(Time.ms 100) ~retry:(Rpc.retry_policy ()) ~dst:addr_b
+    ~service:"echo" (Echo "x") (fun r -> got := Some r);
+  Engine.run eng;
+  match !got with
+  | Some (Error (`Exhausted 3)) -> ()
+  | _ -> Alcotest.fail "expected `Exhausted 3 after the budget is spent"
+
 (* --- Properties -------------------------------------------------------- *)
 
 let prop_prefix_contains_base =
@@ -465,6 +510,12 @@ let () =
           Alcotest.test_case "ping down host" `Quick test_rpc_ping_down_host;
           Alcotest.test_case "concurrent calls" `Quick
             test_rpc_concurrent_calls;
+          Alcotest.test_case "unknown service counted" `Quick
+            test_rpc_unknown_service_counted;
+          Alcotest.test_case "retry survives transient outage" `Quick
+            test_rpc_retry_transient_outage;
+          Alcotest.test_case "retry budget exhausted" `Quick
+            test_rpc_retry_exhausted;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -206,6 +206,100 @@ let test_server_recovers_after_reboot () =
     (!got = Some "me");
   checkb "server object intact" true (Store.Server.records server = 1)
 
+let replicated_setup ?cost () =
+  let eng = Engine.create () in
+  let net = Network.create eng in
+  let app = Network.add_node net "app" in
+  let db1 = Network.add_node net "db1" in
+  let db2 = Network.add_node net "db2" in
+  let _, app_on_db1, db1_addr = Network.connect net app db1 in
+  let _, app_on_db2, db2_addr = Network.connect net app db2 in
+  (* The app sources requests from one address; each store node routes
+     every reply back through its own link to the app. *)
+  Node.add_route db1 (Addr.prefix_of_string "0.0.0.0/0") app_on_db1;
+  Node.add_route db2 (Addr.prefix_of_string "0.0.0.0/0") app_on_db2;
+  let primary = Store.Server.create ?cost db1 in
+  let replica = Store.Server.create ?cost db2 in
+  Store.Server.attach_replica primary replica;
+  (eng, primary, replica, db1_addr, db2_addr, app)
+
+let test_replica_ack_after_apply () =
+  (* The primary withholds its reply until the replica has applied the
+     write, so at callback time the replica must already hold it. Runs
+     under the calibrated cost model, where the replica's apply takes
+     real simulated time. *)
+  let eng, _, replica, db1_addr, _, app = replicated_setup () in
+  let client = Store.Client.create app ~server:db1_addr in
+  let seen = ref None in
+  Store.Client.set client [ ("k", "v") ] (fun r ->
+      (match r with Ok () -> () | Error `Timeout -> Alcotest.fail "set timeout");
+      seen := Some (Store.Server.peek replica "k"));
+  Engine.run eng;
+  Alcotest.(check (option (option string)))
+    "replica applied before the ack" (Some (Some "v")) !seen
+
+let test_replica_crash_mid_write_detaches () =
+  let eng, primary, replica, db1_addr, _, app = replicated_setup () in
+  let client = Store.Client.create app ~server:db1_addr in
+  (* Under the calibrated cost model the primary finishes a single write
+     around 1 ms and the replica's apply completes about 1 ms after that;
+     crash the replica in between, so it is found dead exactly when the
+     primary is waiting on it. The write must still be acknowledged
+     (replica detached), not wedge forever. *)
+  ignore
+    (Engine.schedule_after eng (Time.us 1_500) (fun () ->
+         Store.Server.crash replica));
+  let first = ref None in
+  Store.Client.set client [ ("k1", "v1") ] (fun r -> first := Some r);
+  Engine.run eng;
+  (match !first with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "write should complete despite the dead replica");
+  checkb "crashed replica lost its RAM" true
+    (Store.Server.peek replica "k1" = None);
+  let second = ref None in
+  Store.Client.set client [ ("k2", "v2") ] (fun r -> second := Some r);
+  Engine.run eng;
+  (match !second with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "later writes must not wedge");
+  checkb "primary holds both writes" true
+    (Store.Server.peek primary "k1" = Some "v1"
+    && Store.Server.peek primary "k2" = Some "v2")
+
+let test_promotion_after_primary_death () =
+  let eng, primary, replica, db1_addr, db2_addr, app =
+    replicated_setup ~cost:Store.free_cost_model ()
+  in
+  let client =
+    Store.Client.create ~replica:db2_addr ~retry:(Rpc.retry_policy ()) app
+      ~server:db1_addr
+  in
+  let ok label r =
+    match r with
+    | Ok _ -> ()
+    | Error `Timeout -> Alcotest.fail (label ^ " timed out")
+  in
+  Store.Client.set client ~timeout:(Time.sec 1) [ ("k1", "v1") ] (ok "k1");
+  Engine.run eng;
+  Store.Server.crash primary;
+  Store.Server.promote replica;
+  let k2_done = ref false and k3_done = ref false in
+  Store.Client.set client ~timeout:(Time.sec 1) [ ("k2", "v2") ] (fun r ->
+      ok "k2" r;
+      checkb "per-client FIFO across failover" false !k3_done;
+      k2_done := true);
+  Store.Client.set client ~timeout:(Time.sec 1) [ ("k3", "v3") ] (fun r ->
+      ok "k3" r;
+      k3_done := true);
+  Engine.run eng;
+  checkb "both post-crash writes landed" true (!k2_done && !k3_done);
+  checkb "client failed over" true (Store.Client.failed_over client);
+  checkb "replica has pre-crash and post-failover writes" true
+    (Store.Server.peek replica "k1" = Some "v1"
+    && Store.Server.peek replica "k2" = Some "v2"
+    && Store.Server.peek replica "k3" = Some "v3")
+
 (* --- Properties --------------------------------------------------------- *)
 
 let prop_set_get_roundtrip =
@@ -275,6 +369,12 @@ let () =
             test_server_down_times_out;
           Alcotest.test_case "reboot keeps RAM state" `Quick
             test_server_recovers_after_reboot;
+          Alcotest.test_case "ack only after replica apply" `Quick
+            test_replica_ack_after_apply;
+          Alcotest.test_case "replica crash mid-write detaches" `Quick
+            test_replica_crash_mid_write_detaches;
+          Alcotest.test_case "promotion after primary death" `Quick
+            test_promotion_after_primary_death;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
