@@ -4,9 +4,14 @@
      dune exec bench/compare.exe -- --threshold 1.3 old.json new.json
 
    An experiment regresses when new_wall / old_wall exceeds the
-   threshold (default 1.5x) AND the absolute slowdown is over 50 ms —
-   sub-millisecond experiments are pure noise. Exit 1 on any
-   regression, 2 on unreadable/incomparable snapshots. *)
+   threshold (default 1.5x) AND the absolute slowdown is over the noise
+   floor. The floor is 50 ms for experiments that take at least 50 ms;
+   below that it scales with the experiment itself (the old wall time,
+   but never under 10 ms) so fast experiments — which a fixed 50 ms
+   floor made invisible — still gate on a genuine doubling while
+   millisecond jitter stays ignored. Parses both schema v1 and v2
+   snapshots; v2's allocs_per_event drift is reported informationally.
+   Exit 1 on any regression, 2 on unreadable/incomparable snapshots. *)
 
 let read_file path =
   let ic = try open_in_bin path with Sys_error e -> prerr_endline e; exit 2 in
@@ -22,6 +27,13 @@ let parse path =
       Printf.eprintf "%s: malformed snapshot: %s\n" path msg;
       exit 2
 
+(* 50 ms absolute for slow experiments; for sub-50 ms ones the old wall
+   itself (>= 10 ms), i.e. the run must at least double. *)
+let noise_floor old_wall =
+  if old_wall >= 0.05 then 0.05 else Float.max 0.01 old_wall
+
+type exp = { wall : float; allocs_per_event : float option }
+
 let experiments j =
   match Option.bind (Monitor.Json.member "experiments" j) Monitor.Json.to_list with
   | Some l ->
@@ -29,11 +41,15 @@ let experiments j =
         (fun e ->
           match
             ( Option.bind (Monitor.Json.member "id" e) Monitor.Json.to_str,
-              Option.bind (Monitor.Json.member "wall_s" e) Monitor.Json.to_float,
-              Option.bind (Monitor.Json.member "sim_events_per_s" e)
-                Monitor.Json.to_float )
+              Option.bind (Monitor.Json.member "wall_s" e) Monitor.Json.to_float )
           with
-          | Some id, Some wall, eps -> Some (id, (wall, eps))
+          | Some id, Some wall ->
+              let allocs_per_event =
+                Option.bind
+                  (Monitor.Json.member "allocs_per_event" e)
+                  Monitor.Json.to_float
+              in
+              Some (id, { wall; allocs_per_event })
           | _ -> None)
         l
   | None ->
@@ -42,7 +58,6 @@ let experiments j =
 
 let () =
   let threshold = ref 1.5 in
-  let min_delta_s = 0.05 in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -75,29 +90,36 @@ let () =
        meaningful\n";
   let old_e = experiments old_j and new_e = experiments new_j in
   let regressions = ref 0 and compared = ref 0 in
-  Printf.printf "%-12s %12s %12s %8s\n" "experiment" "old wall" "new wall"
-    "ratio";
+  Printf.printf "%-12s %12s %12s %8s %14s\n" "experiment" "old wall" "new wall"
+    "ratio" "allocs/event";
   List.iter
-    (fun (id, (old_wall, _)) ->
+    (fun (id, o) ->
       match List.assoc_opt id new_e with
-      | None -> Printf.printf "%-12s %12.3f %12s %8s\n" id old_wall "-" "gone"
-      | Some (new_wall, _) ->
+      | None -> Printf.printf "%-12s %12.3f %12s %8s\n" id o.wall "-" "gone"
+      | Some n ->
           incr compared;
           let ratio =
-            if old_wall > 1e-9 then new_wall /. old_wall else Float.infinity
+            if o.wall > 1e-9 then n.wall /. o.wall else Float.infinity
           in
           let slow =
-            ratio > !threshold && new_wall -. old_wall > min_delta_s
+            ratio > !threshold && n.wall -. o.wall > noise_floor o.wall
           in
           if slow then incr regressions;
-          Printf.printf "%-12s %12.3f %12.3f %7.2fx%s\n" id old_wall new_wall
-            ratio
+          let allocs =
+            match (o.allocs_per_event, n.allocs_per_event) with
+            | Some a0, Some a1 when a0 > 1e-9 ->
+                Printf.sprintf "%+.0f%%" ((a1 /. a0 -. 1.0) *. 100.0)
+            | None, Some _ | Some _, Some _ -> "new"
+            | _ -> "-"
+          in
+          Printf.printf "%-12s %12.3f %12.3f %7.2fx %14s%s\n" id o.wall n.wall
+            ratio allocs
             (if slow then "  << REGRESSION" else ""))
     old_e;
   List.iter
-    (fun (id, (new_wall, _)) ->
+    (fun (id, n) ->
       if not (List.mem_assoc id old_e) then
-        Printf.printf "%-12s %12s %12.3f %8s\n" id "-" new_wall "new")
+        Printf.printf "%-12s %12s %12.3f %8s\n" id "-" n.wall "new")
     new_e;
   if !compared = 0 then begin
     prerr_endline "no common experiments between the two snapshots";

@@ -9,7 +9,10 @@
      dune exec bench/main.exe -- --csv-dir out fig6a  # also write CSVs
      dune exec bench/main.exe -- --telemetry-dir out fig6a  # + telemetry export
      dune exec bench/main.exe -- --emit-bench BENCH_rev.json  # perf snapshot
-       (diff two snapshots with: dune exec bench/compare.exe -- OLD NEW)
+       (diff two snapshots with: dune exec bench/compare.exe -- OLD NEW;
+        gate a series with: dune exec bench/trend.exe -- --gate OLD... NEW)
+     dune exec bench/main.exe -- --profile --emit-bench BENCH_rev.json
+       # + per-subsystem engine cost breakdowns in the snapshot
 
    Experiment ids: fig5a fig5b fig6a fig6b fig6c fig6d table1 fig7a fig7b
    table2 micro. Simulated measurements are deterministic (fixed seeds);
@@ -18,23 +21,66 @@
 let quick = ref false
 let telemetry_dir = ref None
 let emit_bench = ref None
+let profile = ref false
 
-(* (id, wall seconds, simulation events executed) per experiment, for
-   the --emit-bench snapshot. *)
-let bench_rows : (string * float * int) list ref = ref []
+(* Experiments that never touch the engine: pure analytic / workload-model
+   code. Schema v2 marks them [non_sim] so the throughput fields are
+   omitted instead of reported as a misleading zero. *)
+let non_sim_ids = [ "fig7a"; "fig7b"; "table2" ]
 
+(* Per-experiment measurements for the --emit-bench snapshot. *)
+type bench_row = {
+  br_id : string;
+  br_wall : float;
+  br_events : int;
+  br_alloc_bytes : float;
+  br_minor_gcs : int;
+  br_major_gcs : int;
+  br_subsystems : (string * int * float * float) list;
+      (* (label, events, wall_s, alloc_bytes), only under --profile *)
+}
+
+let bench_rows : bench_row list ref = ref []
+
+(* Snapshot schema v2. v1 carried only wall_s/sim_events/sim_events_per_s;
+   v2 adds allocation + GC accounting, the non_sim marker (throughput
+   fields omitted for those experiments), and optional per-subsystem
+   breakdowns. compare.exe accepts both. *)
 let write_bench_snapshot file ~total_wall =
   let buf = Buffer.create 4096 in
-  Printf.bprintf buf "{\"schema_version\":1,\"quick\":%b,\"experiments\":["
+  Printf.bprintf buf "{\"schema_version\":2,\"quick\":%b,\"experiments\":["
     !quick;
   List.iteri
-    (fun i (id, wall, events) ->
+    (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
+      let non_sim = List.mem r.br_id non_sim_ids in
+      Printf.bprintf buf "{\"id\":\"%s\",\"wall_s\":%.6f,\"non_sim\":%b"
+        (Telemetry.Event.json_escape r.br_id)
+        r.br_wall non_sim;
+      if not non_sim then
+        Printf.bprintf buf
+          ",\"sim_events\":%d,\"sim_events_per_s\":%.1f,\"allocs_per_event\":%.1f"
+          r.br_events
+          (if r.br_wall > 1e-9 then float_of_int r.br_events /. r.br_wall
+           else 0.0)
+          (if r.br_events > 0 then
+             r.br_alloc_bytes /. float_of_int r.br_events
+           else 0.0);
       Printf.bprintf buf
-        "{\"id\":\"%s\",\"wall_s\":%.6f,\"sim_events\":%d,\"sim_events_per_s\":%.1f}"
-        (Telemetry.Event.json_escape id)
-        wall events
-        (if wall > 1e-9 then float_of_int events /. wall else 0.0))
+        ",\"alloc_bytes\":%.0f,\"minor_gcs\":%d,\"major_gcs\":%d"
+        r.br_alloc_bytes r.br_minor_gcs r.br_major_gcs;
+      (match r.br_subsystems with
+      | [] -> ()
+      | subs ->
+          Printf.bprintf buf ",\"subsystems\":[%s]"
+            (String.concat ","
+               (List.map
+                  (fun (l, ev, w, a) ->
+                    Printf.sprintf
+                      "{\"label\":\"%s\",\"events\":%d,\"wall_s\":%.6f,\"alloc_bytes\":%.0f}"
+                      (Telemetry.Event.json_escape l) ev w a)
+                  subs)));
+      Buffer.add_char buf '}')
     (List.rev !bench_rows);
   Printf.bprintf buf "],\"total_wall_s\":%.3f,\"metrics\":%s}" total_wall
     (Telemetry.Registry.to_json ());
@@ -240,6 +286,9 @@ let () =
     | "--emit-bench" :: file :: rest ->
         emit_bench := Some file;
         strip_flags acc rest
+    | "--profile" :: rest ->
+        profile := true;
+        strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
   in
   let args = strip_flags [] args in
@@ -260,22 +309,44 @@ let () =
   Format.printf
     "TENSOR reproduction — benchmark harness (%s mode)@."
     (if !quick then "quick" else "full");
-  (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Prof.Clock.now_s () in
   List.iter
     (fun (id, f) ->
-      (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
-      let t = Unix.gettimeofday () in
+      if !profile then Prof.Profiler.attach ();
+      let t = Prof.Clock.now_s () in
       let e0 = Sim.Engine.global_processed_events () in
+      let a0 = Gc.allocated_bytes () in
+      let g0 = Gc.quick_stat () in
       f ();
-      (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
-      let wall = Unix.gettimeofday () -. t in
+      let wall = Prof.Clock.now_s () -. t in
+      let g1 = Gc.quick_stat () in
+      let subsystems =
+        if !profile then begin
+          let rows =
+            List.map
+              (fun (st : Prof.Profiler.stat) ->
+                (st.label, st.events, st.wall_s, st.alloc_bytes))
+              (Prof.Profiler.top ~by:Prof.Profiler.By_wall 8)
+          in
+          Prof.Profiler.detach ();
+          rows
+        end
+        else []
+      in
       bench_rows :=
-        (id, wall, Sim.Engine.global_processed_events () - e0) :: !bench_rows;
+        {
+          br_id = id;
+          br_wall = wall;
+          br_events = Sim.Engine.global_processed_events () - e0;
+          br_alloc_bytes = Gc.allocated_bytes () -. a0;
+          br_minor_gcs = g1.Gc.minor_collections - g0.Gc.minor_collections;
+          br_major_gcs = g1.Gc.major_collections - g0.Gc.major_collections;
+          br_subsystems = subsystems;
+        }
+        :: !bench_rows;
       Format.printf "@.[%s done in %.1fs wall]@." id wall)
     selected;
-  (* lint: allow d2 — wall-clock runtime is the datum this harness reports, not simulation state *)
-  let total_wall = Unix.gettimeofday () -. t0 in
+  let total_wall = Prof.Clock.now_s () -. t0 in
   Format.printf "@.All selected experiments done in %.1fs wall.@." total_wall;
   (match !emit_bench with
   | Some file ->

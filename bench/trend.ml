@@ -1,0 +1,145 @@
+(* Per-experiment performance trajectory over a series of --emit-bench
+   snapshots, gated against best-so-far.
+
+     dune exec bench/trend.exe -- BENCH_seed.json BENCH_pr4.json BENCH_pr.json
+     dune exec bench/trend.exe -- --gate --threshold 1.5 BENCH_*.json NEW.json
+
+   Files are taken in the order given (oldest first, newest last). For
+   every experiment the full wall-time trajectory is printed, then the
+   newest snapshot is compared against the *best* (minimum) wall time
+   any earlier snapshot achieved — a creeping regression that stays
+   under a pairwise threshold between adjacent PRs still trips the gate
+   once it drifts past threshold x best-so-far. The same noise floor as
+   compare.exe applies (50 ms absolute, relative below that), so fast
+   experiments gate on real doublings, not jitter.
+
+   Exit 0 unless --gate is given and a regression is found (exit 1);
+   exit 2 on unreadable snapshots or fewer than two files. *)
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> prerr_endline e; exit 2 in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse path =
+  match Monitor.Json.parse (read_file path) with
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "%s: malformed snapshot: %s\n" path msg;
+      exit 2
+
+let noise_floor best = if best >= 0.05 then 0.05 else Float.max 0.01 best
+
+let experiments j =
+  match
+    Option.bind (Monitor.Json.member "experiments" j) Monitor.Json.to_list
+  with
+  | Some l ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (Monitor.Json.member "id" e) Monitor.Json.to_str,
+              Option.bind (Monitor.Json.member "wall_s" e) Monitor.Json.to_float
+            )
+          with
+          | Some id, Some wall -> Some (id, wall)
+          | _ -> None)
+        l
+  | None ->
+      prerr_endline "snapshot has no \"experiments\" array";
+      exit 2
+
+let () =
+  let threshold = ref 1.5 in
+  let gate = ref false in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--gate" :: rest ->
+        gate := true;
+        parse_args rest
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 1.0 -> threshold := f
+        | _ ->
+            prerr_endline "--threshold expects a float > 1.0";
+            exit 2);
+        parse_args rest
+    | a :: rest ->
+        files := a :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if List.length files < 2 then begin
+    prerr_endline "usage: trend [--gate] [--threshold R] OLDEST.json ... NEWEST.json";
+    exit 2
+  end;
+  let snaps = List.map (fun f -> (Filename.basename f, parse f)) files in
+  let mixed =
+    let quicks =
+      List.filter_map
+        (fun (_, j) ->
+          Option.bind (Monitor.Json.member "quick" j) Monitor.Json.to_bool)
+        snaps
+    in
+    List.exists (fun q -> q <> List.hd quicks) quicks
+  in
+  if mixed then
+    prerr_endline
+      "warning: series mixes quick and full runs — ratios are not meaningful";
+  let series = List.map (fun (name, j) -> (name, experiments j)) snaps in
+  let newest_name, newest = List.nth series (List.length series - 1) in
+  let history = List.filteri (fun i _ -> i < List.length series - 1) series in
+  (* Union of ids, in first-seen order. *)
+  let ids =
+    List.fold_left
+      (fun acc (_, exps) ->
+        List.fold_left
+          (fun acc (id, _) -> if List.mem id acc then acc else acc @ [ id ])
+          acc exps)
+      [] series
+  in
+  Printf.printf "Trajectory over %d snapshot(s); gate: newest (%s) vs best-so-far\n\n"
+    (List.length series) newest_name;
+  Printf.printf "%-12s" "experiment";
+  List.iter (fun (name, _) -> Printf.printf " %14s" name) series;
+  Printf.printf " %10s\n" "vs best";
+  let regressions = ref 0 in
+  List.iter
+    (fun id ->
+      Printf.printf "%-12s" id;
+      List.iter
+        (fun (_, exps) ->
+          match List.assoc_opt id exps with
+          | Some w -> Printf.printf " %13.3fs" w
+          | None -> Printf.printf " %14s" "-")
+        series;
+      let best =
+        List.fold_left
+          (fun acc (_, exps) ->
+            match List.assoc_opt id exps with
+            | Some w -> ( match acc with None -> Some w | Some b -> Some (Float.min b w))
+            | None -> acc)
+          None history
+      in
+      (match (best, List.assoc_opt id newest) with
+      | Some best, Some now ->
+          let ratio = if best > 1e-9 then now /. best else Float.infinity in
+          let slow = ratio > !threshold && now -. best > noise_floor best in
+          if slow then incr regressions;
+          Printf.printf " %8.2fx%s" ratio (if slow then " << REGRESSION" else "")
+      | None, Some _ -> Printf.printf " %10s" "new"
+      | _, None -> Printf.printf " %10s" "gone");
+      print_newline ())
+    ids;
+  if !regressions > 0 then begin
+    Printf.printf
+      "\n%d experiment(s) beyond %.2fx of their best-so-far.\n"
+      !regressions !threshold;
+    if !gate then exit 1
+    else print_endline "(warn-only: run with --gate to fail)"
+  end
+  else Printf.printf "\nNo experiment beyond %.2fx of its best-so-far.\n" !threshold

@@ -5,6 +5,7 @@
      tensor-cli trace failover --kind host    # causal span tree + JSONL export
      tensor-cli metrics                       # registered metrics after a failover
      tensor-cli cdf --links 6000              # Figure 7(a) population
+     tensor-cli profile fig5a --out DIR       # engine cost attribution
      tensor-cli list                          # experiment ids *)
 
 open Cmdliner
@@ -436,6 +437,98 @@ let fuzz_cmd =
     Term.(
       const run $ runs $ seed $ corpus $ shrink $ replay $ descriptor $ verbose)
 
+(* --- profile command ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let experiment =
+    Arg.(
+      value
+      & pos 0 string "fig5a"
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "profile-out"
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for folded-stack and speedscope output.")
+  in
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top"; "k" ] ~docv:"K" ~doc:"Rows in the handler cost table.")
+  in
+  let run experiment out top quick =
+    if not (List.mem experiment experiment_ids) then begin
+      Printf.eprintf "unknown experiment %S; known: %s\n" experiment
+        (String.concat " " experiment_ids);
+      exit 2
+    end;
+    Telemetry.Control.reset ();
+    Telemetry.Control.set_enabled true;
+    Prof.Profiler.attach ();
+    run_experiment ~quick experiment;
+    Prof.Profiler.detach ();
+    Telemetry.Control.set_enabled false;
+    let total_ev = Prof.Profiler.total_events () in
+    if total_ev = 0 then
+      Printf.printf
+        "\n(%s dispatched no engine events — nothing to profile; the folded \
+         output below is span-only)\n"
+        experiment
+    else begin
+      let total_wall = Prof.Profiler.total_wall_s () in
+      let total_alloc = Prof.Profiler.total_alloc_bytes () in
+      Printf.printf
+        "\nEngine cost, top %d of %d labels by wall time (%d events, %.3fs \
+         wall, %.1f MB allocated, %d minor / %d major GCs):\n\n"
+        top
+        (List.length (Prof.Profiler.stats ()))
+        total_ev total_wall (total_alloc /. 1e6)
+        (Prof.Profiler.total_minor_gcs ())
+        (Prof.Profiler.total_major_gcs ());
+      Printf.printf "%-18s %10s %10s %6s %12s %12s %12s\n" "label" "events"
+        "wall ms" "%" "bytes/event" "dwell avg" "dwell max";
+      List.iter
+        (fun (st : Prof.Profiler.stat) ->
+          Printf.printf "%-18s %10d %10.3f %5.1f%% %12.0f %11.3fs %11.3fs\n"
+            st.label st.events (st.wall_s *. 1e3)
+            (if total_wall > 1e-9 then 100.0 *. st.wall_s /. total_wall
+             else 0.0)
+            (st.alloc_bytes /. float_of_int (max 1 st.events))
+            (st.dwell_s /. float_of_int (max 1 st.events))
+            st.dwell_max_s)
+        (Prof.Profiler.top ~by:Prof.Profiler.By_wall top)
+    end;
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    Prof.Export.write_folded
+      (Filename.concat out "engine.folded")
+      (Prof.Export.folded_wall ());
+    Prof.Export.write_folded
+      (Filename.concat out "engine_allocs.folded")
+      (Prof.Export.folded_alloc ());
+    Prof.Export.write_folded
+      (Filename.concat out "spans.folded")
+      (Prof.Export.folded_spans ());
+    Prof.Export.write_speedscope
+      ~name:("tensor " ^ experiment)
+      (Filename.concat out "profile.speedscope.json");
+    Printf.printf
+      "\nProfiles written to %s/: engine.folded, engine_allocs.folded, \
+       spans.folded (flamegraph.pl input), profile.speedscope.json \
+       (speedscope.app)\n"
+      out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one experiment with the engine profiler attached: per-label \
+          wall time, allocation, GC and queue-dwell attribution, exported \
+          as folded stacks (flamegraph.pl) and speedscope JSON. The \
+          profiler observes dispatch only — simulated results and replay \
+          digests are identical with it on or off.")
+    Term.(const run $ experiment $ out $ top $ quick_flag)
+
 (* --- list command ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -450,4 +543,4 @@ let () =
        (Cmd.group
           (Cmd.info "tensor-cli" ~version:"1.0.0" ~doc)
           [ experiment_cmd; failover_cmd; trace_cmd; metrics_cmd; cdf_cmd;
-            check_cmd; health_cmd; fuzz_cmd; list_cmd ]))
+            check_cmd; health_cmd; fuzz_cmd; profile_cmd; list_cmd ]))

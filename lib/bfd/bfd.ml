@@ -111,7 +111,7 @@ let arm_detect ep s ~remote_interval =
   let window = if !Monitor.Faults.bfd_slow_detect then 2 * window else window in
   s.detect_handle <-
     Some
-      (Engine.schedule_after ep.eng window (fun () ->
+      (Engine.schedule_after ep.eng ~label:"bfd.detect" window (fun () ->
            s.detect_handle <- None;
            if s.st = Up || s.st = Init then begin
              s.peer_disc <- 0;
@@ -261,7 +261,7 @@ let create_session ep ?(tx_interval = Time.ms 100) ?(detect_mult = 3) ?local
   send_control ep s;
   s.tx_timer <-
     Some
-      (Engine.every ep.eng ~jitter:0.1 tx_interval (fun () ->
+      (Engine.every ep.eng ~label:"bfd.tx" ~jitter:0.1 tx_interval (fun () ->
            if s.st <> Admin_down then send_control ep s));
   (* A resumed (Up) session must still detect a dead peer. *)
   if resume <> None then arm_detect ep s ~remote_interval:tx_interval;
@@ -281,7 +281,7 @@ let set_tx_interval s interval =
       Engine.stop_timer t;
       s.tx_timer <-
         Some
-          (Engine.every s.ep.eng ~jitter:0.1 interval (fun () ->
+          (Engine.every s.ep.eng ~label:"bfd.tx" ~jitter:0.1 interval (fun () ->
                if s.st <> Admin_down then send_control s.ep s))
 
 let tx_interval s = s.tx_interval
@@ -315,7 +315,9 @@ module Relay = struct
     in
     send ();
     t.timer <-
-      Some (Engine.every (Node.engine node) ~jitter:0.05 tx_interval send);
+      Some
+        (Engine.every (Node.engine node) ~label:"bfd.echo" ~jitter:0.05
+           tx_interval send);
     t
 
   let stop t =

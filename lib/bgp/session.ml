@@ -214,7 +214,8 @@ let rec arm_hold t seconds =
   if seconds > 0 then
     t.hold_handle <-
       Some
-        (Engine.schedule_after t.eng (Time.sec seconds) (fun () ->
+        (Engine.schedule_after t.eng ~label:"bgp.hold" (Time.sec seconds)
+           (fun () ->
              t.hold_handle <- None;
              send_notification_and_die t 4 0))
 
@@ -230,7 +231,7 @@ let start_keepalives t =
       let interval = Time.sec (max 1 (n.hold_time / 3)) in
       t.keepalive_timer <-
         Some
-          (Engine.every t.eng interval (fun () ->
+          (Engine.every t.eng ~label:"bgp.keepalive" interval (fun () ->
                if t.st = Established then send_internal t Msg.Keepalive))
   | _ -> ()
 

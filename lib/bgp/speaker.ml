@@ -148,7 +148,7 @@ let run_on_main t cost f =
   let start = if t.busy_until > now then t.busy_until else now in
   let finish = Time.add start cost in
   t.busy_until <- finish;
-  ignore (Engine.schedule_at t.eng finish f)
+  ignore (Engine.schedule_at t.eng ~label:"bgp.main" finish f)
 
 (* --- Export machinery ---------------------------------------------------- *)
 
@@ -298,7 +298,9 @@ let dispatch_messages t p msgs ~first_copy =
             end)
         in
         if t.profile.tx_coalesce > 0 then
-          ignore (Engine.schedule_after t.eng t.profile.tx_coalesce dispatch)
+          ignore
+            (Engine.schedule_after t.eng ~label:"bgp.tx" t.profile.tx_coalesce
+               dispatch)
         else dispatch ()
       end
 
@@ -486,7 +488,8 @@ and handle_session_down t p reason =
     cancel_gr_sweep p;
     p.gr_sweep <-
       Some
-        (Engine.schedule_after t.eng (Time.sec restart_time) (fun () ->
+        (Engine.schedule_after t.eng ~label:"bgp.gr_sweep"
+           (Time.sec restart_time) (fun () ->
              p.gr_sweep <- None;
              let changes = Rib.sweep_stale table ~key:p.skey in
              apply_rib_changes t vrf changes ~exclude:p.skey))
@@ -500,7 +503,7 @@ and handle_session_down t p reason =
   match p.pcfg.reconnect with
   | Some backoff when (not p.pcfg.passive) && not p.admin_down ->
       ignore
-        (Engine.schedule_after t.eng backoff (fun () ->
+        (Engine.schedule_after t.eng ~label:"bgp.reconnect" backoff (fun () ->
              if p.session = None && not p.admin_down then start_peer t p))
   | _ -> ()
 

@@ -10,12 +10,30 @@ type slo = {
   slo_ok : bool;
 }
 
+(* Engine-cost section: how much simulation work the scenario took, and
+   (when the profiler was attached for the run) where it went. Rows are
+   plain data so callers without the profiler can still fill the event
+   count. *)
+type engine_row = {
+  er_label : string;
+  er_events : int;
+  er_wall_s : float;
+  er_alloc_bytes : float;
+}
+
+type engine_cost = {
+  ev_processed : int; (* engine events dispatched during the scenario *)
+  profiled : engine_row list; (* empty unless a profiler was attached *)
+}
+
 type report = {
   scenario : string;
   checkers : (string * Checker.result) list;
   slos : slo list;
   events_seen : int;
   queue_drops : int;
+  bus_dropped : int; (* telemetry ring overwrites during the run *)
+  engine : engine_cost option;
   faults : string list;
 }
 
@@ -64,7 +82,7 @@ let slos_of_spans ?(budgets = default_budgets) () =
             })
     budgets
 
-let make ?budgets ~scenario checker =
+let make ?budgets ?engine ~scenario checker =
   let checkers = Checker.finalize checker in
   {
     scenario;
@@ -72,6 +90,8 @@ let make ?budgets ~scenario checker =
     slos = slos_of_spans ?budgets ();
     events_seen = Checker.events_seen checker;
     queue_drops = Checker.queue_drop_events checker;
+    bus_dropped = Telemetry.Bus.dropped_total ();
+    engine;
     faults = Faults.active ();
   }
 
@@ -81,7 +101,13 @@ let violations r =
       match res with Checker.Pass -> [] | Checker.Violations vs -> vs)
     r.checkers
 
-let ok r = violations r = [] && List.for_all (fun s -> s.slo_ok) r.slos
+(* Bus overwrites count against health: a checker that never saw the
+   evicted events cannot vouch for them, so the check scenarios assert
+   zero drops (size the rings up rather than accept overwrite). *)
+let ok r =
+  violations r = []
+  && List.for_all (fun s -> s.slo_ok) r.slos
+  && r.bus_dropped = 0
 
 let to_text r =
   let b = Buffer.create 1024 in
@@ -92,6 +118,9 @@ let to_text r =
   if r.queue_drops > 0 then
     pf " (%d informational queue drop(s))" r.queue_drops;
   pf "\n";
+  if r.bus_dropped > 0 then
+    pf "  !! telemetry bus dropped %d event(s) to ring overwrite\n"
+      r.bus_dropped;
   if r.faults <> [] then
     pf "  !! seeded faults active: %s\n" (String.concat ", " r.faults);
   pf "  invariants:\n";
@@ -123,14 +152,39 @@ let to_text r =
           s.budget_s s.instances)
       r.slos
   end;
+  (match r.engine with
+  | None -> ()
+  | Some ec ->
+      pf "  engine cost: %d event(s) dispatched\n" ec.ev_processed;
+      List.iter
+        (fun row ->
+          pf "    %-24s %8d ev  %8.3fms wall  %10.0f B\n" row.er_label
+            row.er_events
+            (row.er_wall_s *. 1e3)
+            row.er_alloc_bytes)
+        ec.profiled);
   Buffer.contents b
 
 let to_json r =
   let b = Buffer.create 2048 in
   let esc = Telemetry.Event.json_escape in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pf "{\"scenario\":\"%s\",\"ok\":%b,\"events_seen\":%d,\"queue_drops\":%d,"
-    (esc r.scenario) (ok r) r.events_seen r.queue_drops;
+  pf
+    "{\"scenario\":\"%s\",\"ok\":%b,\"events_seen\":%d,\"queue_drops\":%d,\"bus_dropped\":%d,"
+    (esc r.scenario) (ok r) r.events_seen r.queue_drops r.bus_dropped;
+  (match r.engine with
+  | None -> ()
+  | Some ec ->
+      pf "\"engine\":{\"ev_processed\":%d,\"profiled\":[%s]},"
+        ec.ev_processed
+        (String.concat ","
+           (List.map
+              (fun row ->
+                Printf.sprintf
+                  "{\"label\":\"%s\",\"events\":%d,\"wall_s\":%g,\"alloc_bytes\":%g}"
+                  (esc row.er_label) row.er_events row.er_wall_s
+                  row.er_alloc_bytes)
+              ec.profiled)));
   pf "\"faults\":[%s],"
     (String.concat "," (List.map (fun f -> "\"" ^ esc f ^ "\"") r.faults));
   pf "\"violations_total\":%d," (List.length (violations r));

@@ -16,12 +16,33 @@ type slo = {
   slo_ok : bool;
 }
 
+type engine_row = {
+  er_label : string;  (** Event attribution label (e.g. ["tcp.proc"]). *)
+  er_events : int;
+  er_wall_s : float;  (** Host wall seconds spent in this label. *)
+  er_alloc_bytes : float;
+}
+(** One row of profiled engine cost, as attributed by [Prof.Profiler]
+    (reported as plain data so this library does not depend on it). *)
+
+type engine_cost = {
+  ev_processed : int;
+      (** Engine events dispatched while the scenario ran. *)
+  profiled : engine_row list;
+      (** Per-label cost rows; empty unless a profiler was attached. *)
+}
+
 type report = {
   scenario : string;
   checkers : (string * Checker.result) list;
   slos : slo list;
   events_seen : int;
   queue_drops : int;  (** Informational [Queue_dropped] count. *)
+  bus_dropped : int;
+      (** Telemetry ring-buffer overwrites ({!Telemetry.Bus.dropped_total})
+          at the moment the report was cut. Non-zero fails {!ok}: a
+          checker cannot vouch for events it never saw. *)
+  engine : engine_cost option;  (** Engine-cost section, when measured. *)
   faults : string list;  (** Seeded faults active when the report was cut. *)
 }
 
@@ -30,12 +51,18 @@ val default_budgets : (string * float) list
     15 s, replica_catchup 5 s, tcp_replay 10 s, bfd_detect 1 s. *)
 
 val make :
-  ?budgets:(string * float) list -> scenario:string -> Checker.t -> report
+  ?budgets:(string * float) list ->
+  ?engine:engine_cost ->
+  scenario:string ->
+  Checker.t ->
+  report
 (** Finalizes the checker set (see {!Checker.finalize}) and evaluates
-    the budgets against the current span table. *)
+    the budgets against the current span table. [engine] attaches the
+    engine-cost section; bus drops are read from the live bus. *)
 
 val ok : report -> bool
-(** No violations and every evaluated SLO within budget. *)
+(** No violations, every evaluated SLO within budget, and zero telemetry
+    bus drops. *)
 
 val violations : report -> Checker.violation list
 

@@ -81,7 +81,7 @@ let transmit t ~from pkt =
     let epoch = t.epoch in
     let dst_side = other from in
     ignore
-      (Engine.schedule_at t.eng arrival (fun () ->
+      (Engine.schedule_at t.eng ~label:"net.deliver" arrival (fun () ->
            if t.up && t.epoch = epoch then begin
              t.delivered <- t.delivered + 1;
              t.bytes <- t.bytes + pkt.Packet.size;
@@ -107,7 +107,9 @@ let set_up t flag =
 
 let fail_for t span =
   set_up t false;
-  ignore (Engine.schedule_after t.eng span (fun () -> set_up t true))
+  ignore
+    (Engine.schedule_after t.eng ~label:"net.link_heal" span (fun () ->
+         set_up t true))
 
 let set_delay t d = t.prop_delay <- d
 let delay t = t.prop_delay

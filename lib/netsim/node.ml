@@ -77,7 +77,7 @@ let rec emit t pkt =
   else if has_address t pkt.Packet.dst then
     (* Loopback: deliver via a fresh event so senders never observe
        reentrant receive callbacks. *)
-    ignore (Engine.schedule_after t.eng 0 (fun () -> rx t pkt))
+    ignore (Engine.schedule_after t.eng ~label:"net.loopback" 0 (fun () -> rx t pkt))
   else
     match iface_for t pkt.Packet.dst with
     | None -> t.unrouted <- t.unrouted + 1

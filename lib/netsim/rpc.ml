@@ -150,7 +150,7 @@ let send_attempt ep ~timeout ~size ~dst ~service body k =
   let call_id = !next_call_id in
   let eng = Node.engine ep.ep_node in
   let timeout_handle =
-    Engine.schedule_after eng timeout (fun () ->
+    Engine.schedule_after eng ~label:"rpc.timeout" timeout (fun () ->
         if Hashtbl.mem ep.pending call_id then begin
           Hashtbl.remove ep.pending call_id;
           k (Error `Timeout)
@@ -176,7 +176,9 @@ let call ep ?(timeout = Time.sec 1) ?(size = 128) ?retry ~dst ~service body k =
           | Ok body -> k (Ok body)
           | Error _ when n < r.attempts ->
               let span = backoff_span ep r ~failed:n in
-              ignore (Engine.schedule_after eng span (fun () -> attempt (n + 1)))
+              ignore
+                (Engine.schedule_after eng ~label:"rpc.retry" span (fun () ->
+                     attempt (n + 1)))
           | Error _ -> k (Error (`Exhausted r.attempts)))
       in
       attempt 1

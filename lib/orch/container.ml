@@ -76,7 +76,7 @@ let boot t =
       t.st <- Booting;
       let eng = Node.engine t.cnode in
       ignore
-        (Engine.schedule_after eng t.bspan (fun () ->
+        (Engine.schedule_after eng ~label:"orch.boot" t.bspan (fun () ->
              if t.st = Booting then begin
                Node.set_up t.cnode true;
                Rpc.serve_ping (Rpc.endpoint t.cnode) ~service:"health";

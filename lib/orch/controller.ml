@@ -126,7 +126,8 @@ let proceed_migration t m reason =
            kind = Format.asprintf "%a" pp_failure_kind reason;
          });
     ignore
-      (Engine.schedule_after t.eng initiate_delay (fun () ->
+      (Engine.schedule_after t.eng ~label:"orch.migrate" initiate_delay
+         (fun () ->
            Telemetry.Bus.emit ~legacy:t.tr t.eng
              (Telemetry.Event.Migration_initiated { id = m.mid });
            t.migrator ~reason ~id:m.mid ~failed:m.cont
@@ -156,7 +157,8 @@ let start_migration t m reason =
            { id = m.mid; reason = "store-unreachable" });
       let rec wait () =
         ignore
-          (Engine.schedule_after t.eng t.cfg.grpc_interval (fun () ->
+          (Engine.schedule_after t.eng ~label:"orch.migrate" t.cfg.grpc_interval
+             (fun () ->
                if store_reachable t then proceed_migration t m reason
                else wait ()))
       in
@@ -214,7 +216,8 @@ let suspect_host t (he : host_entry) =
     verify_host t he (fun dead ->
         if not dead then he.hphase <- `Healthy);
     ignore
-      (Engine.schedule_after t.eng t.cfg.confirm_timer (fun () ->
+      (Engine.schedule_after t.eng ~label:"orch.confirm" t.cfg.confirm_timer
+         (fun () ->
            if he.hphase = `Confirming then
              verify_host t he (fun still_dead ->
                  if still_dead then declare_host_failed t he
@@ -283,7 +286,10 @@ let start_heartbeats t m =
           ~service:"health" (fun ok ->
             if not ok then heartbeat_miss t m)
   in
-  m.hb_timer <- Some (Engine.every t.eng ~jitter:0.1 t.cfg.grpc_interval tick)
+  m.hb_timer <-
+    Some
+      (Engine.every t.eng ~label:"orch.heartbeat" ~jitter:0.1
+         t.cfg.grpc_interval tick)
 
 let begin_planned t ~id =
   match Hashtbl.find_opt t.managed_tbl id with
@@ -308,7 +314,8 @@ let register_host t host =
   let he = { host; hphase = `Healthy } in
   t.hosts <- he :: t.hosts;
   ignore
-    (Engine.every t.eng ~jitter:0.1 t.cfg.grpc_interval (fun () ->
+    (Engine.every t.eng ~label:"orch.host_mon" ~jitter:0.1 t.cfg.grpc_interval
+       (fun () ->
          if he.hphase <> `Failed then
            Rpc.ping t.ep ~timeout:t.cfg.grpc_timeout ~dst:(Host.addr host)
              ~service:"health" (fun ok ->
@@ -325,7 +332,8 @@ let register_store t ~addr =
   let p = { saddr = addr; sok = true; down_since = None } in
   t.store_probe <- Some p;
   ignore
-    (Engine.every t.eng ~jitter:0.1 t.cfg.grpc_interval (fun () ->
+    (Engine.every t.eng ~label:"orch.store_probe" ~jitter:0.1
+       t.cfg.grpc_interval (fun () ->
          Rpc.ping t.ep ~timeout:t.cfg.grpc_timeout ~dst:p.saddr
            ~service:"kv_health" (fun ok ->
              if ok then begin

@@ -79,7 +79,7 @@ let serve_control t =
 
 let watch_lease t =
   ignore
-    (Engine.every t.eng (Time.ms 250) (fun () ->
+    (Engine.every t.eng ~label:"orch.lease" (Time.ms 250) (fun () ->
          match t.last_hb with
          | Some hb
            when t.up && (not t.fenced)

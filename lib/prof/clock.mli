@@ -1,0 +1,10 @@
+(** The single blessed wall-clock read in [lib/].
+
+    Simulation state lives entirely in simulated time; host wall time is
+    observability-only (profiler samples, bench rows) and must never
+    reach telemetry events or replay digests. Every other wall-clock
+    read under [lib/] is a lint [d2] error — the test suite asserts this
+    module carries the only suppression. *)
+
+val now_s : unit -> float
+(** Host wall clock, seconds since the epoch. *)

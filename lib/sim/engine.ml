@@ -4,6 +4,8 @@ type event = {
   action : unit -> unit;
   mutable cancelled : bool;
   owner : t;
+  label : string; (* cost-attribution label, see [schedule_at] *)
+  sched_at : Time.t; (* enqueue instant: dwell = time - sched_at *)
 }
 
 and heap = { mutable arr : event array; mutable size : int }
@@ -14,6 +16,7 @@ and t = {
   mutable next_seq : int;
   mutable live : int; (* queued and not cancelled *)
   mutable processed : int;
+  mutable current_label : string; (* label of the executing event *)
   root_rng : Rng.t;
 }
 
@@ -82,19 +85,30 @@ let create ?(seed = 42) () =
     next_seq = 0;
     live = 0;
     processed = 0;
+    current_label = "main";
     root_rng = Rng.create seed;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+let current_label t = t.current_label
 
-let schedule_at t instant action =
+let schedule_at t ?label instant action =
   if instant < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %s is in the past (now %s)"
          (Time.to_string instant) (Time.to_string t.clock));
+  let label = match label with Some l -> l | None -> t.current_label in
   let e =
-    { time = instant; seq = t.next_seq; action; cancelled = false; owner = t }
+    {
+      time = instant;
+      seq = t.next_seq;
+      action;
+      cancelled = false;
+      owner = t;
+      label;
+      sched_at = t.clock;
+    }
   in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
@@ -109,9 +123,9 @@ let schedule_at t instant action =
   Heap.push h e;
   e
 
-let schedule_after t span action =
+let schedule_after t ?label span action =
   if span < 0 then invalid_arg "Engine.schedule_after: negative span";
-  schedule_at t (Time.add t.clock span) action
+  schedule_at t ?label (Time.add t.clock span) action
 
 let cancel (e : handle) =
   if not e.cancelled then begin
@@ -126,13 +140,29 @@ let is_pending (e : handle) = not e.cancelled
    their own engines internally. *)
 let global_processed = ref 0
 
+(* The attribution hook (Prof.Profiler installs itself here). When set,
+   every event dispatch is routed through it with the event's label and
+   its queue dwell (simulated time spent enqueued). The hook wraps the
+   action but must never touch simulation state, telemetry, or the
+   engine RNG — replay digests must be byte-identical with the hook on
+   or off. Process-global, like [global_processed]: experiments build
+   engines internally and the profiler must see all of them. *)
+type profile_hook = label:string -> dwell:Time.span -> (unit -> unit) -> unit
+
+let profile_hook : profile_hook option ref = ref None
+let set_profile_hook h = profile_hook := h
+let profiling () = !profile_hook <> None
+
 let exec t e =
   e.cancelled <- true;
   t.live <- t.live - 1;
   t.clock <- e.time;
   t.processed <- t.processed + 1;
   incr global_processed;
-  e.action ()
+  t.current_label <- e.label;
+  match !profile_hook with
+  | None -> e.action ()
+  | Some hook -> hook ~label:e.label ~dwell:(Time.diff e.time e.sched_at) e.action
 
 let step t =
   match t.heap with
@@ -165,7 +195,7 @@ let global_processed_events () = !global_processed
 
 type timer = { mutable pending : handle option; mutable stopped : bool }
 
-let every t ?(jitter = 0.0) period f =
+let every t ?label ?(jitter = 0.0) period f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
   let timer = { pending = None; stopped = false } in
   (* Jitter draws come from a private stream split off at creation, not
@@ -185,7 +215,7 @@ let every t ?(jitter = 0.0) period f =
     if not timer.stopped then
       timer.pending <-
         Some
-          (schedule_after t (next_delay ()) (fun () ->
+          (schedule_after t ?label (next_delay ()) (fun () ->
                timer.pending <- None;
                if not timer.stopped then begin
                  f ();

@@ -25,13 +25,24 @@ val now : t -> Time.t
 val rng : t -> Rng.t
 (** The engine's root RNG. Subsystems should {!Rng.split} it. *)
 
-val schedule_after : t -> Time.span -> (unit -> unit) -> handle
-(** [schedule_after t span f] runs [f] [span] after the current instant.
-    Raises [Invalid_argument] on a negative span. *)
+val schedule_after : t -> ?label:string -> Time.span -> (unit -> unit) -> handle
+(** [schedule_after t ?label span f] runs [f] [span] after the current
+    instant. Raises [Invalid_argument] on a negative span.
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> handle
-(** [schedule_at t instant f] runs [f] at [instant]. An instant in the
-    past is an [Invalid_argument]. *)
+    [label] attributes the event's cost to a subsystem ("tcp.rto",
+    "net.link", …) for the profiler. Omitted, the event inherits
+    {!current_label} — the label of the event being executed right now —
+    so labelling a subsystem's entry points attributes its whole event
+    cascade. Labels never influence execution, only attribution. *)
+
+val schedule_at : t -> ?label:string -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ?label instant f] runs [f] at [instant]. An instant
+    in the past is an [Invalid_argument]. [label] as in
+    {!schedule_after}. *)
+
+val current_label : t -> string
+(** The attribution label of the event currently (or most recently)
+    executed by this engine; ["main"] before any labelled event ran. *)
 
 val cancel : handle -> unit
 (** Cancels a scheduled event. Cancelling an already-fired or cancelled
@@ -62,15 +73,33 @@ val global_processed_events : unit -> int
     monotonic throughput meter for harnesses whose experiments build
     engines internally. *)
 
+(** {2 Profiling hook}
+
+    One process-global dispatch hook, installed by [Prof.Profiler]. When
+    set, every event of every engine is dispatched through it with the
+    event's attribution label and queue dwell (simulated time between
+    enqueue and execution). The hook wraps the action and must be
+    transparent: no simulation state, telemetry, or RNG access — replay
+    digests are byte-identical with the hook installed or not. *)
+
+type profile_hook = label:string -> dwell:Time.span -> (unit -> unit) -> unit
+
+val set_profile_hook : profile_hook option -> unit
+(** Installs (or clears, with [None]) the global dispatch hook. *)
+
+val profiling : unit -> bool
+(** [true] while a dispatch hook is installed. *)
+
 (** {2 Periodic timers} *)
 
 type timer
 (** A repeating timer. *)
 
-val every : t -> ?jitter:float -> Time.span -> (unit -> unit) -> timer
+val every : t -> ?label:string -> ?jitter:float -> Time.span -> (unit -> unit) -> timer
 (** [every t ~jitter period f] runs [f] every [period], starting one
     period from now. [jitter], if nonzero, uniformly perturbs each firing
-    by [±jitter*period] (default 0). *)
+    by [±jitter*period] (default 0). [label] attributes every firing, as
+    in {!schedule_after}. *)
 
 val stop_timer : timer -> unit
 (** Stops the periodic timer; the pending firing is cancelled. *)

@@ -170,7 +170,7 @@ module Server = struct
         in
         let finish = processing_finish r cost in
         ignore
-          (Engine.schedule_at r.eng finish (fun () ->
+          (Engine.schedule_at r.eng ~label:"store.replicate" finish (fun () ->
                if up r then begin
                  apply ();
                  k ()
@@ -205,7 +205,7 @@ module Server = struct
                (List.length pairs))
         in
         ignore
-          (Engine.schedule_at t.eng finish (fun () ->
+          (Engine.schedule_at t.eng ~label:"store.op" finish (fun () ->
                if up t then begin
                  apply_set t pairs;
                  replicate t (`Set pairs) (fun () -> reply ~size:64 Resp_set_ok)
@@ -224,7 +224,7 @@ module Server = struct
           processing_finish t (op_cost t ~writes:false ~bytes (List.length keys))
         in
         ignore
-          (Engine.schedule_at t.eng finish (fun () ->
+          (Engine.schedule_at t.eng ~label:"store.op" finish (fun () ->
                if up t then begin
                  let values =
                    List.map (fun k -> (k, Hashtbl.find_opt t.table k)) keys
@@ -244,7 +244,7 @@ module Server = struct
           processing_finish t (op_cost t ~writes:true ~bytes:0 (List.length keys))
         in
         ignore
-          (Engine.schedule_at t.eng finish (fun () ->
+          (Engine.schedule_at t.eng ~label:"store.op" finish (fun () ->
                if up t then begin
                  let n = apply_del t keys in
                  replicate t (`Del keys) (fun () ->
@@ -266,7 +266,7 @@ module Server = struct
             (op_cost t ~writes:false ~bytes (max 1 (List.length keys)))
         in
         ignore
-          (Engine.schedule_at t.eng finish (fun () ->
+          (Engine.schedule_at t.eng ~label:"store.op" finish (fun () ->
                if up t then begin
                  let pairs =
                    List.filter_map

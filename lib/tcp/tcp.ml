@@ -143,7 +143,7 @@ let raw_send stack ~src ~dst (seg : Segment.t) =
       end
     in
     ignore
-      (Engine.schedule_at stack.eng finish (fun () ->
+      (Engine.schedule_at stack.eng ~label:"tcp.tx" finish (fun () ->
            if not stack.frozen then begin
              let pkt =
                Packet.make ~src ~dst ~size:(Segment.wire_size seg)
@@ -238,7 +238,8 @@ let rec arm_rto c =
   cancel_rto c;
   c.rto_handle <-
     Some
-      (Engine.schedule_after c.stack.eng (effective_rto c) (fun () ->
+      (Engine.schedule_after c.stack.eng ~label:"tcp.rto" (effective_rto c)
+         (fun () ->
            c.rto_handle <- None;
            handle_rto c))
 
@@ -631,7 +632,7 @@ let create_stack ?(proc_cost = Time.us 2) ?(proc_cost_per_kb = 0)
             occupy ~bytes:(String.length seg.Segment.payload) stack
           in
           ignore
-            (Engine.schedule_at eng finish (fun () ->
+            (Engine.schedule_at eng ~label:"tcp.rx" finish (fun () ->
                  if Node.is_up node && not stack.frozen then
                    process_incoming stack pkt seg));
           true

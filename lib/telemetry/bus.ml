@@ -39,18 +39,36 @@ let subscribe ?category fn =
 let unsubscribe s = subs := List.filter (fun s' -> s'.id <> s.id) !subs
 let subscriber_count () = List.length !subs
 
+(* Overflow observability: overwrites are counted in the registry (the
+   ring's own [total - len] resets with [clear], the counter survives a
+   run) and each category keeps a high-water occupancy gauge, so a ring
+   sized too small for a scenario is visible instead of silently eating
+   the oldest events. Registered lazily: a process that never emits
+   never grows its metric listing. *)
+let dropped_counter = lazy (Registry.counter "telemetry.bus_dropped")
+
+let hwm_gauges =
+  lazy
+    (Array.of_list
+       (List.map
+          (fun c -> Registry.gauge ("telemetry.ring_hwm." ^ Event.category_name c))
+          Event.categories))
+
+(* Returns [true] when the push overwrote the oldest entry. *)
 let push r e =
   if Array.length r.arr = 0 then r.arr <- Array.make !capacity e;
   let cap = Array.length r.arr in
+  r.total <- r.total + 1;
   if r.len < cap then begin
     r.arr.((r.start + r.len) mod cap) <- e;
-    r.len <- r.len + 1
+    r.len <- r.len + 1;
+    false
   end
   else begin
     r.arr.(r.start) <- e;
-    r.start <- (r.start + 1) mod cap
-  end;
-  r.total <- r.total + 1
+    r.start <- (r.start + 1) mod cap;
+    true
+  end
 
 let emit ?legacy eng event =
   (match legacy with
@@ -61,8 +79,11 @@ let emit ?legacy eng event =
   if Gate.on () then begin
     incr seq_counter;
     let cat = Event.category event in
+    let ci = cat_index cat in
     let e = { seq = !seq_counter; at = Sim.Engine.now eng; event } in
-    push rings.(cat_index cat) e;
+    let r = rings.(ci) in
+    if push r e then Registry.incr (Lazy.force dropped_counter);
+    Registry.set_max (Lazy.force hwm_gauges).(ci) (float_of_int r.len);
     List.iter
       (fun s ->
         match s.cat with
@@ -86,6 +107,9 @@ let total c = rings.(cat_index c).total
 let dropped c =
   let r = rings.(cat_index c) in
   r.total - r.len
+
+let dropped_total () =
+  Array.fold_left (fun acc r -> acc + (r.total - r.len)) 0 rings
 
 (* [clear] drops buffered entries but keeps subscribers: monitors
    installed across a [Control.reset] keep observing the next run. *)

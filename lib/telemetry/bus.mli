@@ -47,6 +47,12 @@ val total : Event.category -> int
 val dropped : Event.category -> int
 (** Events lost to ring-buffer overwrite. *)
 
+val dropped_total : unit -> int
+(** Events lost to overwrite across all categories since the last
+    {!clear}. Overflow is also observable in the metrics registry: the
+    [telemetry.bus_dropped] counter (survives {!clear}) and per-category
+    [telemetry.ring_hwm.<cat>] high-water occupancy gauges. *)
+
 val set_capacity : int -> unit
 (** Per-category ring capacity (default 8192). Clears all buffers. *)
 

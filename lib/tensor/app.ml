@@ -137,7 +137,9 @@ let persistent_set t client pairs =
       Store.Client.set client ~timeout:(Time.sec 1) pairs (function
         | Ok () -> ()
         | Error `Timeout ->
-            ignore (Engine.schedule_after (engine t) (Time.ms 200) attempt))
+            ignore
+              (Engine.schedule_after (engine t) ~label:"app.store_retry"
+                 (Time.ms 200) attempt))
   in
   attempt ()
 
@@ -203,7 +205,7 @@ let start_trimmer t pv =
   if pv.trimmer = None then
     pv.trimmer <-
       Some
-        (Engine.every (engine t) (Time.ms 500) (fun () ->
+        (Engine.every (engine t) ~label:"app.trimmer" (Time.ms 500) (fun () ->
              if not t.crashed then
                match pv.peer with
                | Some p -> (
@@ -361,8 +363,14 @@ let watch_tcp_sync ?(span = Telemetry.Span.none) t pv =
                     | None -> ());
                     t.tcp_synced_cb ~vrf:pv.spec.vrf
                   end
-                  else ignore (Engine.schedule_after eng (Time.ms 50) poll)
-              | None -> ignore (Engine.schedule_after eng (Time.ms 50) poll))
+                  else
+                    ignore
+                      (Engine.schedule_after eng ~label:"app.sync_poll"
+                         (Time.ms 50) poll)
+              | None ->
+                  ignore
+                    (Engine.schedule_after eng ~label:"app.sync_poll"
+                       (Time.ms 50) poll))
           | None -> ())
       | Some _ | None -> (* session gone: stop polling *) ()
   in
@@ -429,7 +437,8 @@ let rearm_from_degraded t pv =
               | _ -> ())
           | None -> ())
       | _ -> () (* session gone: session_down already cleared degraded *)
-  and retry () = ignore (Engine.schedule_after eng (Time.ms 50) poll)
+  and retry () =
+    ignore (Engine.schedule_after eng ~label:"app.rearm_poll" (Time.ms 50) poll)
   and rearm client spk p s c neg =
     let epoch = Replicator.prepare_rearm pv.repl in
     let cid = Keys.conn_id ~service ~vrf:pv.spec.vrf in
@@ -501,7 +510,9 @@ let rearm_from_degraded t pv =
                   retry ()
               end
           | Error `Timeout ->
-              ignore (Engine.schedule_after eng (Time.ms 200) put))
+              ignore
+                (Engine.schedule_after eng ~label:"app.store_retry"
+                   (Time.ms 200) put))
     in
     put ()
   in
@@ -727,7 +738,8 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
          production system; after it, announce liveness and watch the
          peer re-synchronize. *)
       ignore
-        (Engine.schedule_after (engine t) t.cfg.tcp_restore_cost (fun () ->
+        (Engine.schedule_after (engine t) ~label:"app.tcp_restore"
+           t.cfg.tcp_restore_cost (fun () ->
              if not t.crashed then begin
                (match Bgp.Speaker.peer_session peer with
                | Some s when Bgp.Session.state s = Bgp.Session.Established ->
@@ -756,8 +768,8 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
                  | Some (pfx, attrs) ->
                      Bgp.Speaker.withdraw_origin spk ~vrf [ pfx ];
                      ignore
-                       (Engine.schedule_after (engine t) (Time.ms 200)
-                          (fun () ->
+                       (Engine.schedule_after (engine t) ~label:"app.reoriginate"
+                          (Time.ms 200) (fun () ->
                             Bgp.Speaker.originate spk ~vrf ~attrs [ pfx ]))
                  | None -> ()
                end;
@@ -771,7 +783,8 @@ let resume_from_recovered t spk stack client pv (r : recovered_state) =
                if !Monitor.Faults.peer_reset then begin
                  Monitor.Faults.peer_reset := false;
                  ignore
-                   (Engine.schedule_after (engine t) (Time.sec 2) (fun () ->
+                   (Engine.schedule_after (engine t) ~label:"app.peer_reset"
+                      (Time.sec 2) (fun () ->
                         match Bgp.Speaker.peer_session peer with
                         | Some s
                           when Bgp.Session.state s = Bgp.Session.Established
@@ -1011,7 +1024,7 @@ let install cont ?(mode = Fresh) cfg =
     ignore
       (Engine.schedule_after
          (Node.engine (Orch.Container.node cont))
-         0 (bootstrap t));
+         ~label:"app.bootstrap" 0 (bootstrap t));
   t
 
 let freeze_for_migration t k =
@@ -1047,7 +1060,8 @@ let crash_bgp t =
     | Some ctrl ->
         let node = Orch.Container.node t.cont in
         ignore
-          (Engine.schedule_after (Node.engine node) (Time.ms 10) (fun () ->
+          (Engine.schedule_after (Node.engine node) ~label:"app.fail_report"
+             (Time.ms 10) (fun () ->
                Rpc.call (Rpc.endpoint node) ~dst:ctrl ~service:"report"
                  (Orch.Controller.Report_app_failure t.cfg.service_id)
                  (fun _ -> ())))

@@ -115,11 +115,32 @@ let with_monitor ?(ack_deadline_s = 0.) ~scenario body =
         (* The scenario died mid-run; drop the live subscription. *)
         ignore (Monitor.Checker.finalize mon))
     (fun () ->
+      let ev0 = Engine.global_processed_events () in
       body mon;
       finished := true;
+      (* Engine-cost section: how many events the scenario dispatched,
+         plus per-label rows when the profiler happens to be attached
+         (e.g. under [tensor-cli profile]). *)
+      let engine =
+        {
+          Monitor.Health.ev_processed = Engine.global_processed_events () - ev0;
+          profiled =
+            (if Prof.Profiler.enabled () then
+               List.map
+                 (fun (st : Prof.Profiler.stat) ->
+                   {
+                     Monitor.Health.er_label = st.label;
+                     er_events = st.events;
+                     er_wall_s = st.wall_s;
+                     er_alloc_bytes = st.alloc_bytes;
+                   })
+                 (Prof.Profiler.top ~by:Prof.Profiler.By_wall 8)
+             else []);
+        }
+      in
       (* [Health.make] finalizes the checker while telemetry is still
          on, so end-of-run snapshot events are observed. *)
-      let report = Monitor.Health.make ~scenario mon in
+      let report = Monitor.Health.make ~engine ~scenario mon in
       Telemetry.Control.set_enabled false;
       report)
 

@@ -310,7 +310,8 @@ let deploy_service t ?(primary_host = 0) ?(backup_host = 1)
   (* Register with the controller once the container answers health
      checks. *)
   ignore
-    (Engine.schedule_after t.eng (Orch.Container.boot_span cont) (fun () ->
+    (Engine.schedule_after t.eng ~label:"orch.boot"
+       (Orch.Container.boot_span cont) (fun () ->
          Orch.Controller.manage t.ctrl ~id cont));
   svc
 

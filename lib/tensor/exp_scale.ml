@@ -13,8 +13,7 @@ type result = {
 }
 
 let run ?(hosts = 10) ?(services = 60) ?(routes_per_service = 200) () =
-  (* lint: allow d2 — wall-clock runtime is the measured datum of this harness, not simulation state *)
-  let wall0 = Unix.gettimeofday () in
+  let wall0 = Prof.Clock.now_s () in
   let dep = Deploy.build ~hosts () in
   let eng = dep.Deploy.eng in
   let rigs =
@@ -82,8 +81,7 @@ let run ?(hosts = 10) ?(services = 60) ?(routes_per_service = 200) () =
     host_failure_migrated = migrated;
     peer_drops = !drops;
     sim_events = Engine.processed_events eng;
-    (* lint: allow d2 — wall-clock runtime is the measured datum of this harness, not simulation state *)
-    wall_s = Unix.gettimeofday () -. wall0;
+    wall_s = Prof.Clock.now_s () -. wall0;
   }
 
 let print r =

@@ -178,7 +178,9 @@ let rec pump t lane =
             if lane.blocked_since = None then
               lane.blocked_since <- Some (Engine.now t.eng);
             Telemetry.Registry.incr m_store_retries;
-            ignore (Engine.schedule_after t.eng (Time.ms 100) attempt)
+            ignore
+              (Engine.schedule_after t.eng ~label:"repl.retry" (Time.ms 100)
+                 attempt)
           end
         in
         let rec attempt () =
@@ -404,7 +406,9 @@ let enter_degraded t =
     Queue.clear t.unapplied;
     if t.heal_probe = None then
       t.heal_probe <-
-        Some (Engine.every t.eng (Time.sec 1) (fun () -> heal_probe_tick t))
+        Some
+          (Engine.every t.eng ~label:"repl.heal_probe" (Time.sec 1) (fun () ->
+               heal_probe_tick t))
   end
 
 let prepare_rearm t =
@@ -615,7 +619,7 @@ let ensure_watchdog t =
   if t.watchdog = None then
     t.watchdog <-
       Some
-        (Engine.every t.eng (Time.ms 25) (fun () ->
+        (Engine.every t.eng ~label:"repl.watchdog" (Time.ms 25) (fun () ->
              check_stall t;
              check_degrade t))
 
@@ -733,7 +737,8 @@ let drain t k =
       && (not t.ctl.inflight)
       && not t.bulk.inflight
     then k ()
-    else ignore (Engine.schedule_after t.eng (Time.ms 5) poll)
+    else
+      ignore (Engine.schedule_after t.eng ~label:"repl.flush" (Time.ms 5) poll)
   in
   poll ()
 

@@ -266,6 +266,44 @@ let test_zero_finding_repo_baseline () =
     "repo lints clean" []
     (List.map Lint.Finding.to_string report.findings)
 
+let test_single_blessed_d2_suppression () =
+  (* The profiler wall clock (Prof.Clock) is the one place in lib/
+     allowed to read host time; every other wall-clock read must go
+     through it. A second d2 suppression appearing anywhere in lib/
+     means someone opened a new ambient-time hole — argue it here
+     first. *)
+  let root = if Sys.file_exists "lib" then "." else ".." in
+  let read f =
+    let ic = open_in_bin f in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let rec walk dir acc =
+    Array.fold_left
+      (fun acc name ->
+        let p = Filename.concat dir name in
+        if Sys.is_directory p then walk p acc
+        else if Filename.check_suffix name ".ml" then p :: acc
+        else acc)
+      acc (Sys.readdir dir)
+  in
+  let d2_files =
+    walk (Filename.concat root "lib") []
+    |> List.filter (fun f ->
+           List.exists
+             (fun (d : Lint.Suppress.directive) -> List.mem "d2" d.passes)
+             (Lint.Suppress.scan (read f)))
+    |> List.map (fun f ->
+           Filename.concat
+             (Filename.basename (Filename.dirname f))
+             (Filename.basename f))
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    "Prof.Clock is the only d2-suppressed site in lib/"
+    [ "prof/clock.ml" ] d2_files
+
 let () =
   Alcotest.run "lint"
     [
@@ -284,6 +322,8 @@ let () =
             test_suppression_unknown_pass_rejected;
           Alcotest.test_case "unused flagged" `Quick
             test_suppression_unused_flagged;
+          Alcotest.test_case "single blessed d2 suppression" `Quick
+            test_single_blessed_d2_suppression;
         ] );
       ( "d2",
         [
