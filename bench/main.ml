@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- fig6a table1 ...   # a subset
      dune exec bench/main.exe -- --csv-dir out fig6a  # also write CSVs
      dune exec bench/main.exe -- --telemetry-dir out fig6a  # + telemetry export
+     dune exec bench/main.exe -- --timeseries ts.jsonl fig6a  # simulated-time
+       metric series (one JSONL row per simulated second, see lib/trace)
      dune exec bench/main.exe -- --emit-bench BENCH_rev.json  # perf snapshot
        (diff two snapshots with: dune exec bench/compare.exe -- OLD NEW;
         gate a series with: dune exec bench/trend.exe -- --gate OLD... NEW)
@@ -22,6 +24,7 @@ let quick = ref false
 let telemetry_dir = ref None
 let emit_bench = ref None
 let profile = ref false
+let timeseries = ref None
 
 (* Experiments that never touch the engine: pure analytic / workload-model
    code. Schema v2 marks them [non_sim] so the throughput fields are
@@ -286,6 +289,12 @@ let () =
     | "--emit-bench" :: file :: rest ->
         emit_bench := Some file;
         strip_flags acc rest
+    | "--timeseries" :: file :: rest ->
+        timeseries := Some file;
+        (* The sampler is a bus subscriber: it only observes while
+           telemetry is enabled, so enable it like --telemetry-dir. *)
+        Telemetry.Control.set_enabled true;
+        strip_flags acc rest
     | "--profile" :: rest ->
         profile := true;
         strip_flags acc rest
@@ -310,6 +319,7 @@ let () =
     "TENSOR reproduction — benchmark harness (%s mode)@."
     (if !quick then "quick" else "full");
   let t0 = Prof.Clock.now_s () in
+  let sampler = Option.map (fun _ -> Causal.Series.attach ()) !timeseries in
   List.iter
     (fun (id, f) ->
       if !profile then Prof.Profiler.attach ();
@@ -348,6 +358,13 @@ let () =
     selected;
   let total_wall = Prof.Clock.now_s () -. t0 in
   Format.printf "@.All selected experiments done in %.1fs wall.@." total_wall;
+  (match (sampler, !timeseries) with
+  | Some s, Some file ->
+      Causal.Series.detach s;
+      Causal.Series.write s file;
+      Format.printf "Metric series written to %s (%d samples, %d quiet windows skipped)@."
+        file (Causal.Series.sample_count s) (Causal.Series.skipped_windows s)
+  | _ -> ());
   (match !emit_bench with
   | Some file ->
       write_bench_snapshot file ~total_wall;

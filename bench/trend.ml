@@ -11,7 +11,8 @@
    under a pairwise threshold between adjacent PRs still trips the gate
    once it drifts past threshold x best-so-far. The same noise floor as
    compare.exe applies (50 ms absolute, relative below that), so fast
-   experiments gate on real doublings, not jitter.
+   experiments gate on real doublings, not jitter. The analysis itself
+   lives in [Trend_core] (unit-tested); this file is IO and rendering.
 
    Exit 0 unless --gate is given and a regression is found (exit 1);
    exit 2 on unreadable snapshots or fewer than two files. *)
@@ -28,27 +29,6 @@ let parse path =
   | Ok v -> v
   | Error msg ->
       Printf.eprintf "%s: malformed snapshot: %s\n" path msg;
-      exit 2
-
-let noise_floor best = if best >= 0.05 then 0.05 else Float.max 0.01 best
-
-let experiments j =
-  match
-    Option.bind (Monitor.Json.member "experiments" j) Monitor.Json.to_list
-  with
-  | Some l ->
-      List.filter_map
-        (fun e ->
-          match
-            ( Option.bind (Monitor.Json.member "id" e) Monitor.Json.to_str,
-              Option.bind (Monitor.Json.member "wall_s" e) Monitor.Json.to_float
-            )
-          with
-          | Some id, Some wall -> Some (id, wall)
-          | _ -> None)
-        l
-  | None ->
-      prerr_endline "snapshot has no \"experiments\" array";
       exit 2
 
 let () =
@@ -78,67 +58,53 @@ let () =
     exit 2
   end;
   let snaps = List.map (fun f -> (Filename.basename f, parse f)) files in
-  let mixed =
-    let quicks =
-      List.filter_map
-        (fun (_, j) ->
-          Option.bind (Monitor.Json.member "quick" j) Monitor.Json.to_bool)
-        snaps
-    in
-    List.exists (fun q -> q <> List.hd quicks) quicks
-  in
-  if mixed then
+  if
+    Trend_core.mixed_quick
+      (List.map
+         (fun (_, j) ->
+           Option.bind (Monitor.Json.member "quick" j) Monitor.Json.to_bool)
+         snaps)
+  then
     prerr_endline
       "warning: series mixes quick and full runs — ratios are not meaningful";
-  let series = List.map (fun (name, j) -> (name, experiments j)) snaps in
-  let newest_name, newest = List.nth series (List.length series - 1) in
-  let history = List.filteri (fun i _ -> i < List.length series - 1) series in
-  (* Union of ids, in first-seen order. *)
-  let ids =
-    List.fold_left
-      (fun acc (_, exps) ->
-        List.fold_left
-          (fun acc (id, _) -> if List.mem id acc then acc else acc @ [ id ])
-          acc exps)
-      [] series
+  let series =
+    List.map
+      (fun (name, j) ->
+        match Trend_core.experiments j with
+        | Ok exps -> exps
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" name msg;
+            exit 2)
+      snaps
   in
+  let newest_name = fst (List.nth snaps (List.length snaps - 1)) in
+  let rows = Trend_core.analyze ~threshold:!threshold series in
   Printf.printf "Trajectory over %d snapshot(s); gate: newest (%s) vs best-so-far\n\n"
     (List.length series) newest_name;
   Printf.printf "%-12s" "experiment";
-  List.iter (fun (name, _) -> Printf.printf " %14s" name) series;
+  List.iter (fun (name, _) -> Printf.printf " %14s" name) snaps;
   Printf.printf " %10s\n" "vs best";
-  let regressions = ref 0 in
   List.iter
-    (fun id ->
-      Printf.printf "%-12s" id;
+    (fun (r : Trend_core.row) ->
+      Printf.printf "%-12s" r.id;
       List.iter
-        (fun (_, exps) ->
-          match List.assoc_opt id exps with
+        (function
           | Some w -> Printf.printf " %13.3fs" w
           | None -> Printf.printf " %14s" "-")
-        series;
-      let best =
-        List.fold_left
-          (fun acc (_, exps) ->
-            match List.assoc_opt id exps with
-            | Some w -> ( match acc with None -> Some w | Some b -> Some (Float.min b w))
-            | None -> acc)
-          None history
-      in
-      (match (best, List.assoc_opt id newest) with
-      | Some best, Some now ->
-          let ratio = if best > 1e-9 then now /. best else Float.infinity in
-          let slow = ratio > !threshold && now -. best > noise_floor best in
-          if slow then incr regressions;
-          Printf.printf " %8.2fx%s" ratio (if slow then " << REGRESSION" else "")
-      | None, Some _ -> Printf.printf " %10s" "new"
-      | _, None -> Printf.printf " %10s" "gone");
+        r.points;
+      (match r.verdict with
+      | Trend_core.Vs_best { ratio; regression; _ } ->
+          Printf.printf " %8.2fx%s" ratio
+            (if regression then " << REGRESSION" else "")
+      | Trend_core.New _ -> Printf.printf " %10s" "new"
+      | Trend_core.Gone -> Printf.printf " %10s" "gone");
       print_newline ())
-    ids;
-  if !regressions > 0 then begin
+    rows;
+  let regressions = List.length (Trend_core.regressions rows) in
+  if regressions > 0 then begin
     Printf.printf
       "\n%d experiment(s) beyond %.2fx of their best-so-far.\n"
-      !regressions !threshold;
+      regressions !threshold;
     if !gate then exit 1
     else print_endline "(warn-only: run with --gate to fail)"
   end

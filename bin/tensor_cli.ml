@@ -3,6 +3,8 @@
      tensor-cli experiment fig6a table1 ...   # regenerate paper artifacts
      tensor-cli failover --kind host          # one failure scenario, verbose
      tensor-cli trace failover --kind host    # causal span tree + JSONL export
+     tensor-cli causal failover --json        # recovery critical path
+     tensor-cli check failover --trace-dir t  # + Perfetto trace & time series
      tensor-cli metrics                       # registered metrics after a failover
      tensor-cli cdf --links 6000              # Figure 7(a) population
      tensor-cli profile fig5a --out DIR       # engine cost attribution
@@ -182,6 +184,16 @@ let run_traced_scenario scenario kind =
       exit 2);
   Telemetry.Control.set_enabled false
 
+(* Extract the scenario's recovery critical path from the recorded DAG,
+   if the scenario closed a root span and the recorder saw its events. *)
+let critical_of_scenario scenario =
+  match Tensor.Check.root_span scenario with
+  | None -> None
+  | Some name -> (
+      match Causal.Critical.of_span ~name () with
+      | Ok c -> Some c
+      | Error _ -> None)
+
 let trace_cmd =
   let scenario =
     Arg.(
@@ -189,22 +201,46 @@ let trace_cmd =
       & pos 0 string "failover"
       & info [] ~docv:"SCENARIO" ~doc:"failover | planned")
   in
-  let run scenario kind out =
+  let perfetto =
+    Arg.(
+      value & flag
+      & info [ "perfetto" ]
+          ~doc:
+            "Also record the causal event DAG and write \
+             $(i,DIR)/trace.perfetto.json for ui.perfetto.dev \
+             (simulated-time, one process per engine, one thread per \
+             subsystem, recovery critical path overlaid).")
+  in
+  let run scenario kind out perfetto =
+    if perfetto then begin
+      Causal.Recorder.reset ();
+      Causal.Recorder.attach ()
+    end;
     run_traced_scenario scenario kind;
+    if perfetto then Causal.Recorder.detach ();
     Format.printf "Causal spans (simulated time):@.@.%a@." Telemetry.Span.pp_tree
       ();
     Format.printf "Events: %d buffered@."
       (List.length (Telemetry.Bus.events ()));
     Telemetry.Control.export_dir out;
     Format.printf "Telemetry written to %s/ (spans.jsonl, events.jsonl, metrics.csv, metrics.json)@."
-      out
+      out;
+    if perfetto then begin
+      let critical = critical_of_scenario scenario in
+      let path = Filename.concat out "trace.perfetto.json" in
+      Causal.Perfetto.write ?critical path;
+      Format.printf "Perfetto trace written to %s (%d events%s)@." path
+        (Causal.Recorder.node_count ())
+        (if Option.is_some critical then ", critical path overlaid" else "")
+    end
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run one scenario with telemetry on; print the causal span tree and \
-          export spans/events as JSONL.")
-    Term.(const run $ scenario $ kind_opt $ out_dir_opt)
+          export spans/events as JSONL (plus a Perfetto trace with \
+          $(b,--perfetto)).")
+    Term.(const run $ scenario $ kind_opt $ out_dir_opt $ perfetto)
 
 (* --- metrics command ---------------------------------------------------------- *)
 
@@ -260,12 +296,49 @@ let check_cmd =
       & pos 0 string "failover"
       & info [] ~docv:"SCENARIO" ~doc:"failover | planned | split-brain")
   in
-  let run scenario kind json =
-    match Tensor.Check.run ~kind scenario with
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Record the causal event DAG and a simulated-time metric \
+             series during the checked run; write \
+             $(i,DIR)/trace.perfetto.json and $(i,DIR)/timeseries.jsonl.")
+  in
+  let run scenario kind json trace_dir =
+    let sampler =
+      match trace_dir with
+      | None -> None
+      | Some _ ->
+          Causal.Recorder.reset ();
+          Causal.Recorder.attach ();
+          (* Subscribers survive Control.reset, so attaching before the
+             run observes the whole scenario. *)
+          Some (Causal.Series.attach ())
+    in
+    let result = Tensor.Check.run ~kind scenario in
+    if Option.is_some trace_dir then Causal.Recorder.detach ();
+    Option.iter Causal.Series.detach sampler;
+    match result with
     | Error msg ->
         Printf.eprintf "%s\n" msg;
         exit 2
     | Ok report ->
+        (match (trace_dir, sampler) with
+        | Some dir, Some s ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let perfetto = Filename.concat dir "trace.perfetto.json" in
+            Causal.Perfetto.write
+              ?critical:report.Monitor.Health.critical_path perfetto;
+            Causal.Series.write s (Filename.concat dir "timeseries.jsonl");
+            Format.printf
+              "Trace artifacts written to %s/ (trace.perfetto.json: %d \
+               events; timeseries.jsonl: %d samples)@."
+              dir
+              (Causal.Recorder.node_count ())
+              (Causal.Series.sample_count s)
+        | _ -> ());
         if json then print_endline (Monitor.Health.to_json report)
         else print_string (Monitor.Health.to_text report);
         if not (Monitor.Health.ok report) then exit 1
@@ -278,7 +351,7 @@ let check_cmd =
           safety, BFD bound, RIB convergence, split-brain exclusion, flap \
           absence, queue drain) is checked live against the telemetry bus. \
           Non-zero exit on any violation or SLO miss.")
-    Term.(const run $ scenario $ kind_opt $ json_flag)
+    Term.(const run $ scenario $ kind_opt $ json_flag $ trace_dir)
 
 let health_cmd =
   let run json =
@@ -300,6 +373,84 @@ let health_cmd =
          "Run every checked scenario and report aggregate invariant/SLO \
           health. Non-zero exit if any scenario is unhealthy.")
     Term.(const run $ json_flag)
+
+(* --- causal command ----------------------------------------------------------- *)
+
+let causal_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "failover"
+      & info [] ~docv:"SCENARIO" ~doc:"failover | planned | split-brain")
+  in
+  let from_label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"LABEL"
+          ~doc:
+            "Truncate the causal walk at the first ancestor whose label \
+             matches (exact or dotted prefix, e.g. $(b,bfd) matches \
+             $(b,bfd.detect)).")
+  in
+  let to_label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "to" ] ~docv:"LABEL"
+          ~doc:
+            "Re-anchor the path endpoint at the last in-window event \
+             whose label matches, instead of the event that closed the \
+             span.")
+  in
+  let run scenario kind from_label to_label json =
+    (match Tensor.Check.root_span scenario with
+    | Some _ -> ()
+    | None ->
+        Printf.eprintf
+          "scenario %S records no recovery root span (try: failover | \
+           planned | split-brain)\n"
+          scenario;
+        exit 2);
+    Causal.Recorder.reset ();
+    Causal.Recorder.attach ();
+    let result = Tensor.Check.run ~kind scenario in
+    Causal.Recorder.detach ();
+    match result with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    | Ok report ->
+        let name = Option.get (Tensor.Check.root_span scenario) in
+        (match Causal.Critical.of_span ?from_label ?to_label ~name () with
+        | Error msg ->
+            Printf.eprintf "critical path: %s\n" msg;
+            exit 2
+        | Ok cp ->
+            if json then print_endline (Causal.Critical.to_json cp)
+            else begin
+              Format.printf
+                "Recovery critical path of %S (%d traced events, %d on \
+                 path):@.@."
+                scenario
+                (Causal.Recorder.node_count ())
+                cp.Causal.Critical.events;
+              print_string (Causal.Critical.to_text cp)
+            end);
+        if not (Monitor.Health.ok report) then begin
+          Printf.eprintf "note: the checked run itself was UNHEALTHY\n";
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "causal"
+       ~doc:
+         "Run one checked scenario with the causal event recorder attached \
+          and print the critical path of its recovery span: the handler \
+          chain that bounded recovery, decomposed into per-label segments \
+          whose durations sum exactly to the span duration. $(b,--from) / \
+          $(b,--to) restrict the walk to a label window.")
+    Term.(const run $ scenario $ kind_opt $ from_label $ to_label $ json_flag)
 
 (* --- fuzz command ------------------------------------------------------------- *)
 
@@ -543,4 +694,5 @@ let () =
        (Cmd.group
           (Cmd.info "tensor-cli" ~version:"1.0.0" ~doc)
           [ experiment_cmd; failover_cmd; trace_cmd; metrics_cmd; cdf_cmd;
-            check_cmd; health_cmd; fuzz_cmd; profile_cmd; list_cmd ]))
+            check_cmd; health_cmd; causal_cmd; fuzz_cmd; profile_cmd;
+            list_cmd ]))

@@ -34,6 +34,7 @@ type report = {
   queue_drops : int;
   bus_dropped : int; (* telemetry ring overwrites during the run *)
   engine : engine_cost option;
+  critical_path : Causal.Critical.t option; (* when the recorder ran *)
   faults : string list;
 }
 
@@ -82,7 +83,25 @@ let slos_of_spans ?(budgets = default_budgets) () =
             })
     budgets
 
-let make ?budgets ?engine ~scenario checker =
+(* Critical-path section: only meaningful when the causal recorder saw
+   the run. Without [?root_span] the recovery roots are tried in order;
+   scenarios without any of them just omit the section. *)
+let critical_path_of_run ?root_span () =
+  if Causal.Recorder.node_count () = 0 then None
+  else
+    let candidates =
+      match root_span with
+      | Some name -> [ name ]
+      | None -> [ "failover"; "planned_migration" ]
+    in
+    List.find_map
+      (fun name ->
+        match Causal.Critical.of_span ~name () with
+        | Ok cp -> Some cp
+        | Error _ -> None)
+      candidates
+
+let make ?budgets ?engine ?root_span ~scenario checker =
   let checkers = Checker.finalize checker in
   {
     scenario;
@@ -92,6 +111,7 @@ let make ?budgets ?engine ~scenario checker =
     queue_drops = Checker.queue_drop_events checker;
     bus_dropped = Telemetry.Bus.dropped_total ();
     engine;
+    critical_path = critical_path_of_run ?root_span ();
     faults = Faults.active ();
   }
 
@@ -163,6 +183,11 @@ let to_text r =
             (row.er_wall_s *. 1e3)
             row.er_alloc_bytes)
         ec.profiled);
+  (match r.critical_path with
+  | None -> ()
+  | Some cp ->
+      String.split_on_char '\n' (Causal.Critical.to_text cp)
+      |> List.iter (fun line -> if line <> "" then pf "  %s\n" line));
   Buffer.contents b
 
 let to_json r =
@@ -185,6 +210,9 @@ let to_json r =
                   (esc row.er_label) row.er_events row.er_wall_s
                   row.er_alloc_bytes)
               ec.profiled)));
+  (match r.critical_path with
+  | None -> ()
+  | Some cp -> pf "\"critical_path\":%s," (Causal.Critical.to_json cp));
   pf "\"faults\":[%s],"
     (String.concat "," (List.map (fun f -> "\"" ^ esc f ^ "\"") r.faults));
   pf "\"violations_total\":%d," (List.length (violations r));

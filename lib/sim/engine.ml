@@ -1,11 +1,14 @@
 type event = {
   time : Time.t;
-  seq : int; (* tie-breaker: FIFO among same-instant events *)
+  seq : int; (* tie-breaker: FIFO among same-instant events; doubles as
+                the event's unique id within its engine *)
   action : unit -> unit;
   mutable cancelled : bool;
   owner : t;
   label : string; (* cost-attribution label, see [schedule_at] *)
   sched_at : Time.t; (* enqueue instant: dwell = time - sched_at *)
+  caused_by : int; (* seq of the event executing when this one was
+                      scheduled; -1 when scheduled from outside dispatch *)
 }
 
 and heap = { mutable arr : event array; mutable size : int }
@@ -17,6 +20,7 @@ and t = {
   mutable live : int; (* queued and not cancelled *)
   mutable processed : int;
   mutable current_label : string; (* label of the executing event *)
+  mutable current_id : int; (* seq of the executing event; -1 outside *)
   root_rng : Rng.t;
 }
 
@@ -86,12 +90,14 @@ let create ?(seed = 42) () =
     live = 0;
     processed = 0;
     current_label = "main";
+    current_id = -1;
     root_rng = Rng.create seed;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
 let current_label t = t.current_label
+let current_event_id t = t.current_id
 
 let schedule_at t ?label instant action =
   if instant < t.clock then
@@ -108,6 +114,7 @@ let schedule_at t ?label instant action =
       owner = t;
       label;
       sched_at = t.clock;
+      caused_by = t.current_id;
     }
   in
   t.next_seq <- t.next_seq + 1;
@@ -153,6 +160,25 @@ let profile_hook : profile_hook option ref = ref None
 let set_profile_hook h = profile_hook := h
 let profiling () = !profile_hook <> None
 
+(* The causal-trace hook (Causal.Recorder installs itself here). Unlike
+   [profile_hook] it does not wrap the action: it observes the dispatch
+   — id, causal parent, label, enqueue and execution instants — before
+   the action runs. Same transparency contract: no simulation state,
+   telemetry, or RNG access; replay digests must be byte-identical with
+   the hook installed or not. Process-global for the same reason. *)
+type trace_hook =
+  eng:t ->
+  id:int ->
+  parent:int ->
+  label:string ->
+  sched_at:Time.t ->
+  exec_at:Time.t ->
+  unit
+
+let trace_hook : trace_hook option ref = ref None
+let set_trace_hook h = trace_hook := h
+let tracing () = !trace_hook <> None
+
 let exec t e =
   e.cancelled <- true;
   t.live <- t.live - 1;
@@ -160,9 +186,17 @@ let exec t e =
   t.processed <- t.processed + 1;
   incr global_processed;
   t.current_label <- e.label;
-  match !profile_hook with
+  t.current_id <- e.seq;
+  (match !trace_hook with
+  | None -> ()
+  | Some hook ->
+      hook ~eng:t ~id:e.seq ~parent:e.caused_by ~label:e.label
+        ~sched_at:e.sched_at ~exec_at:e.time);
+  (match !profile_hook with
   | None -> e.action ()
-  | Some hook -> hook ~label:e.label ~dwell:(Time.diff e.time e.sched_at) e.action
+  | Some hook ->
+      hook ~label:e.label ~dwell:(Time.diff e.time e.sched_at) e.action);
+  t.current_id <- -1
 
 let step t =
   match t.heap with

@@ -44,6 +44,13 @@ val current_label : t -> string
 (** The attribution label of the event currently (or most recently)
     executed by this engine; ["main"] before any labelled event ran. *)
 
+val current_event_id : t -> int
+(** The id of the event this engine is executing right now, or [-1]
+    outside event dispatch (before the first event, between [run]
+    segments, and after the queue drains). Event ids are the engine's
+    scheduling sequence numbers: unique per engine, assigned in
+    scheduling order. *)
+
 val cancel : handle -> unit
 (** Cancels a scheduled event. Cancelling an already-fired or cancelled
     event is a no-op. *)
@@ -89,6 +96,33 @@ val set_profile_hook : profile_hook option -> unit
 
 val profiling : unit -> bool
 (** [true] while a dispatch hook is installed. *)
+
+(** {2 Causal-trace hook}
+
+    One process-global observation hook, installed by [Causal.Recorder].
+    When set, every event dispatch of every engine is reported — its id,
+    the id of the event that scheduled it ([-1] when scheduled from
+    outside dispatch, e.g. harness setup code), its attribution label,
+    and its enqueue/execution instants — immediately before the action
+    runs. Causal parentage mirrors label inheritance: the parent is the
+    event executing at scheduling time. The hook must be transparent:
+    no simulation state, telemetry, or RNG access — replay digests are
+    byte-identical with the hook installed or not. *)
+
+type trace_hook =
+  eng:t ->
+  id:int ->
+  parent:int ->
+  label:string ->
+  sched_at:Time.t ->
+  exec_at:Time.t ->
+  unit
+
+val set_trace_hook : trace_hook option -> unit
+(** Installs (or clears, with [None]) the global trace hook. *)
+
+val tracing : unit -> bool
+(** [true] while a trace hook is installed. *)
 
 (** {2 Periodic timers} *)
 

@@ -12,6 +12,11 @@ let seq_counter = ref 0
 
 let ncats = List.length Event.categories
 
+(* Per-category capacity overrides (None = use the global [capacity]).
+   Trace-heavy runs size up only the chatty categories instead of
+   multiplying every ring. *)
+let cat_capacity : int option array = Array.make ncats None
+
 let cat_index c =
   let rec find i = function
     | [] -> 0
@@ -54,9 +59,11 @@ let hwm_gauges =
           (fun c -> Registry.gauge ("telemetry.ring_hwm." ^ Event.category_name c))
           Event.categories))
 
-(* Returns [true] when the push overwrote the oldest entry. *)
-let push r e =
-  if Array.length r.arr = 0 then r.arr <- Array.make !capacity e;
+(* Returns [true] when the push overwrote the oldest entry. The ring's
+   array is sized on first push from the category's effective capacity;
+   capacity changes clear the ring so the next push resizes. *)
+let push r ~cap:want e =
+  if Array.length r.arr = 0 then r.arr <- Array.make want e;
   let cap = Array.length r.arr in
   r.total <- r.total + 1;
   if r.len < cap then begin
@@ -82,7 +89,10 @@ let emit ?legacy eng event =
     let ci = cat_index cat in
     let e = { seq = !seq_counter; at = Sim.Engine.now eng; event } in
     let r = rings.(ci) in
-    if push r e then Registry.incr (Lazy.force dropped_counter);
+    let cap =
+      match cat_capacity.(ci) with Some n -> n | None -> !capacity
+    in
+    if push r ~cap e then Registry.incr (Lazy.force dropped_counter);
     Registry.set_max (Lazy.force hwm_gauges).(ci) (float_of_int r.len);
     List.iter
       (fun s ->
@@ -126,7 +136,24 @@ let clear () =
 let set_capacity n =
   if n <= 0 then invalid_arg "Bus.set_capacity: capacity must be positive";
   capacity := n;
+  Array.fill cat_capacity 0 ncats None;
   clear ()
+
+let set_category_capacity c n =
+  if n <= 0 then
+    invalid_arg "Bus.set_category_capacity: capacity must be positive";
+  let ci = cat_index c in
+  cat_capacity.(ci) <- Some n;
+  (* Only the resized ring is cleared; other categories keep their
+     buffered entries. *)
+  let r = rings.(ci) in
+  r.arr <- [||];
+  r.start <- 0;
+  r.len <- 0;
+  r.total <- 0
+
+let category_capacity c =
+  match cat_capacity.(cat_index c) with Some n -> n | None -> !capacity
 
 let pp_entry fmt e =
   let cat, msg = Event.legacy e.event in

@@ -18,6 +18,18 @@ let ambient_span = ref None
 let set_ambient v = ambient_span := v
 let ambient () = !ambient_span
 
+(* Lifecycle hook (Causal.Recorder installs itself here) to bind span
+   boundaries to engine events: fired when a real span is recorded and
+   when it finishes, with the engine whose clock stamped the boundary.
+   Observation-only — the hook must not touch spans or telemetry. *)
+type hook = {
+  on_start : id -> Sim.Engine.t -> unit;
+  on_finish : id -> Sim.Engine.t -> unit;
+}
+
+let hook : hook option ref = ref None
+let set_hook h = hook := h
+
 let record name parent start_at stop_at =
   incr next_id;
   let parent =
@@ -33,16 +45,30 @@ let record name parent start_at stop_at =
 
 let start ?parent eng name =
   if not (Gate.on ()) then none
-  else record name parent (Sim.Engine.now eng) None
+  else begin
+    let sid = record name parent (Sim.Engine.now eng) None in
+    (match !hook with Some h -> h.on_start sid eng | None -> ());
+    sid
+  end
 
 let finish eng sid =
   match Hashtbl.find_opt by_id sid with
-  | Some s when s.stop_at = None -> s.stop_at <- Some (Sim.Engine.now eng)
+  | Some s when s.stop_at = None ->
+      s.stop_at <- Some (Sim.Engine.now eng);
+      (match !hook with Some h -> h.on_finish sid eng | None -> ())
   | Some _ | None -> ()
 
-let add ?parent _eng name ~start_at ~stop_at =
+let add ?parent eng name ~start_at ~stop_at =
   if not (Gate.on ()) then none
-  else record name parent start_at (Some stop_at)
+  else begin
+    let sid = record name parent start_at (Some stop_at) in
+    (match !hook with
+    | Some h ->
+        h.on_start sid eng;
+        h.on_finish sid eng
+    | None -> ());
+    sid
+  end
 
 let spans () = List.rev !rev_order
 let find ~name = List.filter (fun s -> String.equal s.name name) (spans ())

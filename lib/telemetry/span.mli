@@ -42,6 +42,24 @@ val add :
 val set_ambient : id option -> unit
 val ambient : unit -> id option
 
+(** {2 Lifecycle hook}
+
+    One process-global observation hook, installed by [Causal.Recorder]
+    to bind span boundaries to the engine events that produced them
+    (via [Sim.Engine.current_event_id]). [on_start] fires when a real
+    span is recorded ({!start}, and both callbacks for retroactive
+    {!add}); [on_finish] fires when an open span is closed. Never fired
+    for the inert {!none} id. The hook must be transparent: it may not
+    create, mutate, or finish spans, nor touch telemetry. *)
+
+type hook = {
+  on_start : id -> Sim.Engine.t -> unit;
+  on_finish : id -> Sim.Engine.t -> unit;
+}
+
+val set_hook : hook option -> unit
+(** Installs (or clears, with [None]) the lifecycle hook. *)
+
 val spans : unit -> span list
 (** All recorded spans, in creation order. *)
 

@@ -200,6 +200,16 @@ let degraded () =
   Engine.run_for eng (Time.sec 60);
   emit_rib_snapshots dep peer svc ~vip
 
+(* The recovery root span each scenario records, for critical-path
+   queries: failover-shaped scenarios (including split-brain, whose
+   migration is a failover) close a "failover" span, planned migration
+   its own; degraded deliberately never migrates, so it has no recovery
+   root. *)
+let root_span = function
+  | "failover" | "split-brain" | "split_brain" -> Some "failover"
+  | "planned" -> Some "planned_migration"
+  | _ -> None
+
 let run ?kind name =
   match name with
   | "failover" -> Ok (failover ?kind ())

@@ -51,3 +51,9 @@ val run :
   string ->
   (Monitor.Health.report, string) result
 (** Dispatch by scenario name ([?kind] applies to ["failover"]). *)
+
+val root_span : string -> string option
+(** The recovery root span a scenario records, for critical-path
+    queries: ["failover"] and ["split-brain"] close a ["failover"]
+    span, ["planned"] a ["planned_migration"]; ["degraded"] (which
+    never migrates) has none. *)

@@ -1,0 +1,57 @@
+(** Critical-path extraction over the recorded event DAG.
+
+    Given a finished root span (e.g. [failover]), finds the causal chain
+    of events that closed it: starting from the event that finished the
+    span (known via the {!Recorder}'s span bindings), walk [caused_by]
+    parents back to the fault-injection edge of the span window. The
+    chain decomposes the span's duration into per-label {e segments} —
+    consecutive same-label hops merged — which by construction {b sum
+    exactly to the span duration}: each hop is the time from the
+    previous event's execution to this one's, the first hop starts at
+    the span start, and any gap between the last chain event and the
+    span end is reported as an explicit ["(untraced)"] segment.
+
+    This answers the Fig. 5a question precisely: not just how long BFD
+    detection / replica catchup / TCP replay took as spans, but which
+    handler chain bounded recovery and where its time went. *)
+
+type segment = {
+  label : string;  (** attribution label, or ["(untraced)"] *)
+  dur : Sim.Time.span;
+  events : int;  (** chain events merged into this segment (0: synthetic) *)
+}
+
+type t = {
+  span_name : string;
+  start_at : Sim.Time.t;
+  stop_at : Sim.Time.t;
+  total : Sim.Time.span;  (** [stop_at - start_at] *)
+  segments : segment list;  (** time order; durations sum to [total] *)
+  events : int;  (** recorded events on the critical path *)
+}
+
+val of_span :
+  ?from_label:string ->
+  ?to_label:string ->
+  name:string ->
+  unit ->
+  (t, string) result
+(** [of_span ~name ()] extracts the critical path of the last finished
+    span named [name]. [?to_label] re-anchors the endpoint at the last
+    in-window event whose label matches (exact or dotted-prefix match:
+    ["tcp"] matches ["tcp.rto"]); [?from_label] truncates the parent
+    walk at the first matching ancestor. Errors when no finished span of
+    that name exists or no traced events fall inside its window. *)
+
+val label_matches : string -> string -> bool
+(** [label_matches pat l]: exact or dotted-prefix label match. *)
+
+val segment_sum : t -> Sim.Time.span
+(** Sum of segment durations — always equals [total]. *)
+
+val to_text : t -> string
+(** Human-readable table: label, duration, share, event count. *)
+
+val to_json : t -> string
+(** [{"span":..,"start_ns":..,"stop_ns":..,"total_ns":..,"events":..,
+    "segments":[{"label":..,"dur_ns":..,"events":..},..]}] *)

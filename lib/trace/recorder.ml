@@ -1,0 +1,118 @@
+type node = {
+  id : int;
+  parent : int; (* -1: scheduled from outside event dispatch *)
+  track : int;
+  label : string;
+  sched_at : Sim.Time.t;
+  exec_at : Sim.Time.t;
+}
+
+let default_limit = 2_000_000
+
+(* Nodes in execution order. Grown manually ([||] until the first
+   record): the array element type needs a seed value, so allocation is
+   deferred to the first push, like the engine heap. *)
+type store = { mutable arr : node array; mutable len : int }
+
+let store = { arr = [||]; len = 0 }
+let node_limit = ref default_limit
+let dropped_count = ref 0
+
+(* (track, id) -> index into [store.arr]. Only point lookups — never
+   traversed, so determinism is not at the mercy of hash order. *)
+let index : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+
+(* Engines seen so far, in first-seen order; list index = track id.
+   Compared physically: engines have no identity beyond themselves. *)
+let engines : Sim.Engine.t list ref = ref []
+let track_count () = List.length !engines
+
+let track_of_engine eng =
+  let rec find i = function
+    | [] -> None
+    | e :: rest -> if e == eng then Some i else find (i + 1) rest
+  in
+  find 0 !engines
+
+let register_track eng =
+  match track_of_engine eng with
+  | Some i -> i
+  | None ->
+      let i = track_count () in
+      engines := !engines @ [ eng ];
+      i
+
+(* Span-boundary bindings: span id -> (event id, track) of the event
+   executing when the boundary was stamped. [-1] event ids (boundaries
+   stamped from harness code, outside dispatch) are recorded as absent:
+   there is no event to anchor to. *)
+let span_starts : (Telemetry.Span.id, int * int) Hashtbl.t = Hashtbl.create 64
+let span_finishes : (Telemetry.Span.id, int * int) Hashtbl.t = Hashtbl.create 64
+
+let span_start_binding sid = Hashtbl.find_opt span_starts sid
+let span_finish_binding sid = Hashtbl.find_opt span_finishes sid
+
+let reset () =
+  store.arr <- [||];
+  store.len <- 0;
+  dropped_count := 0;
+  Hashtbl.reset index;
+  Hashtbl.reset span_starts;
+  Hashtbl.reset span_finishes;
+  engines := []
+
+let push n =
+  if store.len = Array.length store.arr then begin
+    let cap = Array.length store.arr in
+    let arr = Array.make (if cap = 0 then 1024 else 2 * cap) n in
+    Array.blit store.arr 0 arr 0 store.len;
+    store.arr <- arr
+  end;
+  store.arr.(store.len) <- n;
+  store.len <- store.len + 1
+
+let on_dispatch ~eng ~id ~parent ~label ~sched_at ~exec_at =
+  if store.len >= !node_limit then incr dropped_count
+  else begin
+    let track = register_track eng in
+    Hashtbl.replace index (track, id) store.len;
+    push { id; parent; track; label; sched_at; exec_at }
+  end
+
+let bind tbl sid eng =
+  let ev = Sim.Engine.current_event_id eng in
+  if ev >= 0 then Hashtbl.replace tbl sid (ev, register_track eng)
+
+let span_hook =
+  {
+    Telemetry.Span.on_start = (fun sid eng -> bind span_starts sid eng);
+    on_finish = (fun sid eng -> bind span_finishes sid eng);
+  }
+
+let enabled () = Sim.Engine.tracing ()
+
+let attach ?(limit = default_limit) () =
+  if limit <= 0 then invalid_arg "Recorder.attach: limit must be positive";
+  node_limit := limit;
+  Sim.Engine.set_trace_hook (Some on_dispatch);
+  Telemetry.Span.set_hook (Some span_hook)
+
+let detach () =
+  Sim.Engine.set_trace_hook None;
+  Telemetry.Span.set_hook None
+
+let node_count () = store.len
+let dropped () = !dropped_count
+let get i = store.arr.(i)
+
+let find ~track ~id =
+  match Hashtbl.find_opt index (track, id) with
+  | Some i -> Some store.arr.(i)
+  | None -> None
+
+let iter f =
+  for i = 0 to store.len - 1 do
+    f store.arr.(i)
+  done
+
+let nodes () = Array.init store.len (fun i -> store.arr.(i))

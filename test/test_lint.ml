@@ -273,6 +273,7 @@ let test_single_blessed_d2_suppression () =
      means someone opened a new ambient-time hole — argue it here
      first. *)
   let root = if Sys.file_exists "lib" then "." else ".." in
+  let base_dir f = Filename.basename (Filename.dirname f) in
   let read f =
     let ic = open_in_bin f in
     let s = really_input_string ic (in_channel_length ic) in
@@ -288,16 +289,27 @@ let test_single_blessed_d2_suppression () =
         else acc)
       acc (Sys.readdir dir)
   in
+  let sources = walk (Filename.concat root "lib") [] in
+  (* The causal tracer (lib/trace) is observation-only and must stay
+     inside the determinism budget: assert its sources are actually in
+     the scanned set (a silent walk miss would void the check below),
+     then that it added no d2 suppression. *)
+  List.iter
+    (fun f ->
+      checkb
+        (Printf.sprintf "lib/trace/%s is scanned" f)
+        true
+        (List.exists
+           (fun p -> Filename.basename p = f && base_dir p = "trace")
+           sources))
+    [ "recorder.ml"; "critical.ml"; "perfetto.ml"; "series.ml" ];
   let d2_files =
-    walk (Filename.concat root "lib") []
+    sources
     |> List.filter (fun f ->
            List.exists
              (fun (d : Lint.Suppress.directive) -> List.mem "d2" d.passes)
              (Lint.Suppress.scan (read f)))
-    |> List.map (fun f ->
-           Filename.concat
-             (Filename.basename (Filename.dirname f))
-             (Filename.basename f))
+    |> List.map (fun f -> Filename.concat (base_dir f) (Filename.basename f))
     |> List.sort String.compare
   in
   Alcotest.(check (list string))
