@@ -16,15 +16,23 @@
      dune exec bench/main.exe -- --profile --emit-bench BENCH_rev.json
        # + per-subsystem engine cost breakdowns in the snapshot
 
+     dune exec bench/main.exe -- --jobs 4 campaign  # multi-seed chaos
+       campaign across 4 OCaml domains: checks --jobs 1 / --jobs N output
+       equality and reports per-domain throughput + true speedup in the
+       snapshot's "parallel" section
+
    Experiment ids: fig5a fig5b fig6a fig6b fig6c fig6d table1 fig7a fig7b
-   table2 micro. Simulated measurements are deterministic (fixed seeds);
-   only `micro` measures host wall-clock. *)
+   table2 micro campaign (campaign is opt-in: it is excluded from the
+   default set so seed-vs-PR comparisons keep their experiment list).
+   Simulated measurements are deterministic (fixed seeds); only `micro`
+   and the campaign wall times measure host wall-clock. *)
 
 let quick = ref false
 let telemetry_dir = ref None
 let emit_bench = ref None
 let profile = ref false
 let timeseries = ref None
+let jobs = ref 1
 
 (* Experiments that never touch the engine: pure analytic / workload-model
    code. Schema v2 marks them [non_sim] so the throughput fields are
@@ -44,6 +52,20 @@ type bench_row = {
 }
 
 let bench_rows : bench_row list ref = ref []
+
+(* Filled by the [campaign] experiment: the jobs-equivalence result and
+   the domain-pool accounting that lands in the snapshot's "parallel"
+   section. *)
+type par_report = {
+  pr_runs : int;
+  pr_seed : int;
+  pr_elapsed_seq : float; (* --jobs 1 campaign wall time *)
+  pr_elapsed_par : float; (* --jobs N campaign wall time *)
+  pr_identical : bool; (* summaries + per-run digests byte-identical *)
+  pr_stats : Par.Pool.stats; (* the --jobs N pool accounting *)
+}
+
+let par_report : par_report option ref = ref None
 
 (* Snapshot schema v2. v1 carried only wall_s/sim_events/sim_events_per_s;
    v2 adds allocation + GC accounting, the non_sim marker (throughput
@@ -85,7 +107,31 @@ let write_bench_snapshot file ~total_wall =
                   subs)));
       Buffer.add_char buf '}')
     (List.rev !bench_rows);
-  Printf.bprintf buf "],\"total_wall_s\":%.3f,\"metrics\":%s}" total_wall
+  Buffer.add_char buf ']';
+  (* Optional v2 extension, present when the [campaign] experiment ran:
+     jobs-equivalence verdict, true speedup (sequential wall / parallel
+     wall of the same workload) and per-domain throughput. *)
+  (match !par_report with
+  | None -> ()
+  | Some p ->
+      let st = p.pr_stats in
+      Printf.bprintf buf
+        ",\"parallel\":{\"runs\":%d,\"seed\":%d,\"jobs\":%d,\"elapsed_seq_s\":%.3f,\"elapsed_par_s\":%.3f,\"speedup\":%.2f,\"pool_occupancy\":%.2f,\"digests_identical\":%b,\"domains\":[%s]}"
+        p.pr_runs p.pr_seed st.Par.Pool.jobs p.pr_elapsed_seq p.pr_elapsed_par
+        (if p.pr_elapsed_par > 1e-9 then p.pr_elapsed_seq /. p.pr_elapsed_par
+         else 0.0)
+        (Par.Pool.speedup st) p.pr_identical
+        (String.concat ","
+           (List.map
+              (fun (d : Par.Pool.domain_stat) ->
+                Printf.sprintf
+                  "{\"domain\":%d,\"tasks\":%d,\"busy_s\":%.3f,\"sim_events\":%d,\"events_per_s\":%.0f}"
+                  d.domain_index d.tasks d.busy_s d.sim_events
+                  (if d.busy_s > 1e-9 then
+                     float_of_int d.sim_events /. d.busy_s
+                   else 0.0))
+              st.Par.Pool.domains)));
+  Printf.bprintf buf ",\"total_wall_s\":%.3f,\"metrics\":%s}" total_wall
     (Telemetry.Registry.to_json ());
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
@@ -154,6 +200,78 @@ let ablations () =
 let fig7a () = Tensor.Exp_fig7.print_cdf (Tensor.Exp_fig7.run_cdf ())
 let fig7b () = Tensor.Exp_fig7.print_timeline (Tensor.Exp_fig7.run_timeline ())
 let table2 () = Tensor.Exp_table2.print ()
+
+(* --- Parallel chaos campaign ------------------------------------------------ *)
+
+(* The multi-seed experiment behind `--jobs N`: one fixed-seed campaign
+   executed twice — sequentially, then across the domain pool — with
+   every per-run digest and the campaign summary compared. Equality is
+   the whole point (domain count must never affect any digest), so a
+   mismatch fails the harness; the wall-time ratio is the true speedup
+   recorded in the snapshot. *)
+let campaign () =
+  let runs = if !quick then 60 else 200 in
+  let seed = 42 in
+  let jobs = max 1 !jobs in
+  Tensor.Report.section
+    (Printf.sprintf "Parallel chaos campaign (%d runs, seed %d, --jobs %d)"
+       runs seed jobs);
+  let run_once ~jobs =
+    let digests = Array.make runs "" in
+    let t0 = Prof.Clock.now_s () in
+    let c =
+      Chaos.Fuzz.run
+        ~progress:(fun i o -> digests.(i) <- o.Chaos.Runner.digest)
+        ~jobs ~runs ~seed ()
+    in
+    (c, digests, Prof.Clock.now_s () -. t0)
+  in
+  let c1, d1, t1 = run_once ~jobs:1 in
+  let cn, dn, tn = run_once ~jobs in
+  let summary (c : Chaos.Fuzz.campaign) =
+    ( c.runs,
+      c.events_total,
+      List.map (fun (f : Chaos.Fuzz.failure) -> f.index) c.failures )
+  in
+  let identical = summary c1 = summary cn && d1 = dn in
+  par_report :=
+    Some
+      {
+        pr_runs = runs;
+        pr_seed = seed;
+        pr_elapsed_seq = t1;
+        pr_elapsed_par = tn;
+        pr_identical = identical;
+        pr_stats = cn.Chaos.Fuzz.pool;
+      };
+  Tensor.Report.kv "runs" "%d (campaign seed %d)" runs seed;
+  Tensor.Report.kv "failures" "%d" (List.length cn.Chaos.Fuzz.failures);
+  Tensor.Report.kv "events checked" "%d" cn.Chaos.Fuzz.events_total;
+  Tensor.Report.kv "--jobs 1 wall" "%.2f s" t1;
+  Tensor.Report.kv (Printf.sprintf "--jobs %d wall" jobs) "%.2f s" tn;
+  Tensor.Report.kv "speedup" "%.2fx (occupancy %.2fx)"
+    (if tn > 1e-9 then t1 /. tn else 0.0)
+    (Par.Pool.speedup cn.Chaos.Fuzz.pool);
+  Tensor.Report.kv "digests identical" "%s (all %d runs)"
+    (if identical then "yes" else "NO")
+    runs;
+  Tensor.Report.table
+    ~header:[ "domain"; "runs"; "busy s"; "sim events"; "events/s" ]
+    (List.map
+       (fun (d : Par.Pool.domain_stat) ->
+         [
+           string_of_int d.domain_index;
+           string_of_int d.tasks;
+           Printf.sprintf "%.2f" d.busy_s;
+           string_of_int d.sim_events;
+           Printf.sprintf "%.0f"
+             (if d.busy_s > 1e-9 then float_of_int d.sim_events /. d.busy_s
+              else 0.0);
+         ])
+       cn.Chaos.Fuzz.pool.Par.Pool.domains);
+  if not identical then
+    failwith
+      "campaign: --jobs 1 and --jobs N diverged (summary or per-run digests)"
 
 (* --- Bechamel micro-benchmarks of hot paths -------------------------------- *)
 
@@ -272,6 +390,11 @@ let all_ids =
     ("micro", micro);
   ]
 
+(* Opt-in experiments: runnable by id but excluded from the default
+   set, so seed-vs-PR snapshot comparisons keep a stable experiment
+   list (and the default bench run stays single-domain). *)
+let optin_ids = [ ("campaign", campaign) ]
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec strip_flags acc = function
@@ -298,6 +421,13 @@ let () =
     | "--profile" :: rest ->
         profile := true;
         strip_flags acc rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 2);
+        strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
   in
   let args = strip_flags [] args in
@@ -307,11 +437,14 @@ let () =
     | ids ->
         List.map
           (fun id ->
-            match List.assoc_opt id all_ids with
+            match
+              List.assoc_opt id (all_ids @ optin_ids)
+            with
             | Some f -> (id, f)
             | None ->
                 Printf.eprintf "unknown experiment %S; known: %s\n" id
-                  (String.concat " " (List.map fst all_ids));
+                  (String.concat " "
+                     (List.map fst (all_ids @ optin_ids)));
                 exit 2)
           ids
   in

@@ -499,18 +499,23 @@ let fuzz_descriptor line =
       print_string (Chaos.Runner.summary o);
       if not (Chaos.Runner.ok o) then exit 1
 
-let fuzz_campaign ~runs ~seed ~shrink ~corpus ~verbose =
+let fuzz_campaign ~runs ~seed ~shrink ~corpus ~jobs ~verbose =
+  (* Progress arrives in run order whatever [jobs] is (Par.Pool delivers
+     the contiguous completed prefix), so everything on stdout — verbose
+     per-run lines with their digests included — is byte-identical from
+     --jobs 1 to --jobs N. Pool accounting goes to stderr only. *)
   let progress i (o : Chaos.Runner.outcome) =
     if verbose then
-      Printf.printf "run %d seed=%d %s events=%d\n%!" i o.desc.Chaos.Descriptor.seed
+      Printf.printf "run %d seed=%d %s events=%d digest=%s\n%!" i
+        o.desc.Chaos.Descriptor.seed
         (if Chaos.Runner.ok o then "ok" else "FAIL")
-        o.events
+        o.events o.digest
     else if (i + 1) mod 50 = 0 then Printf.printf "... %d runs\n%!" (i + 1)
   in
   let c =
     Chaos.Fuzz.run ~progress ~shrink
       ?corpus_dir:(if shrink then Some corpus else None)
-      ~runs ~seed ()
+      ~jobs ~runs ~seed ()
   in
   List.iter
     (fun (f : Chaos.Fuzz.failure) ->
@@ -530,6 +535,19 @@ let fuzz_campaign ~runs ~seed ~shrink ~corpus ~verbose =
     c.Chaos.Fuzz.runs seed
     (List.length c.Chaos.Fuzz.failures)
     c.Chaos.Fuzz.events_total;
+  (if jobs > 1 then begin
+     let st = c.Chaos.Fuzz.pool in
+     Printf.eprintf "pool: %d domains, %.2fs elapsed, %.2fx speedup\n" st.jobs
+       st.elapsed_s (Par.Pool.speedup st);
+     List.iter
+       (fun (d : Par.Pool.domain_stat) ->
+         Printf.eprintf
+           "  domain %d: %d runs, %.2fs busy, %d sim events (%.0f ev/s)\n"
+           d.domain_index d.tasks d.busy_s d.sim_events
+           (if d.busy_s > 0.0 then float_of_int d.sim_events /. d.busy_s
+            else 0.0))
+       st.domains
+   end);
   if not (Chaos.Fuzz.campaign_ok c) then exit 1
 
 let fuzz_cmd =
@@ -571,11 +589,21 @@ let fuzz_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run progress.")
   in
-  let run runs seed corpus shrink replay descriptor verbose =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the campaign on $(docv) OCaml domains. Output (summary, \
+             per-run digests, shrunk repros) is byte-identical to \
+             $(b,--jobs 1); only wall time changes. Pool accounting is \
+             printed to stderr.")
+  in
+  let run runs seed corpus shrink replay descriptor jobs verbose =
     match (replay, descriptor) with
     | Some path, _ -> fuzz_replay path
     | None, Some line -> fuzz_descriptor line
-    | None, None -> fuzz_campaign ~runs ~seed ~shrink ~corpus ~verbose
+    | None, None -> fuzz_campaign ~runs ~seed ~shrink ~corpus ~jobs ~verbose
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -586,7 +614,8 @@ let fuzz_cmd =
           checker plus end-state RIB digests. Failures shrink to a one-line \
           replayable descriptor. Non-zero exit on any violation.")
     Term.(
-      const run $ runs $ seed $ corpus $ shrink $ replay $ descriptor $ verbose)
+      const run $ runs $ seed $ corpus $ shrink $ replay $ descriptor $ jobs
+      $ verbose)
 
 (* --- profile command ---------------------------------------------------------- *)
 

@@ -54,8 +54,13 @@ and endpoint = {
   mutable next_disc : int;
 }
 
-let registry : (string, endpoint) Hashtbl.t = Hashtbl.create 32
+(* One endpoint per node, domain-local like the RPC registry: a BFD
+   endpoint belongs to one simulation and a simulation never spans
+   domains, so each campaign worker keeps a private table. *)
+let registry_key : (string, endpoint) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
+let registry () = Domain.DLS.get registry_key
 let session_key remote vrf = Addr.to_string remote ^ "|" ^ vrf
 
 let session_state s = s.st
@@ -192,7 +197,7 @@ let handle_packet ep (pkt : Packet.t) =
 
 let endpoint node =
   let key = Node.name node in
-  match Hashtbl.find_opt registry key with
+  match Hashtbl.find_opt (registry ()) key with
   | Some ep when ep.node == node -> ep
   | Some _ | None ->
       let ep =
@@ -204,7 +209,7 @@ let endpoint node =
         }
       in
       Node.add_handler node (handle_packet ep);
-      Hashtbl.replace registry key ep;
+      Hashtbl.replace (registry ()) key ep;
       ep
 
 let stop_session s =

@@ -10,32 +10,56 @@ type campaign = {
   seed : int;
   failures : failure list;
   events_total : int;
+  pool : Par.Pool.stats;
 }
 
 let campaign_ok c = c.failures = []
 
-let run ?progress ?(shrink = false) ?corpus_dir ~runs ~seed () =
-  let failures = ref [] in
-  let events_total = ref 0 in
-  for i = 0 to runs - 1 do
+(* Each run is self-contained (generate → run → shrink all derive from
+   [(seed, i)] alone and every library keeps its mutable state
+   domain-local), so the campaign fans runs out across domains and
+   merges in index order. Only corpus writes stay on the calling
+   domain, ordered by index, so the saved-file set and the campaign
+   record are byte-identical from --jobs 1 to --jobs N. *)
+let run ?progress ?(shrink = false) ?corpus_dir ?(jobs = 1) ~runs ~seed () =
+  let task i =
     let d = Descriptor.generate ~seed:(Descriptor.sub_seed ~seed i) in
     let o = Runner.run d in
-    events_total := !events_total + o.Runner.events;
-    (match progress with Some f -> f i o | None -> ());
-    if not (Runner.ok o) then begin
-      let shrunk = if shrink then Shrink.minimize d else None in
-      let saved =
-        match (shrunk, corpus_dir) with
-        | Some r, Some dir ->
-            let comment =
-              Printf.sprintf
-                "shrunk repro: campaign seed %d run %d (%d faults removed)"
-                seed i r.Shrink.removed_faults
-            in
-            Some (Corpus.save ~dir ~comment r.Shrink.minimal)
-        | _ -> None
-      in
-      failures := { index = i; outcome = o; shrunk; saved } :: !failures
-    end
-  done;
-  { runs; seed; failures = List.rev !failures; events_total = !events_total }
+    let shrunk =
+      if shrink && not (Runner.ok o) then Shrink.minimize d else None
+    in
+    (o, shrunk)
+  in
+  let progress =
+    match progress with
+    | Some f -> Some (fun i (o, _) -> f i o)
+    | None -> None
+  in
+  let results, pool = Par.Pool.run ~jobs ?progress runs task in
+  let failures = ref [] in
+  let events_total = ref 0 in
+  Array.iteri
+    (fun i (o, shrunk) ->
+      events_total := !events_total + o.Runner.events;
+      if not (Runner.ok o) then begin
+        let saved =
+          match (shrunk, corpus_dir) with
+          | Some r, Some dir ->
+              let comment =
+                Printf.sprintf
+                  "shrunk repro: campaign seed %d run %d (%d faults removed)"
+                  seed i r.Shrink.removed_faults
+              in
+              Some (Corpus.save ~dir ~comment r.Shrink.minimal)
+          | _ -> None
+        in
+        failures := { index = i; outcome = o; shrunk; saved } :: !failures
+      end)
+    results;
+  {
+    runs;
+    seed;
+    failures = List.rev !failures;
+    events_total = !events_total;
+    pool;
+  }

@@ -17,6 +17,7 @@ type campaign = {
   seed : int;
   failures : failure list;
   events_total : int;
+  pool : Par.Pool.stats;  (** Domain-pool accounting for the campaign. *)
 }
 
 val campaign_ok : campaign -> bool
@@ -25,10 +26,17 @@ val run :
   ?progress:(int -> Runner.outcome -> unit) ->
   ?shrink:bool ->
   ?corpus_dir:string ->
+  ?jobs:int ->
   runs:int ->
   seed:int ->
   unit ->
   campaign
 (** [shrink] (default false) minimizes each failure; [corpus_dir], when
     set together with [shrink], writes each minimal repro as a corpus
-    entry. [progress] is called after every run. *)
+    entry. [progress] is called after every run, in run order.
+
+    [jobs] (default 1) spreads runs across that many OCaml domains via
+    {!Par.Pool}. The campaign record, every per-run digest, the
+    [progress] call order and any corpus files written are
+    byte-identical whatever [jobs] is — parallelism buys wall time
+    only. *)

@@ -1,5 +1,12 @@
 let passes =
-  [ Pass_d1.pass; Pass_d2.pass; Pass_d3.pass; Pass_p1.pass; Pass_p2.pass ]
+  [
+    Pass_d1.pass;
+    Pass_d2.pass;
+    Pass_d3.pass;
+    Pass_d4.pass;
+    Pass_p1.pass;
+    Pass_p2.pass;
+  ]
 
 let known_passes =
   Suppress.meta_pass :: List.map (fun p -> p.Pass.name) passes

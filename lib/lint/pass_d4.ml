@@ -1,0 +1,153 @@
+(* d4 — top-level mutable state in domain-shared libraries.
+
+   Parallel campaigns execute chaos runs on OCaml 5 domains. Any
+   module-level mutable cell in a library those runs link against is
+   shared by every domain at once: a data race at best, and a
+   determinism leak (one domain's run observing another's counters)
+   always. Per-run state belongs in a value the run owns; state that is
+   genuinely per-execution-context belongs in [Domain.DLS] (each domain
+   lazily gets a fresh copy, so run isolation is identical under
+   [--jobs 1] and [--jobs N]).
+
+   The pass is syntactic: it flags top-level [let]s whose right-hand
+   side directly constructs mutable storage — [ref], [Hashtbl.create]
+   (including local [Hashtbl.Make] instances), [Queue]/[Stack]/
+   [Buffer]/[Weak] creation, [Bytes]/[Array] construction, array
+   literals, [Atomic.make], [lazy] (racy to force concurrently), and
+   record/tuple literals containing any of those. Mutable state built
+   inside a function body is per-call and fine; so is
+   [Domain.DLS.new_key (fun () -> ...)], where the constructor sits
+   under the lambda. Deliberate cross-domain cells (e.g. fault flags
+   written only before domains spawn) carry a reasoned suppression.
+   Scope: lib/ minus lib/lint (the linter itself never runs inside a
+   campaign domain). *)
+
+open Parsetree
+
+let scope_dirs = [ "lib" ]
+let exempt_dirs = [ "lib/lint" ]
+
+let creators =
+  [
+    ([ "Hashtbl"; "create" ], "Hashtbl.create");
+    ([ "Queue"; "create" ], "Queue.create");
+    ([ "Stack"; "create" ], "Stack.create");
+    ([ "Buffer"; "create" ], "Buffer.create");
+    ([ "Weak"; "create" ], "Weak.create");
+    ([ "Atomic"; "make" ], "Atomic.make");
+    ([ "Bytes"; "create" ], "Bytes.create");
+    ([ "Bytes"; "make" ], "Bytes.make");
+    ([ "Bytes"; "of_string" ], "Bytes.of_string");
+    ([ "Array"; "make" ], "Array.make");
+    ([ "Array"; "init" ], "Array.init");
+    ([ "Array"; "create_float" ], "Array.create_float");
+    ([ "Array"; "make_matrix" ], "Array.make_matrix");
+    ([ "Array"; "of_list" ], "Array.of_list");
+    ([ "Array"; "copy" ], "Array.copy");
+  ]
+
+let rec pass =
+  {
+    Pass.name = "d4";
+    severity = Finding.Error;
+    doc =
+      "top-level mutable state in domain-shared libraries (make it per-run \
+       or Domain.DLS so parallel campaigns stay isolated)";
+    check;
+  }
+
+and check ctx str =
+  if
+    (not (Pass.file_in_dirs ctx scope_dirs))
+    || Pass.file_in_dirs ctx exempt_dirs
+  then []
+  else begin
+    let findings = ref [] in
+    (* Local [module M = Hashtbl.Make (...)] instances: [M.create] is a
+       hash-table constructor too (same sweep as d1). *)
+    let tbl_modules = ref [ "Hashtbl" ] in
+    let collect_modules =
+      {
+        Ast_iterator.default_iterator with
+        module_binding =
+          (fun it mb ->
+            (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+            | Some name, Pmod_apply ({ pmod_desc = Pmod_ident lid; _ }, _)
+              when Pass.flatten lid.txt = [ "Hashtbl"; "Make" ] ->
+                tbl_modules := name :: !tbl_modules
+            | _ -> ());
+            Ast_iterator.default_iterator.module_binding it mb);
+      }
+    in
+    collect_modules.structure collect_modules str;
+    (* What a top-level RHS may not be: a direct construction of mutable
+       storage. Descends through the expression's *value* positions
+       (record fields, tuples, let bodies, if/match arms) but never into
+       function bodies — those construct per call. Returns the name of
+       the offending constructor. *)
+    let rec mutable_construct (e : expression) =
+      match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+          match Pass.flatten txt with
+          | [ "ref" ] -> Some "ref"
+          | [ m; "create" ] when List.mem m !tbl_modules ->
+              Some (m ^ ".create")
+          | path ->
+              List.find_opt (fun (p, _) -> p = path) creators
+              |> Option.map snd)
+      | Pexp_array _ -> Some "array literal"
+      | Pexp_lazy _ -> Some "lazy (concurrent forcing races)"
+      | Pexp_record (fields, base) ->
+          let in_fields =
+            List.find_map (fun (_, v) -> mutable_construct v) fields
+          in
+          if in_fields <> None then in_fields
+          else Option.bind base mutable_construct
+      | Pexp_tuple es -> List.find_map mutable_construct es
+      | Pexp_construct (_, Some arg) | Pexp_variant (_, Some arg) ->
+          mutable_construct arg
+      | Pexp_let (_, _, body)
+      | Pexp_sequence (_, body)
+      | Pexp_constraint (body, _)
+      | Pexp_open (_, body) ->
+          mutable_construct body
+      | Pexp_ifthenelse (_, t, f) -> (
+          match mutable_construct t with
+          | Some _ as hit -> hit
+          | None -> Option.bind f mutable_construct)
+      | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+          List.find_map (fun c -> mutable_construct c.pc_rhs) cases
+      | _ -> None
+    in
+    let value_binding (vb : value_binding) =
+      match mutable_construct vb.pvb_expr with
+      | Some what ->
+          findings :=
+            Pass.finding ctx ~pass ~loc:vb.pvb_expr.pexp_loc
+              "top-level %s is process state shared by every domain; make \
+               it per-run, engine-owned, or Domain.DLS so runs stay \
+               isolated under --jobs N"
+              what
+            :: !findings
+      | None -> ()
+    in
+    (* Only structure-level bindings (including inside top-level
+       [module M = struct ... end]): those execute once at link time and
+       live for the whole process. *)
+    let rec structure items = List.iter structure_item items
+    and structure_item (si : structure_item) =
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) -> List.iter value_binding vbs
+      | Pstr_module mb -> module_expr mb.pmb_expr
+      | Pstr_recmodule mbs -> List.iter (fun mb -> module_expr mb.pmb_expr) mbs
+      | Pstr_include { pincl_mod = me; _ } -> module_expr me
+      | _ -> ()
+    and module_expr (me : module_expr) =
+      match me.pmod_desc with
+      | Pmod_structure items -> structure items
+      | Pmod_constraint (me, _) -> module_expr me
+      | _ -> ()
+    in
+    structure str;
+    !findings
+  end

@@ -11,6 +11,13 @@
 
 type flag = { name : string; doc : string; on : bool ref }
 
+(* Deliberately process-global, not Domain.DLS: every flag below is
+   created exactly once at module initialization (on the main domain),
+   so a domain-local registry would be empty on campaign workers. The
+   flags are test-only toggles that default to off and are written only
+   by the sequential mutation tests — never during a parallel
+   campaign — so sharing them read-only across domains is safe. *)
+(* lint: allow d4 -- flags are minted once at init; a DLS registry would be empty on worker domains *)
 let registry : flag list ref = ref []
 
 let make name doc =

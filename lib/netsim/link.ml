@@ -28,10 +28,14 @@ type t = {
   mutable last_delivery : Time.t option;
 }
 
-let link_count = ref 0
+(* Default-name counter, domain-local so two domains creating unnamed
+   links concurrently don't race — and each domain numbers its links
+   from 1 like a fresh process, keeping names replay-stable. *)
+let link_count = Domain.DLS.new_key (fun () -> ref 0)
 
 let create eng ?(delay = Time.us 50) ?(bandwidth_bps = 100_000_000_000)
     ?(loss = 0.0) ?name () =
+  let link_count = Domain.DLS.get link_count in
   incr link_count;
   let lname =
     match name with Some n -> n | None -> Printf.sprintf "link%d" !link_count

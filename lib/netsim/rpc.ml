@@ -42,9 +42,14 @@ type endpoint = {
 }
 
 (* One endpoint per node, keyed physically: nodes are unique mutable
-   records so physical identity is the right notion. *)
-let registry : (string, endpoint) Hashtbl.t = Hashtbl.create 64
-let next_call_id = ref 0
+   records so physical identity is the right notion. Domain-local, like
+   the nodes themselves: a simulation never spans domains, and call ids
+   restart per domain so they stay replay-stable under --jobs N. *)
+let registry_key : (string, endpoint) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get registry_key
+let next_call_id = Domain.DLS.new_key (fun () -> ref 0)
 
 let source_addr node =
   match Node.addresses node with
@@ -93,7 +98,7 @@ let handle_packet ep (pkt : Packet.t) =
 
 let endpoint node =
   let key = Node.name node in
-  match Hashtbl.find_opt registry key with
+  match Hashtbl.find_opt (registry ()) key with
   | Some ep when ep.ep_node == node -> ep
   | Some _ | None ->
       let ep =
@@ -107,7 +112,7 @@ let endpoint node =
         }
       in
       Node.add_handler node (handle_packet ep);
-      Hashtbl.replace registry key ep;
+      Hashtbl.replace (registry ()) key ep;
       ep
 
 let fresh_client_id ep =
@@ -146,6 +151,7 @@ let backoff_span ep (r : retry) ~failed =
   Time.of_sec_f (capped *. factor)
 
 let send_attempt ep ~timeout ~size ~dst ~service body k =
+  let next_call_id = Domain.DLS.get next_call_id in
   incr next_call_id;
   let call_id = !next_call_id in
   let eng = Node.engine ep.ep_node in

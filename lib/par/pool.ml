@@ -1,0 +1,178 @@
+(* See pool.mli for the contract. The implementation keeps every bit of
+   pool state local to [run] — the pool that exists to isolate
+   domain-shared mutable state had better not introduce any (the d4
+   lint pass checks this file like any other domain-shared library).
+
+   Scheduling is dynamic self-claiming: workers race a shared atomic
+   cursor for the next index, so a slow task (a chaos run that shrinks,
+   a heavyweight seed) never stalls the others — the work-stealing
+   behaviour the campaign needs, without per-worker deques, because
+   tasks are claimed one index at a time from a single queue.
+
+   Ordered delivery: completed slots are published under a mutex and
+   the calling domain drains the *contiguous* prefix, firing [progress]
+   for index i only once 0..i-1 have fired. Completion order never
+   leaks, so anything the callback prints is byte-identical from
+   [--jobs 1] to [--jobs N]. *)
+
+type domain_stat = {
+  domain_index : int;
+  tasks : int;
+  busy_s : float;
+  sim_events : int;
+}
+
+type stats = {
+  jobs : int;
+  elapsed_s : float;
+  domains : domain_stat list;
+}
+
+let speedup st =
+  let busy = List.fold_left (fun acc d -> acc +. d.busy_s) 0.0 st.domains in
+  if st.elapsed_s > 0.0 then busy /. st.elapsed_s else 1.0
+
+type 'a slot =
+  | Empty
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let run_sequential ?progress n f =
+  let t0 = Prof.Clock.now_s () in
+  let ev0 = Sim.Engine.global_processed_events () in
+  let results =
+    Array.init n (fun i ->
+        let r = f i in
+        (match progress with Some p -> p i r | None -> ());
+        r)
+  in
+  let busy = Prof.Clock.now_s () -. t0 in
+  let stat =
+    {
+      domain_index = 0;
+      tasks = n;
+      busy_s = busy;
+      sim_events = Sim.Engine.global_processed_events () - ev0;
+    }
+  in
+  (results, { jobs = 1; elapsed_s = busy; domains = [ stat ] })
+
+let run_parallel ?progress ~jobs n f =
+  let t_start = Prof.Clock.now_s () in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  (* All fields below are written under [m] only. *)
+  let slots = Array.make n Empty in
+  let active = ref jobs in
+  let worker widx () =
+    let ev0 = Sim.Engine.global_processed_events () in
+    let tasks = ref 0 in
+    let busy = ref 0.0 in
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let t0 = Prof.Clock.now_s () in
+          let outcome =
+            match f i with
+            | v -> Done v
+            | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+          in
+          busy := !busy +. (Prof.Clock.now_s () -. t0);
+          incr tasks;
+          Mutex.lock m;
+          slots.(i) <- outcome;
+          (match outcome with
+          | Failed _ -> Atomic.set stop true
+          | Done _ | Empty -> ());
+          Condition.broadcast c;
+          Mutex.unlock m;
+          loop ()
+        end
+      end
+    in
+    loop ();
+    Mutex.lock m;
+    decr active;
+    Condition.broadcast c;
+    Mutex.unlock m;
+    {
+      domain_index = widx;
+      tasks = !tasks;
+      busy_s = !busy;
+      sim_events = Sim.Engine.global_processed_events () - ev0;
+    }
+  in
+  let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
+  (* Drain the contiguous completed prefix on the calling domain,
+     delivering [progress] strictly in index order. The callback runs
+     with [m] released so a slow printer never blocks publication. *)
+  let delivered = ref 0 in
+  let deliver () =
+    let continue = ref true in
+    while !continue do
+      if !delivered < n then
+        match slots.(!delivered) with
+        | Empty -> continue := false
+        | Failed _ ->
+            (* Errors stop ordered delivery: later progress lines must
+               not print for a campaign that is about to re-raise. *)
+            delivered := n;
+            continue := false
+        | Done v ->
+            let i = !delivered in
+            incr delivered;
+            (match progress with
+            | Some p ->
+                Mutex.unlock m;
+                p i v;
+                Mutex.lock m
+            | None -> ())
+      else continue := false
+    done
+  in
+  let joined = ref [||] in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Reached with a pending exception only if [progress] raised:
+         stop the claim race, then join unconditionally so no domain
+         outlives the call. *)
+      Atomic.set stop true;
+      joined := Array.map Domain.join domains)
+    (fun () ->
+      Mutex.lock m;
+      deliver ();
+      while !active > 0 do
+        Condition.wait c m;
+        deliver ()
+      done;
+      Mutex.unlock m);
+  let per_domain = Array.to_list !joined in
+  (* Re-raise the lowest-index failure — the exception the sequential
+     loop would have hit first. *)
+  Array.iter
+    (function
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Done _ | Empty -> ())
+    slots;
+  let results =
+    Array.map
+      (function
+        | Done v -> v
+        | Empty | Failed _ -> assert false (* no failure, all claimed *))
+      slots
+  in
+  ( results,
+    {
+      jobs;
+      elapsed_s = Prof.Clock.now_s () -. t_start;
+      domains = per_domain;
+    } )
+
+let run ?(jobs = 1) ?progress n f =
+  if n < 0 then invalid_arg "Pool.run: negative task count";
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then run_sequential ?progress n f
+  else run_parallel ?progress ~jobs n f

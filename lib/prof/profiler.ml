@@ -21,10 +21,19 @@ type stat = {
   mutable dwell_max_s : float;
 }
 
-let table : (string, stat) Hashtbl.t = Hashtbl.create 64
-let active = ref false
+(* Profiler state is domain-local, matching the engine dispatch hook it
+   feeds on: attaching on one domain profiles the engines that domain
+   creates and nothing else, so parallel campaign workers never share a
+   stats table. *)
+type state = { table : (string, stat) Hashtbl.t; mutable active : bool }
+
+let key =
+  Domain.DLS.new_key (fun () -> { table = Hashtbl.create 64; active = false })
+
+let state () = Domain.DLS.get key
 
 let get label =
+  let table = (state ()).table in
   match Hashtbl.find_opt table label with
   | Some st -> st
   | None ->
@@ -70,24 +79,24 @@ let on_event ~label ~dwell action =
         st.major_gcs + q1.Gc.major_collections - q0.Gc.major_collections)
     action
 
-let reset () = Hashtbl.reset table
+let reset () = Hashtbl.reset (state ()).table
 
 let attach () =
   reset ();
-  active := true;
+  (state ()).active <- true;
   Sim.Engine.set_profile_hook (Some on_event)
 
 let detach () =
-  active := false;
+  (state ()).active <- false;
   Sim.Engine.set_profile_hook None
 
-let enabled () = !active
+let enabled () = (state ()).active
 
 let stats () =
   List.rev
     (Sim.Det.fold_sorted ~compare:String.compare
        (fun _ st acc -> st :: acc)
-       table [])
+       (state ()).table [])
 
 type order = By_wall | By_alloc | By_events | By_dwell
 

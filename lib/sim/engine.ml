@@ -1,3 +1,5 @@
+type profile_hook = label:string -> dwell:Time.span -> (unit -> unit) -> unit
+
 type event = {
   time : Time.t;
   seq : int; (* tie-breaker: FIFO among same-instant events; doubles as
@@ -22,9 +24,38 @@ and t = {
   mutable current_label : string; (* label of the executing event *)
   mutable current_id : int; (* seq of the executing event; -1 outside *)
   root_rng : Rng.t;
+  dls : dls_state; (* the creating domain's shared meter/hook cell *)
+}
+
+and trace_hook =
+  eng:t ->
+  id:int ->
+  parent:int ->
+  label:string ->
+  sched_at:Time.t ->
+  exec_at:Time.t ->
+  unit
+
+(* Domain-local engine state: the cross-engine throughput meter and the
+   dispatch hooks. One record per domain, captured into [t] at [create]
+   so the per-event hot path pays a field read, not a DLS lookup. Hooks
+   and meter cover every engine *this domain* creates — exactly the old
+   process-global behaviour when single-domain, and per-campaign-worker
+   isolation under [--jobs N] (a profiler attached on one domain never
+   observes, or races with, another domain's runs). *)
+and dls_state = {
+  mutable dls_processed : int;
+  mutable dls_profile_hook : profile_hook option;
+  mutable dls_trace_hook : trace_hook option;
 }
 
 type handle = event
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      { dls_processed = 0; dls_profile_hook = None; dls_trace_hook = None })
+
+let dls () = Domain.DLS.get dls_key
 
 (* A classic array-backed binary min-heap ordered by (time, seq). The
    [dummy] slot filler is the first event ever pushed; it is never read as
@@ -92,6 +123,7 @@ let create ?(seed = 42) () =
     current_label = "main";
     current_id = -1;
     root_rng = Rng.create seed;
+    dls = dls ();
   }
 
 let now t = t.clock
@@ -142,57 +174,39 @@ let cancel (e : handle) =
 
 let is_pending (e : handle) = not e.cancelled
 
-(* Events executed by every engine ever created in this process: lets a
-   harness meter simulation throughput across experiments that build
-   their own engines internally. *)
-let global_processed = ref 0
-
 (* The attribution hook (Prof.Profiler installs itself here). When set,
    every event dispatch is routed through it with the event's label and
    its queue dwell (simulated time spent enqueued). The hook wraps the
    action but must never touch simulation state, telemetry, or the
    engine RNG — replay digests must be byte-identical with the hook on
-   or off. Process-global, like [global_processed]: experiments build
+   or off. Domain-wide, like the throughput meter: experiments build
    engines internally and the profiler must see all of them. *)
-type profile_hook = label:string -> dwell:Time.span -> (unit -> unit) -> unit
-
-let profile_hook : profile_hook option ref = ref None
-let set_profile_hook h = profile_hook := h
-let profiling () = !profile_hook <> None
+let set_profile_hook h = (dls ()).dls_profile_hook <- h
+let profiling () = (dls ()).dls_profile_hook <> None
 
 (* The causal-trace hook (Causal.Recorder installs itself here). Unlike
-   [profile_hook] it does not wrap the action: it observes the dispatch
-   — id, causal parent, label, enqueue and execution instants — before
-   the action runs. Same transparency contract: no simulation state,
-   telemetry, or RNG access; replay digests must be byte-identical with
-   the hook installed or not. Process-global for the same reason. *)
-type trace_hook =
-  eng:t ->
-  id:int ->
-  parent:int ->
-  label:string ->
-  sched_at:Time.t ->
-  exec_at:Time.t ->
-  unit
-
-let trace_hook : trace_hook option ref = ref None
-let set_trace_hook h = trace_hook := h
-let tracing () = !trace_hook <> None
+   the profile hook it does not wrap the action: it observes the
+   dispatch — id, causal parent, label, enqueue and execution instants —
+   before the action runs. Same transparency contract: no simulation
+   state, telemetry, or RNG access; replay digests must be
+   byte-identical with the hook installed or not. *)
+let set_trace_hook h = (dls ()).dls_trace_hook <- h
+let tracing () = (dls ()).dls_trace_hook <> None
 
 let exec t e =
   e.cancelled <- true;
   t.live <- t.live - 1;
   t.clock <- e.time;
   t.processed <- t.processed + 1;
-  incr global_processed;
+  t.dls.dls_processed <- t.dls.dls_processed + 1;
   t.current_label <- e.label;
   t.current_id <- e.seq;
-  (match !trace_hook with
+  (match t.dls.dls_trace_hook with
   | None -> ()
   | Some hook ->
       hook ~eng:t ~id:e.seq ~parent:e.caused_by ~label:e.label
         ~sched_at:e.sched_at ~exec_at:e.time);
-  (match !profile_hook with
+  (match t.dls.dls_profile_hook with
   | None -> e.action ()
   | Some hook ->
       hook ~label:e.label ~dwell:(Time.diff e.time e.sched_at) e.action);
@@ -225,7 +239,7 @@ let run_until t limit =
 let run_for t span = run_until t (Time.add t.clock span)
 let pending_events t = t.live
 let processed_events t = t.processed
-let global_processed_events () = !global_processed
+let global_processed_events () = (dls ()).dls_processed
 
 type timer = { mutable pending : handle option; mutable stopped : bool }
 

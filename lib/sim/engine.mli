@@ -76,13 +76,14 @@ val processed_events : t -> int
 (** Total number of events executed so far. *)
 
 val global_processed_events : unit -> int
-(** Events executed by every engine created in this process, ever — a
-    monotonic throughput meter for harnesses whose experiments build
-    engines internally. *)
+(** Events executed by every engine created on the calling domain, ever
+    — a monotonic throughput meter for harnesses whose experiments build
+    engines internally. Domain-local: each worker of a parallel campaign
+    meters (and resets with) its own engines. *)
 
 (** {2 Profiling hook}
 
-    One process-global dispatch hook, installed by [Prof.Profiler]. When
+    One dispatch hook per domain, installed by [Prof.Profiler]. When
     set, every event of every engine is dispatched through it with the
     event's attribution label and queue dwell (simulated time between
     enqueue and execution). The hook wraps the action and must be
@@ -92,14 +93,15 @@ val global_processed_events : unit -> int
 type profile_hook = label:string -> dwell:Time.span -> (unit -> unit) -> unit
 
 val set_profile_hook : profile_hook option -> unit
-(** Installs (or clears, with [None]) the global dispatch hook. *)
+(** Installs (or clears, with [None]) the calling domain's dispatch
+    hook. It applies to every engine created on this domain. *)
 
 val profiling : unit -> bool
 (** [true] while a dispatch hook is installed. *)
 
 (** {2 Causal-trace hook}
 
-    One process-global observation hook, installed by [Causal.Recorder].
+    One observation hook per domain, installed by [Causal.Recorder].
     When set, every event dispatch of every engine is reported — its id,
     the id of the event that scheduled it ([-1] when scheduled from
     outside dispatch, e.g. harness setup code), its attribution label,
@@ -119,7 +121,8 @@ type trace_hook =
   unit
 
 val set_trace_hook : trace_hook option -> unit
-(** Installs (or clears, with [None]) the global trace hook. *)
+(** Installs (or clears, with [None]) the calling domain's trace hook.
+    It applies to every engine created on this domain. *)
 
 val tracing : unit -> bool
 (** [true] while a trace hook is installed. *)

@@ -7,15 +7,57 @@ type ring = {
   mutable total : int;
 }
 
-let capacity = ref 8192
-let seq_counter = ref 0
+(* Live subscribers: invoked synchronously from [emit], after the ring
+   push, so callbacks observe entries in global-seq order. A [cat] of
+   [None] is a firehose subscription. *)
+type sub = { id : int; cat : Event.category option; fn : entry -> unit }
 
 let ncats = List.length Event.categories
 
-(* Per-category capacity overrides (None = use the global [capacity]).
-   Trace-heavy runs size up only the chatty categories instead of
-   multiplying every ring. *)
-let cat_capacity : int option array = Array.make ncats None
+(* The whole bus is domain-local: rings, the sequence counter, capacity
+   settings and subscriber lists. Each domain of a parallel campaign
+   records its runs into a private bus whose [seq] starts at 0 exactly
+   like a fresh process, which is what keeps per-run telemetry digests
+   independent of how runs are spread across domains. *)
+type state = {
+  mutable capacity : int;
+  mutable seq_counter : int;
+  (* Per-category capacity overrides (None = use [capacity]).
+     Trace-heavy runs size up only the chatty categories instead of
+     multiplying every ring. *)
+  cat_capacity : int option array;
+  rings : ring array;
+  mutable sub_counter : int;
+  mutable subs : sub list;
+  (* Overflow observability: overwrites are counted in the registry
+     (the ring's own [total - len] resets with [clear], the counter
+     survives a run) and each category keeps a high-water occupancy
+     gauge, so a ring sized too small for a scenario is visible instead
+     of silently eating the oldest events. Fetched on first overflow /
+     first emit: a domain that never emits never grows its metric
+     listing. (These were process-level [lazy] cells before the bus
+     went domain-local; concurrent forcing of a shared lazy is a race,
+     cached registry lookups are not.) *)
+  mutable dropped_counter : Registry.counter option;
+  mutable hwm_gauges : Registry.gauge array; (* [||] until first emit *)
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        capacity = 8192;
+        seq_counter = 0;
+        cat_capacity = Array.make ncats None;
+        rings =
+          Array.init ncats (fun _ ->
+              { arr = [||]; start = 0; len = 0; total = 0 });
+        sub_counter = 0;
+        subs = [];
+        dropped_counter = None;
+        hwm_gauges = [||];
+      })
+
+let state () = Domain.DLS.get key
 
 let cat_index c =
   let rec find i = function
@@ -24,40 +66,36 @@ let cat_index c =
   in
   find 0 Event.categories
 
-let rings =
-  Array.init ncats (fun _ -> { arr = [||]; start = 0; len = 0; total = 0 })
-
-(* Live subscribers: invoked synchronously from [emit], after the ring
-   push, so callbacks observe entries in global-seq order. A [cat] of
-   [None] is a firehose subscription. *)
-type sub = { id : int; cat : Event.category option; fn : entry -> unit }
-
-let sub_counter = ref 0
-let subs : sub list ref = ref []
-
 let subscribe ?category fn =
-  incr sub_counter;
-  let s = { id = !sub_counter; cat = category; fn } in
-  subs := !subs @ [ s ];
+  let st = state () in
+  st.sub_counter <- st.sub_counter + 1;
+  let s = { id = st.sub_counter; cat = category; fn } in
+  st.subs <- st.subs @ [ s ];
   s
 
-let unsubscribe s = subs := List.filter (fun s' -> s'.id <> s.id) !subs
-let subscriber_count () = List.length !subs
+let unsubscribe s =
+  let st = state () in
+  st.subs <- List.filter (fun s' -> s'.id <> s.id) st.subs
 
-(* Overflow observability: overwrites are counted in the registry (the
-   ring's own [total - len] resets with [clear], the counter survives a
-   run) and each category keeps a high-water occupancy gauge, so a ring
-   sized too small for a scenario is visible instead of silently eating
-   the oldest events. Registered lazily: a process that never emits
-   never grows its metric listing. *)
-let dropped_counter = lazy (Registry.counter "telemetry.bus_dropped")
+let subscriber_count () = List.length (state ()).subs
 
-let hwm_gauges =
-  lazy
-    (Array.of_list
-       (List.map
-          (fun c -> Registry.gauge ("telemetry.ring_hwm." ^ Event.category_name c))
-          Event.categories))
+let dropped_counter st =
+  match st.dropped_counter with
+  | Some c -> c
+  | None ->
+      let c = Registry.counter "telemetry.bus_dropped" in
+      st.dropped_counter <- Some c;
+      c
+
+let hwm_gauges st =
+  if Array.length st.hwm_gauges = 0 then
+    st.hwm_gauges <-
+      Array.of_list
+        (List.map
+           (fun c ->
+             Registry.gauge ("telemetry.ring_hwm." ^ Event.category_name c))
+           Event.categories);
+  st.hwm_gauges
 
 (* Returns [true] when the push overwrote the oldest entry. The ring's
    array is sized on first push from the category's effective capacity;
@@ -84,76 +122,83 @@ let emit ?legacy eng event =
       Sim.Trace.emit tr eng cat msg
   | None -> ());
   if Gate.on () then begin
-    incr seq_counter;
+    let st = state () in
+    st.seq_counter <- st.seq_counter + 1;
     let cat = Event.category event in
     let ci = cat_index cat in
-    let e = { seq = !seq_counter; at = Sim.Engine.now eng; event } in
-    let r = rings.(ci) in
+    let e = { seq = st.seq_counter; at = Sim.Engine.now eng; event } in
+    let r = st.rings.(ci) in
     let cap =
-      match cat_capacity.(ci) with Some n -> n | None -> !capacity
+      match st.cat_capacity.(ci) with Some n -> n | None -> st.capacity
     in
-    if push r ~cap e then Registry.incr (Lazy.force dropped_counter);
-    Registry.set_max (Lazy.force hwm_gauges).(ci) (float_of_int r.len);
+    if push r ~cap e then Registry.incr (dropped_counter st);
+    Registry.set_max (hwm_gauges st).(ci) (float_of_int r.len);
     List.iter
       (fun s ->
         match s.cat with
         | None -> s.fn e
         | Some c -> if c = cat then s.fn e)
-      !subs
+      st.subs
   end
 
 let ring_entries r =
   List.init r.len (fun i -> r.arr.((r.start + i) mod Array.length r.arr))
 
 let events ?category () =
+  let st = state () in
   match category with
-  | Some c -> ring_entries rings.(cat_index c)
+  | Some c -> ring_entries st.rings.(cat_index c)
   | None ->
-      Array.to_list rings
+      Array.to_list st.rings
       |> List.concat_map ring_entries
       |> List.sort (fun a b -> Int.compare a.seq b.seq)
 
-let total c = rings.(cat_index c).total
+let total c = (state ()).rings.(cat_index c).total
+
 let dropped c =
-  let r = rings.(cat_index c) in
+  let r = (state ()).rings.(cat_index c) in
   r.total - r.len
 
 let dropped_total () =
-  Array.fold_left (fun acc r -> acc + (r.total - r.len)) 0 rings
+  Array.fold_left (fun acc r -> acc + (r.total - r.len)) 0 (state ()).rings
 
 (* [clear] drops buffered entries but keeps subscribers: monitors
    installed across a [Control.reset] keep observing the next run. *)
 let clear () =
+  let st = state () in
   Array.iter
     (fun r ->
       r.arr <- [||];
       r.start <- 0;
       r.len <- 0;
       r.total <- 0)
-    rings;
-  seq_counter := 0
+    st.rings;
+  st.seq_counter <- 0
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Bus.set_capacity: capacity must be positive";
-  capacity := n;
-  Array.fill cat_capacity 0 ncats None;
+  let st = state () in
+  st.capacity <- n;
+  Array.fill st.cat_capacity 0 ncats None;
   clear ()
 
 let set_category_capacity c n =
   if n <= 0 then
     invalid_arg "Bus.set_category_capacity: capacity must be positive";
+  let st = state () in
   let ci = cat_index c in
-  cat_capacity.(ci) <- Some n;
+  st.cat_capacity.(ci) <- Some n;
   (* Only the resized ring is cleared; other categories keep their
      buffered entries. *)
-  let r = rings.(ci) in
+  let r = st.rings.(ci) in
   r.arr <- [||];
   r.start <- 0;
   r.len <- 0;
   r.total <- 0
 
 let category_capacity c =
-  match cat_capacity.(cat_index c) with Some n -> n | None -> !capacity
+  let st = state () in
+  match st.cat_capacity.(cat_index c) with Some n -> n | None -> st.capacity
 
 let pp_entry fmt e =
   let cat, msg = Event.legacy e.event in

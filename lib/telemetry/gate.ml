@@ -1,3 +1,8 @@
-let enabled = ref false
-let on () = !enabled
-let set flag = enabled := flag
+(* The recording gate is domain-local: each domain in a parallel
+   campaign turns telemetry on and off around its own runs without
+   racing the others, and a fresh domain starts gated off exactly like
+   a fresh process. *)
+let key = Domain.DLS.new_key (fun () -> ref false)
+
+let on () = !(Domain.DLS.get key)
+let set flag = Domain.DLS.get key := flag

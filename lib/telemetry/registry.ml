@@ -28,12 +28,26 @@ type metric =
 let metric_name = function
   | Counter (n, _) | Gauge (n, _) | Histogram (n, _) -> n
 
-let by_name : (string, metric) Hashtbl.t = Hashtbl.create 64
-let rev_order : metric list ref = ref []
+(* Registrations are domain-local: each domain of a parallel campaign
+   grows its own registry from scratch, so two domains creating
+   "tensor.failovers" concurrently each get a private cell instead of
+   racing on one table. Within a domain the old global behaviour is
+   unchanged (idempotent creation by name, registration order kept). *)
+type state = {
+  by_name : (string, metric) Hashtbl.t;
+  mutable rev_order : metric list;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { by_name = Hashtbl.create 64; rev_order = [] })
+
+let state () = Domain.DLS.get key
 
 let register name m =
-  Hashtbl.replace by_name name m;
-  rev_order := m :: !rev_order
+  let st = state () in
+  Hashtbl.replace st.by_name name m;
+  st.rev_order <- m :: st.rev_order
 
 let kind_error name =
   invalid_arg
@@ -41,7 +55,7 @@ let kind_error name =
        name)
 
 let counter name =
-  match Hashtbl.find_opt by_name name with
+  match Hashtbl.find_opt (state ()).by_name name with
   | Some (Counter (_, c)) -> c
   | Some _ -> kind_error name
   | None ->
@@ -54,7 +68,7 @@ let add c n = c.c <- c.c + n
 let value c = c.c
 
 let gauge name =
-  match Hashtbl.find_opt by_name name with
+  match Hashtbl.find_opt (state ()).by_name name with
   | Some (Gauge (_, g)) -> g
   | Some _ -> kind_error name
   | None ->
@@ -67,7 +81,7 @@ let set_max g v = if v > g.g then g.g <- v
 let gauge_value g = g.g
 
 let histogram name =
-  match Hashtbl.find_opt by_name name with
+  match Hashtbl.find_opt (state ()).by_name name with
   | Some (Histogram (_, h)) -> h
   | Some _ -> kind_error name
   | None ->
@@ -140,7 +154,7 @@ let buckets h =
   done;
   !acc
 
-let all () = List.rev !rev_order
+let all () = List.rev (state ()).rev_order
 
 let reset_values () =
   List.iter

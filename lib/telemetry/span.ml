@@ -10,14 +10,6 @@ type span = {
   mutable stop_at : Sim.Time.t option;
 }
 
-let next_id = ref 0
-let by_id : (id, span) Hashtbl.t = Hashtbl.create 64
-let rev_order : span list ref = ref []
-let ambient_span = ref None
-
-let set_ambient v = ambient_span := v
-let ambient () = !ambient_span
-
 (* Lifecycle hook (Causal.Recorder installs itself here) to bind span
    boundaries to engine events: fired when a real span is recorded and
    when it finishes, with the engine whose clock stamped the boundary.
@@ -27,42 +19,68 @@ type hook = {
   on_finish : id -> Sim.Engine.t -> unit;
 }
 
-let hook : hook option ref = ref None
-let set_hook h = hook := h
+(* Span storage, the ambient parent, and the installed hook are all
+   domain-local: a domain's runs record into their own table, so span
+   ids and parentage never depend on what other domains are doing. *)
+type state = {
+  mutable next_id : int;
+  by_id : (id, span) Hashtbl.t;
+  mutable rev_order : span list;
+  mutable ambient_span : id option;
+  mutable hook : hook option;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        next_id = 0;
+        by_id = Hashtbl.create 64;
+        rev_order = [];
+        ambient_span = None;
+        hook = None;
+      })
+
+let state () = Domain.DLS.get key
+
+let set_ambient v = (state ()).ambient_span <- v
+let ambient () = (state ()).ambient_span
+let set_hook h = (state ()).hook <- h
 
 let record name parent start_at stop_at =
-  incr next_id;
+  let st = state () in
+  st.next_id <- st.next_id + 1;
   let parent =
     match parent with
     | Some p when p <> none -> Some p
     | Some _ -> None
-    | None -> !ambient_span
+    | None -> st.ambient_span
   in
-  let s = { sid = !next_id; name; parent; start_at; stop_at } in
-  Hashtbl.replace by_id s.sid s;
-  rev_order := s :: !rev_order;
+  let s = { sid = st.next_id; name; parent; start_at; stop_at } in
+  Hashtbl.replace st.by_id s.sid s;
+  st.rev_order <- s :: st.rev_order;
   s.sid
 
 let start ?parent eng name =
   if not (Gate.on ()) then none
   else begin
     let sid = record name parent (Sim.Engine.now eng) None in
-    (match !hook with Some h -> h.on_start sid eng | None -> ());
+    (match (state ()).hook with Some h -> h.on_start sid eng | None -> ());
     sid
   end
 
 let finish eng sid =
-  match Hashtbl.find_opt by_id sid with
+  let st = state () in
+  match Hashtbl.find_opt st.by_id sid with
   | Some s when s.stop_at = None ->
       s.stop_at <- Some (Sim.Engine.now eng);
-      (match !hook with Some h -> h.on_finish sid eng | None -> ())
+      (match st.hook with Some h -> h.on_finish sid eng | None -> ())
   | Some _ | None -> ()
 
 let add ?parent eng name ~start_at ~stop_at =
   if not (Gate.on ()) then none
   else begin
     let sid = record name parent start_at (Some stop_at) in
-    (match !hook with
+    (match (state ()).hook with
     | Some h ->
         h.on_start sid eng;
         h.on_finish sid eng
@@ -70,23 +88,25 @@ let add ?parent eng name ~start_at ~stop_at =
     sid
   end
 
-let spans () = List.rev !rev_order
+let spans () = List.rev (state ()).rev_order
 let find ~name = List.filter (fun s -> String.equal s.name name) (spans ())
 let children sid = List.filter (fun s -> s.parent = Some sid) (spans ())
 
 let roots () =
+  let st = state () in
   List.filter
     (fun s ->
       match s.parent with
       | None -> true
-      | Some p -> not (Hashtbl.mem by_id p))
+      | Some p -> not (Hashtbl.mem st.by_id p))
     (spans ())
 
 let clear () =
-  Hashtbl.reset by_id;
-  rev_order := [];
-  next_id := 0;
-  ambient_span := None
+  let st = state () in
+  Hashtbl.reset st.by_id;
+  st.rev_order <- [];
+  st.next_id <- 0;
+  st.ambient_span <- None
 
 let to_jsonl buf =
   List.iter

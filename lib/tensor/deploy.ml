@@ -38,7 +38,13 @@ type service = {
   mutable generation : int;
 }
 
-let services : (string, service) Hashtbl.t = Hashtbl.create 16
+(* Service lookup is domain-local: a deployment lives entirely inside
+   one simulation, so each campaign worker resolves ids against its own
+   table instead of racing on a shared one. *)
+let services_key : (string, service) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let services () = Domain.DLS.get services_key
 
 let migration_trace t = t.trace
 
@@ -222,7 +228,7 @@ let build ?(seed = 42) ?(hosts = 3) ?(warm_boot = Time.sec 1)
     }
   in
   Orch.Controller.set_migrator ctrl (fun ~reason ~id ~failed:_ ~done_ ->
-      match Hashtbl.find_opt services id with
+      match Hashtbl.find_opt (services ()) id with
       | Some svc -> migrate t svc ~reason ~done_
       | None -> ());
   (* Mirror the controller's trace into the deployment trace lazily: the
@@ -294,7 +300,7 @@ let deploy_service t ?(primary_host = 0) ?(backup_host = 1)
       generation = 0;
     }
   in
-  Hashtbl.replace services id svc;
+  Hashtbl.replace (services ()) id svc;
   if backup_mode = `Preheat then provision_standby t svc;
   App.on_bfd_up app (fun ~vrf session ->
       match

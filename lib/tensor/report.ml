@@ -1,9 +1,21 @@
-let csv_dir = ref None
-let current_slug = ref "output"
-let slug_counter = ref 0
+(* Report output settings are domain-local: the CSV sink and section
+   slugs belong to whichever domain is printing an experiment, so a
+   campaign worker can never redirect (or renumber) the main domain's
+   report files. *)
+type state = {
+  mutable csv_dir : string option;
+  mutable current_slug : string;
+  mutable slug_counter : int;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { csv_dir = None; current_slug = "output"; slug_counter = 0 })
+
+let state () = Domain.DLS.get key
 
 let set_csv_dir d =
-  csv_dir := d;
+  (state ()).csv_dir <- d;
   match d with
   | Some dir -> ( try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
   | None -> ()
@@ -17,8 +29,9 @@ let slugify title =
     title
 
 let section title =
-  current_slug := slugify title;
-  slug_counter := 0;
+  let st = state () in
+  st.current_slug <- slugify title;
+  st.slug_counter <- 0;
   let line = String.make (String.length title + 4) '=' in
   Format.printf "@.%s@.= %s =@.%s@." line title line
 
@@ -34,13 +47,14 @@ let csv_escape cell =
   else cell
 
 let write_csv ~header rows =
-  match !csv_dir with
+  let st = state () in
+  match st.csv_dir with
   | None -> ()
   | Some dir ->
-      incr slug_counter;
+      st.slug_counter <- st.slug_counter + 1;
       let name =
-        if !slug_counter = 1 then !current_slug
-        else Printf.sprintf "%s_%d" !current_slug !slug_counter
+        if st.slug_counter = 1 then st.current_slug
+        else Printf.sprintf "%s_%d" st.current_slug st.slug_counter
       in
       let path = Filename.concat dir (name ^ ".csv") in
       let oc = open_out path in

@@ -14,54 +14,74 @@ let default_limit = 2_000_000
    deferred to the first push, like the engine heap. *)
 type store = { mutable arr : node array; mutable len : int }
 
-let store = { arr = [||]; len = 0 }
-let node_limit = ref default_limit
-let dropped_count = ref 0
+(* Recorder state is domain-local, matching the engine trace hook it
+   feeds on: attaching on one domain records the event DAG of that
+   domain's engines only, so parallel campaign workers never interleave
+   their traces. *)
+type state = {
+  store : store;
+  mutable node_limit : int;
+  mutable dropped_count : int;
+  (* (track, id) -> index into [store.arr]. Only point lookups — never
+     traversed, so determinism is not at the mercy of hash order. *)
+  index : (int * int, int) Hashtbl.t;
+  (* Engines seen so far, in first-seen order; list index = track id.
+     Compared physically: engines have no identity beyond themselves. *)
+  mutable engines : Sim.Engine.t list;
+  (* Span-boundary bindings: span id -> (event id, track) of the event
+     executing when the boundary was stamped. [-1] event ids (boundaries
+     stamped from harness code, outside dispatch) are recorded as
+     absent: there is no event to anchor to. *)
+  span_starts : (Telemetry.Span.id, int * int) Hashtbl.t;
+  span_finishes : (Telemetry.Span.id, int * int) Hashtbl.t;
+}
 
-(* (track, id) -> index into [store.arr]. Only point lookups — never
-   traversed, so determinism is not at the mercy of hash order. *)
-let index : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        store = { arr = [||]; len = 0 };
+        node_limit = default_limit;
+        dropped_count = 0;
+        index = Hashtbl.create 4096;
+        engines = [];
+        span_starts = Hashtbl.create 64;
+        span_finishes = Hashtbl.create 64;
+      })
 
-(* Engines seen so far, in first-seen order; list index = track id.
-   Compared physically: engines have no identity beyond themselves. *)
-let engines : Sim.Engine.t list ref = ref []
-let track_count () = List.length !engines
+let state () = Domain.DLS.get key
+
+let track_count () = List.length (state ()).engines
 
 let track_of_engine eng =
   let rec find i = function
     | [] -> None
     | e :: rest -> if e == eng then Some i else find (i + 1) rest
   in
-  find 0 !engines
+  find 0 (state ()).engines
 
 let register_track eng =
   match track_of_engine eng with
   | Some i -> i
   | None ->
-      let i = track_count () in
-      engines := !engines @ [ eng ];
+      let st = state () in
+      let i = List.length st.engines in
+      st.engines <- st.engines @ [ eng ];
       i
 
-(* Span-boundary bindings: span id -> (event id, track) of the event
-   executing when the boundary was stamped. [-1] event ids (boundaries
-   stamped from harness code, outside dispatch) are recorded as absent:
-   there is no event to anchor to. *)
-let span_starts : (Telemetry.Span.id, int * int) Hashtbl.t = Hashtbl.create 64
-let span_finishes : (Telemetry.Span.id, int * int) Hashtbl.t = Hashtbl.create 64
-
-let span_start_binding sid = Hashtbl.find_opt span_starts sid
-let span_finish_binding sid = Hashtbl.find_opt span_finishes sid
+let span_start_binding sid = Hashtbl.find_opt (state ()).span_starts sid
+let span_finish_binding sid = Hashtbl.find_opt (state ()).span_finishes sid
 
 let reset () =
-  store.arr <- [||];
-  store.len <- 0;
-  dropped_count := 0;
-  Hashtbl.reset index;
-  Hashtbl.reset span_starts;
-  Hashtbl.reset span_finishes;
-  engines := []
+  let st = state () in
+  st.store.arr <- [||];
+  st.store.len <- 0;
+  st.dropped_count <- 0;
+  Hashtbl.reset st.index;
+  Hashtbl.reset st.span_starts;
+  Hashtbl.reset st.span_finishes;
+  st.engines <- []
 
-let push n =
+let push store n =
   if store.len = Array.length store.arr then begin
     let cap = Array.length store.arr in
     let arr = Array.make (if cap = 0 then 1024 else 2 * cap) n in
@@ -72,11 +92,13 @@ let push n =
   store.len <- store.len + 1
 
 let on_dispatch ~eng ~id ~parent ~label ~sched_at ~exec_at =
-  if store.len >= !node_limit then incr dropped_count
+  let st = state () in
+  if st.store.len >= st.node_limit then
+    st.dropped_count <- st.dropped_count + 1
   else begin
     let track = register_track eng in
-    Hashtbl.replace index (track, id) store.len;
-    push { id; parent; track; label; sched_at; exec_at }
+    Hashtbl.replace st.index (track, id) st.store.len;
+    push st.store { id; parent; track; label; sched_at; exec_at }
   end
 
 let bind tbl sid eng =
@@ -85,15 +107,16 @@ let bind tbl sid eng =
 
 let span_hook =
   {
-    Telemetry.Span.on_start = (fun sid eng -> bind span_starts sid eng);
-    on_finish = (fun sid eng -> bind span_finishes sid eng);
+    Telemetry.Span.on_start =
+      (fun sid eng -> bind (state ()).span_starts sid eng);
+    on_finish = (fun sid eng -> bind (state ()).span_finishes sid eng);
   }
 
 let enabled () = Sim.Engine.tracing ()
 
 let attach ?(limit = default_limit) () =
   if limit <= 0 then invalid_arg "Recorder.attach: limit must be positive";
-  node_limit := limit;
+  (state ()).node_limit <- limit;
   Sim.Engine.set_trace_hook (Some on_dispatch);
   Telemetry.Span.set_hook (Some span_hook)
 
@@ -101,18 +124,22 @@ let detach () =
   Sim.Engine.set_trace_hook None;
   Telemetry.Span.set_hook None
 
-let node_count () = store.len
-let dropped () = !dropped_count
-let get i = store.arr.(i)
+let node_count () = (state ()).store.len
+let dropped () = (state ()).dropped_count
+let get i = (state ()).store.arr.(i)
 
 let find ~track ~id =
-  match Hashtbl.find_opt index (track, id) with
-  | Some i -> Some store.arr.(i)
+  let st = state () in
+  match Hashtbl.find_opt st.index (track, id) with
+  | Some i -> Some st.store.arr.(i)
   | None -> None
 
 let iter f =
+  let store = (state ()).store in
   for i = 0 to store.len - 1 do
     f store.arr.(i)
   done
 
-let nodes () = Array.init store.len (fun i -> store.arr.(i))
+let nodes () =
+  let store = (state ()).store in
+  Array.init store.len (fun i -> store.arr.(i))

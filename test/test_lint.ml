@@ -100,6 +100,51 @@ let test_d3_ints_quiet () =
   check_passes "integer equality is fine" []
     (lint ~file:"lib/sim/fixture.ml" "let eq (a : int) b = a = b\n")
 
+(* --- d4: top-level mutable state in domain-shared libraries ----------------- *)
+
+let test_d4_positive () =
+  check_passes "top-level ref" [ "d4" ]
+    (lint ~file:"lib/bgp/fixture.ml" "let counter = ref 0\n");
+  check_passes "top-level Hashtbl" [ "d4" ]
+    (lint ~file:"lib/telemetry/fixture.ml" "let tbl = Hashtbl.create 8\n");
+  check_passes "top-level functor-instance table" [ "d4" ]
+    (lint ~file:"lib/bgp/fixture.ml"
+       "module M = Hashtbl.Make (String)\nlet tbl = M.create 8\n");
+  check_passes "ref inside a top-level record" [ "d4" ]
+    (lint ~file:"lib/sim/fixture.ml"
+       "type s = { cell : int ref }\nlet st = { cell = ref 0 }\n");
+  check_passes "top-level binding inside a nested module" [ "d4" ]
+    (lint ~file:"lib/store/fixture.ml"
+       "module Inner = struct let q = Queue.create () end\n")
+
+let test_d4_function_local_quiet () =
+  check_passes "state built per call is per-run" []
+    (lint ~file:"lib/bgp/fixture.ml"
+       "let f () = let tbl = Hashtbl.create 8 in Hashtbl.length tbl\n")
+
+let test_d4_dls_key_quiet () =
+  (* The sanctioned shape: the constructor sits under the DLS init
+     lambda, so each domain mints its own copy. *)
+  check_passes "Domain.DLS.new_key init is per-domain" []
+    (lint ~file:"lib/telemetry/fixture.ml"
+       "let key = Domain.DLS.new_key (fun () -> ref 0)\n\
+        let get () = Domain.DLS.get key\n")
+
+let test_d4_out_of_scope_quiet () =
+  check_passes "bin/ executables are single-domain entry points" []
+    (lint ~file:"bin/fixture.ml" "let verbose = ref false\n");
+  check_passes "the linter itself never runs inside a campaign domain" []
+    (lint ~file:"lib/lint/fixture.ml" "let cache = Hashtbl.create 8\n")
+
+let test_d4_suppressed () =
+  let findings, suppressed =
+    lint ~file:"lib/monitor/fixture.ml"
+      "(* lint: allow d4 -- flags minted once at init, read-only after *)\n\
+       let registry : int list ref = ref []\n"
+  in
+  checki "reasoned suppression silences d4" 0 (List.length findings);
+  checki "one suppression honoured" 1 suppressed
+
 (* --- p1: wildcard FSM arms -------------------------------------------------- *)
 
 let fsm_fixture arm =
@@ -346,6 +391,16 @@ let () =
         [
           Alcotest.test_case "positive" `Quick test_d3_positive;
           Alcotest.test_case "ints quiet" `Quick test_d3_ints_quiet;
+        ] );
+      ( "d4",
+        [
+          Alcotest.test_case "positive" `Quick test_d4_positive;
+          Alcotest.test_case "function-local quiet" `Quick
+            test_d4_function_local_quiet;
+          Alcotest.test_case "DLS key quiet" `Quick test_d4_dls_key_quiet;
+          Alcotest.test_case "out of scope quiet" `Quick
+            test_d4_out_of_scope_quiet;
+          Alcotest.test_case "suppressed" `Quick test_d4_suppressed;
         ] );
       ( "p1",
         [
