@@ -1,28 +1,40 @@
 (* tensor-lint: the repo's determinism & protocol-safety linter.
 
      tensor-lint                         # lint lib/ bin/ bench/ examples/
+     tensor-lint --jobs 4                # fan the per-file scan over domains
      tensor-lint --json lib/bgp          # machine-readable report
      tensor-lint --baseline FILE PATHS   # fail only on NEW findings
      tensor-lint --update-baseline FILE  # rewrite the baseline from HEAD
+     tensor-lint --github                # ::error/::warning annotations too
      tensor-lint --list-passes           # pass catalogue
+     tensor-lint --explain h1            # rationale, example, suppression
 
    Exit status: 0 clean, 1 new findings, 2 usage or I/O error. *)
 
 let default_paths = [ "lib"; "bin"; "bench"; "examples" ]
 
 let usage =
-  "tensor-lint [--json] [--baseline FILE] [--update-baseline FILE] \
-   [--list-passes] [PATHS...]"
+  "tensor-lint [--jobs N] [--json] [--github] [--baseline FILE] \
+   [--update-baseline FILE] [--list-passes] [--explain PASS] [PATHS...]"
 
 let () =
   let json = ref false in
+  let github = ref false in
+  let jobs = ref 1 in
   let baseline = ref None in
   let update_baseline = ref None in
   let list_passes = ref false in
+  let explain = ref None in
   let paths = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " Emit a JSON report on stdout");
+      ( "--github",
+        Arg.Set github,
+        " Also emit GitHub ::error/::warning annotations for new findings" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N Scan files on N domains (deterministic merge; default 1)" );
       ( "--baseline",
         Arg.String (fun f -> baseline := Some f),
         "FILE Fail only on findings absent from FILE" );
@@ -30,6 +42,10 @@ let () =
         Arg.String (fun f -> update_baseline := Some f),
         "FILE Write the current findings to FILE and exit 0" );
       ("--list-passes", Arg.Set list_passes, " Print the pass catalogue");
+      ( "--explain",
+        Arg.String (fun p -> explain := Some p),
+        "PASS Print the pass's rationale, a minimal example and the \
+         suppression grammar" );
     ]
   in
   (try Arg.parse_argv Sys.argv spec (fun p -> paths := p :: !paths) usage
@@ -40,12 +56,24 @@ let () =
   | Arg.Help msg ->
       print_string msg;
       exit 0);
+  (match !explain with
+  | Some name -> (
+      match Lint.Driver.explain name with
+      | Some text ->
+          print_endline text;
+          exit 0
+      | None ->
+          Printf.eprintf "tensor-lint: unknown pass %S; try --list-passes\n"
+            name;
+          exit 2)
+  | None -> ());
   if !list_passes then begin
     List.iter
       (fun (p : Lint.Pass.t) ->
-        Printf.printf "%-4s %-7s %s\n" p.name
+        Printf.printf "%-4s %-7s %s%s\n" p.name
           (Lint.Finding.severity_to_string p.severity)
-          p.doc)
+          p.doc
+          (if p.graph_check <> None then " [call-graph]" else ""))
       Lint.Driver.passes;
     Printf.printf "%-4s %-7s %s\n" Lint.Suppress.meta_pass "error"
       "meta: malformed, reasonless, unknown-pass or unused suppressions";
@@ -60,7 +88,7 @@ let () =
       Printf.eprintf "tensor-lint: no such path: %s\n"
         (String.concat ", " missing);
       exit 2);
-  let report = Lint.Driver.run ~paths in
+  let report = Lint.Driver.run ~jobs:!jobs ~paths () in
   let new_findings =
     match !baseline with
     | None -> report.findings
@@ -85,4 +113,6 @@ let () =
   print_endline
     (if !json then Lint.Driver.to_json report ~new_findings
      else Lint.Driver.to_text report ~new_findings);
+  if !github && new_findings <> [] then
+    print_endline (Lint.Driver.to_github ~new_findings);
   exit (if new_findings = [] then 0 else 1)

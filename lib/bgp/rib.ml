@@ -35,6 +35,11 @@ let neighbor_as p =
   | Attrs.Seq (asn :: _) :: _ -> Some asn
   | _ -> None
 
+(* Top-level, not local to [better]: these run once per path comparison
+   inside every best-path fold. *)
+let med_of p = match p.attrs.Attrs.med with Some m -> m | None -> 0
+let ebgp_rank p = if p.source.ebgp then 0 else 1
+
 (* RFC 4271 §9.1.2.2, as a strict "a preferred over b" relation. *)
 let better a b =
   let cmp =
@@ -58,13 +63,11 @@ let better a b =
                neighbouring AS; missing MED is best (0). *)
             match (neighbor_as a, neighbor_as b) with
             | Some na, Some nb when na = nb ->
-                let med p = match p.attrs.Attrs.med with Some m -> m | None -> 0 in
-                Int.compare (med a) (med b)
+                Int.compare (med_of a) (med_of b)
             | _ -> 0
           in
           if med_cmp <> 0 then med_cmp
           else
-            let ebgp_rank p = if p.source.ebgp then 0 else 1 in
             let c = Int.compare (ebgp_rank a) (ebgp_rank b) in
             if c <> 0 then c
             else
@@ -112,12 +115,22 @@ let recompute t prefix entry =
         Telemetry.Registry.incr m_rib_withdrawals;
         Some (Best_withdrawn prefix)
 
+(* Remove the paths held by [key], sharing the unchanged suffix and
+   returning the input list itself when the key is absent — the common
+   case for a fresh announcement, where [List.filter] would have built
+   a closure and copied the whole list for nothing (h1 budget). *)
+let rec remove_key key = function
+  | [] -> []
+  | p :: rest as l ->
+      if String.equal p.source.key key then remove_key key rest
+      else
+        let rest' = remove_key key rest in
+        if rest' == rest then l else p :: rest'
+
 let update t source prefix attrs =
   let entry = entry_of t prefix in
-  let had = List.exists (fun p -> String.equal p.source.key source.key) entry.paths in
-  let without =
-    List.filter (fun p -> not (String.equal p.source.key source.key)) entry.paths
-  in
+  let without = remove_key source.key entry.paths in
+  let had = without != entry.paths in
   (match attrs with
   | Some attrs ->
       entry.paths <- { source; attrs; stale = false } :: without;

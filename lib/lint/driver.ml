@@ -4,8 +4,11 @@ let passes =
     Pass_d2.pass;
     Pass_d3.pass;
     Pass_d4.pass;
+    Pass_d5.pass;
+    Pass_h1.pass;
     Pass_p1.pass;
     Pass_p2.pass;
+    Pass_p3.pass;
   ]
 
 let known_passes =
@@ -18,23 +21,94 @@ let parse_finding ~file ~loc msg =
     ~col:(max 0 (p.Lexing.pos_cnum - p.Lexing.pos_bol))
     msg
 
+(* compiler-libs lexing/parsing touches shared global state
+   (Docstrings, Location input tracking), so the parse step is the one
+   serialized section of the parallel scan; the per-file passes and
+   suppression scanning run truly concurrently. *)
+let parse_mutex = Mutex.create ()
+
+let parse_file ~file source =
+  Mutex.protect parse_mutex (fun () ->
+      let lexbuf = Lexing.from_string source in
+      Lexing.set_filename lexbuf file;
+      match Parse.implementation lexbuf with
+      | exception Syntaxerr.Error e ->
+          Error
+            (parse_finding ~file ~loc:(Syntaxerr.location_of_error e)
+               "syntax error")
+      | exception Lexer.Error (_, loc) ->
+          Error (parse_finding ~file ~loc "lexer error")
+      | exception _ ->
+          Error (parse_finding ~file ~loc:Location.none "unparseable source")
+      | str -> Ok str)
+
+let file_passes ~file str =
+  let ctx = { Pass.file } in
+  List.concat_map (fun p -> p.Pass.check ctx str) passes
+
+let graph_passes graph =
+  List.concat_map
+    (fun p ->
+      match p.Pass.graph_check with None -> [] | Some f -> f graph)
+    passes
+
+(* The per-file stage's output: everything later stages need, so a
+   worker domain never re-reads or re-parses. *)
+type scanned = {
+  s_file : string;
+  s_structure : Parsetree.structure option;  (* None: did not parse *)
+  s_findings : Finding.t list;  (* per-file pass or parse findings *)
+  s_directives : Suppress.directive list;
+}
+
+let scan_source ~file source =
+  match parse_file ~file source with
+  | Error f ->
+      {
+        s_file = file;
+        s_structure = None;
+        s_findings = [ f ];
+        s_directives = [];
+      }
+  | Ok str ->
+      {
+        s_file = file;
+        s_structure = Some str;
+        s_findings = file_passes ~file str;
+        s_directives = Suppress.scan source;
+      }
+
+(* Repo passes over the call graph, then per-file suppression over the
+   union of both stages' findings. Shared by [run] and [lint_source]
+   so a single-file fixture exercises the interprocedural passes too
+   (its file path decides which manifest roots it can match). *)
+let finalize scanned =
+  let graph =
+    Callgraph.build
+      (List.filter_map
+         (fun s ->
+           Option.map (fun str -> (s.s_file, str)) s.s_structure)
+         scanned)
+  in
+  let repo_findings = graph_passes graph in
+  let for_file file =
+    List.filter
+      (fun (f : Finding.t) ->
+        String.equal (Pass.normalize f.file) (Pass.normalize file))
+      repo_findings
+  in
+  List.fold_left
+    (fun (fs, n) s ->
+      let found, suppressed =
+        Suppress.apply ~file:s.s_file ~known_passes s.s_directives
+          (s.s_findings @ for_file s.s_file)
+      in
+      (found :: fs, n + suppressed))
+    ([], 0) scanned
+
 let lint_source ~file source =
-  let lexbuf = Lexing.from_string source in
-  Lexing.set_filename lexbuf file;
-  match Parse.implementation lexbuf with
-  | exception Syntaxerr.Error e ->
-      ( [ parse_finding ~file ~loc:(Syntaxerr.location_of_error e)
-            "syntax error" ],
-        0 )
-  | exception Lexer.Error (_, loc) ->
-      ([ parse_finding ~file ~loc "lexer error" ], 0)
-  | exception _ ->
-      ([ parse_finding ~file ~loc:Location.none "unparseable source" ], 0)
-  | str ->
-      let ctx = { Pass.file } in
-      let raw = List.concat_map (fun p -> p.Pass.check ctx str) passes in
-      let directives = Suppress.scan source in
-      Suppress.apply ~file ~known_passes directives raw
+  let findings, suppressed = finalize [ scan_source ~file source ] in
+  (List.sort Finding.compare (List.concat findings), suppressed)
 
 let rec files_under path =
   if not (Sys.file_exists path) then []
@@ -58,18 +132,20 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run ~paths =
-  let files = List.concat_map files_under paths in
-  let findings, suppressed =
-    List.fold_left
-      (fun (fs, n) file ->
-        let found, suppressed = lint_source ~file (read_file file) in
-        (found :: fs, n + suppressed))
-      ([], 0) files
+let run ?(jobs = 1) ~paths () =
+  let files = Array.of_list (List.concat_map files_under paths) in
+  (* Per-file scans fan out over the domain pool; results come back in
+     index order (= the sorted directory walk), so findings, baseline
+     diffs and reports are byte-identical for every --jobs value. *)
+  let scanned, _stats =
+    Par.Pool.run ~jobs (Array.length files) (fun i ->
+        let file = files.(i) in
+        scan_source ~file (read_file file))
   in
+  let findings, suppressed = finalize (Array.to_list scanned) in
   {
     findings = List.sort Finding.compare (List.concat findings);
-    files = List.length files;
+    files = Array.length files;
     suppressed;
   }
 
@@ -126,3 +202,71 @@ let to_json report ~new_findings =
     report.suppressed
     (String.concat "," (List.map finding_json report.findings))
     (String.concat "," (List.map finding_json new_findings))
+
+(* GitHub workflow-command annotations for the NEW findings: one
+   ::error/::warning line each, so a CI failure lands on the offending
+   line of the diff view. Properties take %/CR/LF escapes; the message
+   additionally strips commas-in-properties concerns by keeping file
+   in properties and everything else in the free-form message. *)
+let github_escape ~property s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | ',' when property -> Buffer.add_string b "%2C"
+      | ':' when property -> Buffer.add_string b "%3A"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_github ~new_findings =
+  String.concat "\n"
+    (List.map
+       (fun (f : Finding.t) ->
+         Printf.sprintf "::%s file=%s,line=%d,col=%d,title=tensor-lint %s::%s"
+           (match f.severity with
+           | Finding.Error -> "error"
+           | Finding.Warning -> "warning")
+           (github_escape ~property:true f.file)
+           f.line (f.col + 1)
+           (github_escape ~property:true f.pass)
+           (github_escape ~property:false f.message))
+       new_findings)
+
+(* --- --explain ----------------------------------------------------------- *)
+
+(* Assembled at runtime so this literal never looks like a directive
+   to the suppression scanner. *)
+let suppression_grammar =
+  String.concat ""
+    [
+      "Suppression grammar: a comment on the finding's line (or the \
+       line above) of the form\n";
+      "    (* lint";
+      ": allow <pass>[,<pass>...] \xe2\x80\x94 reason *)\n";
+      "The reason is mandatory (an ASCII \"--\" separator also works); \
+       reasonless, unknown-pass and unused suppressions are themselves \
+       errors under the \"suppress\" meta pass.";
+    ]
+
+let explain name =
+  match List.find_opt (fun p -> String.equal p.Pass.name name) passes with
+  | None -> None
+  | Some p ->
+      Some
+        (String.concat "\n"
+           [
+             Printf.sprintf "%s (%s) — %s" p.Pass.name
+               (Finding.severity_to_string p.Pass.severity)
+               p.Pass.doc;
+             "";
+             "Why: " ^ p.Pass.rationale;
+             "";
+             "Minimal example that trips it:";
+             "    " ^ p.Pass.example;
+             "";
+             suppression_grammar;
+           ])

@@ -24,7 +24,12 @@ type report = {
   suppressed : int;
 }
 
-val run : paths:string list -> report
+val run : ?jobs:int -> paths:string list -> unit -> report
+(** Scan every file under [paths]. [jobs > 1] fans the per-file stage
+    (read, parse, per-file passes, suppression scan) out over a
+    [Par.Pool] of domains — results merge in sorted-file order, so the
+    report is byte-identical for every [jobs] value. The call-graph
+    passes then run once on the calling domain. *)
 
 val to_text : report -> new_findings:Finding.t list -> string
 (** Human report: one line per finding plus a summary tail. *)
@@ -32,3 +37,12 @@ val to_text : report -> new_findings:Finding.t list -> string
 val to_json : report -> new_findings:Finding.t list -> string
 (** Machine report; parses with [Monitor.Json] and doubles as a
     baseline file. *)
+
+val to_github : new_findings:Finding.t list -> string
+(** GitHub workflow-command annotations ([::error file=..,line=..::msg])
+    for the new findings, one per line; empty string when clean. *)
+
+val explain : string -> string option
+(** [explain pass_name] renders the pass's doc, rationale, minimal
+    positive example and the suppression grammar; [None] for unknown
+    names. *)

@@ -4,8 +4,21 @@ type t = {
   name : string;
   severity : Finding.severity;
   doc : string;
+  rationale : string;  (* the why, printed by `tensor-lint --explain` *)
+  example : string;  (* minimal source that trips the pass *)
   check : ctx -> Parsetree.structure -> Finding.t list;
+  graph_check : (Callgraph.t -> Finding.t list) option;
+      (* interprocedural passes run once over the repo call graph,
+         after the per-file stage, on the calling domain *)
 }
+
+let graph_finding pass ~file ~loc fmt =
+  let p = loc.Location.loc_start in
+  Printf.ksprintf
+    (Finding.v ~pass:pass.name ~severity:pass.severity ~file
+       ~line:p.Lexing.pos_lnum
+       ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol))
+    fmt
 
 let finding ctx ~pass ~loc fmt =
   let p = loc.Location.loc_start in

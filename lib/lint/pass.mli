@@ -6,12 +6,24 @@ type t = {
   name : string;  (** short id used in suppressions, e.g. ["d1"] *)
   severity : Finding.severity;
   doc : string;  (** one-line description for [--list-passes] and docs *)
+  rationale : string;  (** the why, printed by [tensor-lint --explain] *)
+  example : string;  (** minimal source that trips the pass *)
   check : ctx -> Parsetree.structure -> Finding.t list;
+  graph_check : (Callgraph.t -> Finding.t list) option;
+      (** interprocedural passes run once over the repo call graph *)
 }
 
 val finding :
   ctx -> pass:t -> loc:Location.t -> ('a, unit, string, Finding.t) format4 -> 'a
 (** Build a finding at [loc]'s start position. *)
+
+val graph_finding :
+  t -> file:string -> loc:Location.t -> ('a, unit, string, Finding.t) format4 -> 'a
+(** [finding] for graph passes, which roam across files and carry no
+    per-file [ctx]. *)
+
+val normalize : string -> string
+(** '/'-separate and strip a leading ["./"]. *)
 
 val last : Longident.t -> string
 (** Last component of a dotted path ([Hashtbl.iter] -> ["iter"]). *)

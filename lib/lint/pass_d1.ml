@@ -19,7 +19,16 @@ let rec pass =
     doc =
       "unordered Hashtbl iteration (use Sim.Det sorted traversals so \
        digests, snapshots and telemetry are replay-stable)";
+    rationale =
+      "Hashtbl.iter/fold visit keys in hash-bucket order, which depends \
+       on insertion history and the per-process hash seed. Any digest, \
+       snapshot or telemetry line fed from such a traversal differs \
+       between two runs of the same descriptor, breaking replay \
+       equality. Sim.Det.bindings is the one blessed collect-then-sort \
+       point.";
+    example = "let dump tbl = Hashtbl.iter emit tbl";
     check;
+    graph_check = None;
   }
 
 and check ctx str =

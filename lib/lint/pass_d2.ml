@@ -21,7 +21,15 @@ let rec pass =
     doc =
       "ambient nondeterminism: Random outside Sim.Rng, wall-clock reads, \
        Digest of mutable data, Marshal";
+    rationale =
+      "A descriptor plus a seed must reproduce a byte-identical run. \
+       Ambient entropy — the global Random state, wall-clock reads, \
+       digests over mutable buffers, Marshal's representation-dependent \
+       bytes — silently breaks that contract. All simulation randomness \
+       comes from the run's seeded Sim.Rng.";
+    example = "let jitter () = Random.int 100";
     check;
+    graph_check = None;
   }
 
 and check ctx str =

@@ -30,7 +30,14 @@ let rec pass =
     Pass.name = "d3";
     severity = Finding.Warning;
     doc = "float equality in sim arithmetic (tolerance or Float.is_nan)";
+    rationale =
+      "x = y on floats is true or false depending on rounding of the \
+       exact computation path, so refactoring arithmetic (or enabling \
+       FMA) flips branches. Compare against a tolerance, or use \
+       Float.is_nan / compare for the intent being expressed.";
+    example = "let converged a b = a = b (* both float *)";
     check;
+    graph_check = None;
   }
 
 and check ctx str =

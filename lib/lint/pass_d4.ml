@@ -53,7 +53,15 @@ let rec pass =
     doc =
       "top-level mutable state in domain-shared libraries (make it per-run \
        or Domain.DLS so parallel campaigns stay isolated)";
+    rationale =
+      "Par.Pool runs tasks on OCaml 5 domains in the same process: a \
+       top-level ref or mutable record is shared by every domain, so \
+       two concurrent chaos runs race on it and --jobs N output \
+       diverges from --jobs 1. Per-run state must live in the run's own \
+       records or in Domain.DLS.";
+    example = "let next_id = ref 0";
     check;
+    graph_check = None;
   }
 
 and check ctx str =

@@ -1,0 +1,92 @@
+(* d5 — digest purity (interprocedural, error severity).
+
+   d2 flags ambient-nondeterminism sites file by file; d5 closes the
+   remaining gap: a d2 source that is REACHABLE from a digest-feeding
+   function (Hot_roots.digest_feeding — the RIB digest, the session
+   snapshot digests, the chaos run digest) breaks byte-identical
+   replay even if its own file carries a perfectly argued d2
+   suppression. The walk is unbounded: three calls of indirection do
+   not launder entropy out of a digest.
+
+   The message carries the shortest call chain from the root to the
+   offending function, so a CI failure reads as the repair plan:
+   either cut the edge or derive the value from the run's seeded
+   Sim.Rng. *)
+
+open Parsetree
+
+let unix_time_fns = [ "gettimeofday"; "time"; "gmtime"; "localtime"; "times" ]
+let digest_mutable = [ "bytes"; "subbytes"; "channel"; "file"; "input" ]
+let rng_file = "lib/sim/rng.ml"
+
+let rec pass =
+  {
+    Pass.name = "d5";
+    severity = Finding.Error;
+    doc =
+      "nondeterminism source reachable from a digest-feeding function \
+       (call-graph closure over the d2 source set)";
+    rationale =
+      "Replay digests are the repo's equality oracle: corpus entries, \
+       --jobs equivalence and store-fault regressions all compare \
+       them byte for byte. A wall-clock read or global Random draw \
+       anywhere in the transitive callee set of a digest-feeding \
+       function makes two runs of the same descriptor hash \
+       differently — even when the offending file suppressed d2 for \
+       its own, local reasons. The digest-feeding roots live in \
+       Hot_roots.digest_feeding.";
+    example =
+      "let digest t = fnv (salt ()) t  (* where salt () = Random.bits () *)";
+    check = (fun _ _ -> []);
+    graph_check = Some check_graph;
+  }
+
+and check_graph g =
+  let roots = Hot_roots.as_roots Hot_roots.digest_feeding in
+  let reach = Callgraph.reachable g ~roots () in
+  List.concat_map
+    (fun (r : Callgraph.reach) ->
+      match Callgraph.find g ~file:r.r_file ~name:r.r_name with
+      | Some d
+        when not
+               (String.equal (Callgraph.normalize d.Callgraph.d_file) rng_file
+               || String.ends_with ~suffix:("/" ^ rng_file)
+                    (Callgraph.normalize d.Callgraph.d_file)) ->
+          scan ~file:d.Callgraph.d_file ~via:r.r_via ~chain:r.r_chain
+            d.Callgraph.d_body
+      | _ -> [])
+    reach
+
+and scan ~file ~via ~chain body =
+  let findings = ref [] in
+  let hit loc src =
+    findings :=
+      Pass.graph_finding pass ~file ~loc
+        "%s reaches %s (%s): derive the value from the run's seeded \
+         Sim.Rng or cut the call"
+        via src
+        (String.concat " -> " chain)
+      :: !findings
+  in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+        match Callgraph.flatten txt with
+        | "Random" :: _ ->
+            hit loc
+              (Printf.sprintf "ambient randomness (%s)"
+                 (String.concat "." (Callgraph.flatten txt)))
+        | [ "Sys"; "time" ] -> hit loc "a wall-clock read (Sys.time)"
+        | [ "Unix"; fn ] when List.mem fn unix_time_fns ->
+            hit loc (Printf.sprintf "a wall-clock read (Unix.%s)" fn)
+        | [ "Digest"; fn ] when List.mem fn digest_mutable ->
+            hit loc (Printf.sprintf "Digest.%s over mutable/IO input" fn)
+        | "Marshal" :: _ ->
+            hit loc "Marshal (representation-dependent bytes)"
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  List.rev !findings

@@ -126,7 +126,16 @@ let rec pass =
     doc =
       "wildcard arm hides protocol FSM states; list the states so new \
        ones cannot be silently swallowed";
+    rationale =
+      "A `_ ->` arm over a protocol FSM type keeps compiling when a new \
+       state constructor is added, silently routing the new state \
+       through whatever the wildcard did — the BGP/BFD/TCP bugs this \
+       repo exists to avoid. Listing the constructors turns the next \
+       added state into a compile error at every decision point. The \
+       manifest of FSM types lives in pass_p1.ml.";
+    example = "match session.state with Established -> act () | _ -> ()";
     check;
+    graph_check = None;
   }
 
 and check ctx str =

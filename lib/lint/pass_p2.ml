@@ -25,7 +25,15 @@ let rec pass =
     doc =
       "failwith / assert false / Obj.magic in protocol hot paths must \
        carry a suppression explaining why it cannot fire";
+    rationale =
+      "A panic in a protocol handler tears down the whole simulated \
+       instance — the opposite of non-stop routing. Inside the \
+       protocol directories every failwith/assert false/Obj.magic \
+       must either be refactored into a total function or carry a \
+       suppression whose reason argues why the case is unreachable.";
+    example = "let flags_of = function 0 -> [] | _ -> failwith \"flags\"";
     check;
+    graph_check = None;
   }
 
 and check ctx str =

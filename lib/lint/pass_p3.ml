@@ -1,0 +1,98 @@
+(* p3 — interprocedural panic budget (error severity).
+
+   p2 polices failwith/assert false/Obj.magic inside the protocol
+   directories, one file at a time. p3 extends the budget along the
+   call graph from the hot-root manifest: a helper OUTSIDE those
+   directories that a protocol hot path calls can still tear the
+   instance down, and so can a partial stdlib function (List.hd,
+   Option.get, Hashtbl.find ...) anywhere in the reachable set —
+   Not_found from three calls deep is still a dead speaker.
+
+   Panic primitives are only reported for files p2 does NOT already
+   own, so one site is never double-reported (and never needs two
+   suppressions). Partial stdlib functions are p3's alone and are
+   reported wherever they are reachable. *)
+
+open Parsetree
+
+let partial_fns =
+  [
+    ([ "List"; "hd" ], "List.hd");
+    ([ "List"; "tl" ], "List.tl");
+    ([ "List"; "nth" ], "List.nth");
+    ([ "List"; "find" ], "List.find");
+    ([ "List"; "assoc" ], "List.assoc");
+    ([ "Option"; "get" ], "Option.get");
+    ([ "Hashtbl"; "find" ], "Hashtbl.find");
+  ]
+
+let rec pass =
+  {
+    Pass.name = "p3";
+    severity = Finding.Error;
+    doc =
+      "panic or partial stdlib function reachable from a protocol hot \
+       path (call-graph extension of p2 beyond its directory horizon)";
+    rationale =
+      "Non-stop routing means the speaker survives its own edge cases. \
+       p2 already bans panic primitives inside the protocol \
+       directories; p3 walks the call graph from the \
+       Hot_roots.hot_paths manifest so a failwith hiding in a shared \
+       helper — or a List.hd/Option.get/Hashtbl.find that raises on \
+       the input nobody tested — is caught no matter which file it \
+       lives in. Refactor to a total function (find_opt + explicit \
+       handling) or argue unreachability in a suppression.";
+    example = "let route t k = Hashtbl.find t.table k (* via rx path *)";
+    check = (fun _ _ -> []);
+    graph_check = Some check_graph;
+  }
+
+and check_graph g =
+  let roots = Hot_roots.as_roots Hot_roots.hot_paths in
+  let reach = Callgraph.reachable g ~roots () in
+  List.concat_map
+    (fun (r : Callgraph.reach) ->
+      match Callgraph.find g ~file:r.r_file ~name:r.r_name with
+      | None -> []
+      | Some d ->
+          let p2_owns =
+            Pass.file_in_dirs
+              { Pass.file = d.Callgraph.d_file }
+              Pass_p2.hot_dirs
+          in
+          scan ~file:d.Callgraph.d_file ~p2_owns ~via:r.r_via
+            ~chain:r.r_chain d.Callgraph.d_body)
+    reach
+
+and scan ~file ~p2_owns ~via ~chain body =
+  let findings = ref [] in
+  let hit loc what =
+    findings :=
+      Pass.graph_finding pass ~file ~loc
+        "%s reachable from hot path (via %s: %s); make it total or argue \
+         unreachability in a suppression"
+        what via
+        (String.concat " -> " chain)
+      :: !findings
+  in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+        let path = Callgraph.flatten txt in
+        match List.find_opt (fun (p, _) -> p = path) partial_fns with
+        | Some (_, name) -> hit loc (name ^ " (partial)")
+        | None ->
+            if not p2_owns then
+              match path with
+              | [ "failwith" ] -> hit loc "failwith"
+              | "Obj" :: [ "magic" ] -> hit loc "Obj.magic"
+              | _ -> ())
+    | Pexp_assert { pexp_desc = Pexp_construct ({ txt; _ }, None); _ }
+      when (not p2_owns) && Callgraph.flatten txt = [ "false" ] ->
+        hit e.pexp_loc "assert false"
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  List.rev !findings

@@ -101,14 +101,14 @@ let rec apply t rules pkt ~emit =
               t.n_queued <- t.n_queued + 1;
               Telemetry.Registry.incr m_queued;
               q.pending <- q.pending + 1;
-              Telemetry.Registry.set m_depth (float_of_int q.pending);
-              Telemetry.Registry.set_max m_depth_peak (float_of_int q.pending);
+              Telemetry.Registry.set_int m_depth q.pending;
+              Telemetry.Registry.set_max_int m_depth_peak q.pending;
               let decided = ref false in
               let reinject verdict =
                 if not !decided then begin
                   decided := true;
                   q.pending <- q.pending - 1;
-                  Telemetry.Registry.set m_depth (float_of_int q.pending);
+                  Telemetry.Registry.set_int m_depth q.pending;
                   match verdict with
                   | Accept | Queue _ ->
                       t.n_accepted <- t.n_accepted + 1;

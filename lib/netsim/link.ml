@@ -25,7 +25,11 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
-  mutable last_delivery : Time.t option;
+  (* Split flag + instant rather than [Time.t option]: the delivery
+     event fires once per packet and a [Some] store there allocated on
+     every delivery (h1 hot-path allocation budget). *)
+  mutable has_delivered : bool;
+  mutable last_delivery_at : Time.t;
 }
 
 (* Default-name counter, domain-local so two domains creating unnamed
@@ -56,7 +60,8 @@ let create eng ?(delay = Time.us 50) ?(bandwidth_bps = 100_000_000_000)
     delivered = 0;
     dropped = 0;
     bytes = 0;
-    last_delivery = None;
+    has_delivered = false;
+    last_delivery_at = Time.zero;
   }
 
 let name t = t.lname
@@ -89,11 +94,17 @@ let transmit t ~from pkt =
            if t.up && t.epoch = epoch then begin
              t.delivered <- t.delivered + 1;
              t.bytes <- t.bytes + pkt.Packet.size;
-             t.last_delivery <- Some (Engine.now t.eng);
+             t.has_delivered <- true;
+             t.last_delivery_at <- Engine.now t.eng;
              (match (endpoint t dst_side).deliver with
              | Some f -> f pkt
              | None -> ());
-             List.iter (fun tap -> tap dst_side pkt) t.taps
+             (* Taps are a debug feature and almost always absent; the
+                empty-list guard keeps the per-delivery path from
+                building an iteration closure for nobody. *)
+             (match t.taps with
+             | [] -> ()
+             | taps -> List.iter (fun tap -> tap dst_side pkt) taps)
            end
            else t.dropped <- t.dropped + 1))
   end
@@ -123,4 +134,4 @@ let tx_packets t = t.tx
 let delivered_packets t = t.delivered
 let dropped_packets t = t.dropped
 let delivered_bytes t = t.bytes
-let last_delivery t = t.last_delivery
+let last_delivery t = if t.has_delivered then Some t.last_delivery_at else None

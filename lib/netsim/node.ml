@@ -42,7 +42,14 @@ let remove_address t a =
   t.addrs <- List.filter (fun x -> not (Addr.equal x a)) t.addrs
 let addresses t = t.addrs
 let ifaces t = t.ifs
-let has_address t a = List.exists (Addr.equal a) t.addrs
+(* Hand-rolled and top-level: [List.exists (Addr.equal a)] builds a
+   closure per call, and this runs once per packet on both the emit and
+   rx paths (h1 hot-path allocation budget). *)
+let rec addr_mem a = function
+  | [] -> false
+  | x :: rest -> Addr.equal a x || addr_mem a rest
+
+let has_address t a = addr_mem a t.addrs
 
 let add_route t prefix gateway =
   (* Keep routes sorted by decreasing length: lookup is then first-match. *)
@@ -53,24 +60,31 @@ let add_route t prefix gateway =
 
 let add_handler t f = t.handlers <- t.handlers @ [ f ]
 
-let deliver_local t pkt =
-  let rec offer = function
-    | [] -> t.unclaimed <- t.unclaimed + 1
-    | h :: rest -> if not (h pkt) then offer rest
-  in
-  offer t.handlers
+let rec offer t pkt = function
+  | [] -> t.unclaimed <- t.unclaimed + 1
+  | h :: rest -> if not (h pkt) then offer t pkt rest
+
+let deliver_local t pkt = offer t pkt t.handlers
+
+(* Same closure-free treatment as [addr_mem]: these three lookups ran
+   one [find_opt] closure each per forwarded packet. *)
+let rec iface_to a = function
+  | [] -> None
+  | i :: rest -> if Addr.equal i.remote a then Some i else iface_to a rest
+
+let rec route_gw dst = function
+  | [] -> None
+  | (p, gw) :: rest ->
+      if Addr.contains p dst then Some gw else route_gw dst rest
 
 let iface_for t dst =
-  let direct = List.find_opt (fun i -> Addr.equal i.remote dst) t.ifs in
-  match direct with
+  match iface_to dst t.ifs with
   | Some _ as found -> found
   | None -> (
       (* Longest prefix first thanks to the sorted insert. *)
-      match
-        List.find_opt (fun (p, _) -> Addr.contains p dst) t.routes
-      with
+      match route_gw dst t.routes with
       | None -> None
-      | Some (_, gw) -> List.find_opt (fun i -> Addr.equal i.remote gw) t.ifs)
+      | Some gw -> iface_to gw t.ifs)
 
 let rec emit t pkt =
   if not t.up then ()

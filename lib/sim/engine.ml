@@ -86,31 +86,28 @@ module Heap = struct
       else continue := false
     done
 
+  (* Precondition: [h.size > 0] — callers branch on [size] themselves
+     so the dispatch loop never allocates a [Some] per event. *)
   let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.arr.(0) in
-      h.size <- h.size - 1;
-      h.arr.(0) <- h.arr.(h.size);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.size && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.arr.(!smallest) in
-          h.arr.(!smallest) <- h.arr.(!i);
-          h.arr.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some top
-    end
-
-  let peek h = if h.size = 0 then None else Some h.arr.(0)
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    h.arr.(0) <- h.arr.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+      if r < h.size && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.arr.(!smallest) in
+        h.arr.(!smallest) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
 end
 
 let create ?(seed = 42) () =
@@ -215,12 +212,13 @@ let exec t e =
 let step t =
   match t.heap with
   | None -> false
-  | Some h -> (
-      match Heap.pop h with
-      | None -> false
-      | Some e ->
-          if not e.cancelled then exec t e;
-          true)
+  | Some h ->
+      if h.size = 0 then false
+      else begin
+        let e = Heap.pop h in
+        if not e.cancelled then exec t e;
+        true
+      end
 
 let run t = while step t do () done
 
@@ -229,10 +227,11 @@ let run_until t limit =
   while !continue do
     match t.heap with
     | None -> continue := false
-    | Some h -> (
-        match Heap.peek h with
-        | Some e when e.time <= limit -> ignore (step t)
-        | Some _ | None -> continue := false)
+    | Some h ->
+        (* Peek inline: an option-returning peek would allocate a [Some]
+           per loop iteration, once per event under [run_until]. *)
+        if h.size > 0 && h.arr.(0).time <= limit then ignore (step t)
+        else continue := false
   done;
   if limit > t.clock then t.clock <- limit
 

@@ -357,7 +357,13 @@ let deliver c data =
   c.data_cb data
 
 let rec drain_ooo c =
-  c.ooo <- List.filter (fun (s, d) -> s + String.length d > c.rcv_nxt_v) c.ooo;
+  (* In-order traffic keeps [ooo] empty; skip the filter then so the
+     per-segment rx path doesn't allocate its closure for nothing. *)
+  (match c.ooo with
+  | [] -> ()
+  | _ ->
+      c.ooo <-
+        List.filter (fun (s, d) -> s + String.length d > c.rcv_nxt_v) c.ooo);
   match c.ooo with
   | (s, d) :: rest when s <= c.rcv_nxt_v ->
       let off = c.rcv_nxt_v - s in
@@ -385,12 +391,12 @@ let process_data c (seg : Segment.t) =
     if seg.seq + len <= c.rcv_nxt_v then send_ack c (* stale duplicate *)
     else if seg.seq >= c.rcv_nxt_v + c.rcv_wnd then () (* beyond our window *)
     else begin
-      let seq, data =
-        if seg.seq < c.rcv_nxt_v then
-          ( c.rcv_nxt_v,
-            String.sub seg.payload (c.rcv_nxt_v - seg.seq)
-              (len - (c.rcv_nxt_v - seg.seq)) )
-        else (seg.seq, seg.payload)
+      (* Bind the trimmed start and payload separately: a [let seq, data =
+         ...] pair here allocated a tuple on every in-order segment. *)
+      let off = if seg.seq < c.rcv_nxt_v then c.rcv_nxt_v - seg.seq else 0 in
+      let seq = seg.seq + off in
+      let data =
+        if off = 0 then seg.payload else String.sub seg.payload off (len - off)
       in
       if seq = c.rcv_nxt_v then begin
         c.rcv_nxt_v <- c.rcv_nxt_v + String.length data;

@@ -132,7 +132,7 @@ let emit ?legacy eng event =
       match st.cat_capacity.(ci) with Some n -> n | None -> st.capacity
     in
     if push r ~cap e then Registry.incr (dropped_counter st);
-    Registry.set_max (hwm_gauges st).(ci) (float_of_int r.len);
+    Registry.set_max_int (hwm_gauges st).(ci) r.len;
     List.iter
       (fun s ->
         match s.cat with

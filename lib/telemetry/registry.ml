@@ -1,5 +1,11 @@
 type counter = { cname : string; mutable c : int }
-type gauge = { gname : string; mutable g : float }
+
+(* The value lives in a one-slot float array, not a [mutable g : float]
+   field: in a mixed string/float record the float field is boxed, so
+   every [set] on a hot path (netfilter queue depth, ring high-water
+   marks) allocated a fresh box. Float arrays store unboxed, and
+   storing [float_of_int v] into one compiles without boxing either. *)
+type gauge = { gname : string; gcell : float array }
 
 (* Bucket 0 holds non-positive observations; bucket i >= 1 covers
    [2^(min_e+i-2), 2^(min_e+i-1)), i.e. has exclusive upper bound
@@ -72,13 +78,19 @@ let gauge name =
   | Some (Gauge (_, g)) -> g
   | Some _ -> kind_error name
   | None ->
-      let g = { gname = name; g = 0.0 } in
+      let g = { gname = name; gcell = [| 0.0 |] } in
       register name (Gauge (name, g));
       g
 
-let set g v = g.g <- v
-let set_max g v = if v > g.g then g.g <- v
-let gauge_value g = g.g
+let set g v = g.gcell.(0) <- v
+let set_max g v = if v > g.gcell.(0) then g.gcell.(0) <- v
+let set_int g v = g.gcell.(0) <- float_of_int v
+
+let set_max_int g v =
+  let v = float_of_int v in
+  if v > g.gcell.(0) then g.gcell.(0) <- v
+
+let gauge_value g = g.gcell.(0)
 
 let histogram name =
   match Hashtbl.find_opt (state ()).by_name name with
@@ -160,7 +172,7 @@ let reset_values () =
   List.iter
     (function
       | Counter (_, c) -> c.c <- 0
-      | Gauge (_, g) -> g.g <- 0.0
+      | Gauge (_, g) -> g.gcell.(0) <- 0.0
       | Histogram (_, h) ->
           Array.fill h.counts 0 nbuckets 0;
           h.n <- 0;
@@ -179,7 +191,8 @@ let to_csv () =
       let line =
         match m with
         | Counter (n, c) -> Printf.sprintf "%s,counter,%d,\n" n c.c
-        | Gauge (n, g) -> Printf.sprintf "%s,gauge,,%s\n" n (float_str g.g)
+        | Gauge (n, g) ->
+            Printf.sprintf "%s,gauge,,%s\n" n (float_str g.gcell.(0))
         | Histogram (n, h) ->
             Printf.sprintf "%s,histogram,%d,%s\n" n h.n (float_str h.sum)
       in
@@ -194,7 +207,7 @@ let to_json () =
           (Event.json_escape n) c.c
     | Gauge (n, g) ->
         Printf.sprintf "{\"name\":\"%s\",\"kind\":\"gauge\",\"value\":%s}"
-          (Event.json_escape n) (float_str g.g)
+          (Event.json_escape n) (float_str g.gcell.(0))
     | Histogram (n, h) ->
         Printf.sprintf
           "{\"name\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"

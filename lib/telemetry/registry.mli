@@ -32,6 +32,13 @@ val set_max : gauge -> float -> unit
 (** [set_max g v] raises the gauge to [v] if above its current value —
     a high-water mark. *)
 
+val set_int : gauge -> int -> unit
+(** [set g (float_of_int v)] without boxing the intermediate float —
+    use on hot paths that track integer depths or counts. *)
+
+val set_max_int : gauge -> int -> unit
+(** [set_max g (float_of_int v)], allocation-free like {!set_int}. *)
+
 val gauge_value : gauge -> float
 
 (** {1 Log-bucketed histograms} *)

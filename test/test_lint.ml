@@ -239,7 +239,7 @@ let test_json_roundtrips_through_monitor () =
           "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n"
       in
       let _ = write "lib/bgp/clean.ml" "let x = 1\n" in
-      let report = Lint.Driver.run ~paths:[ root ] in
+      let report = Lint.Driver.run ~paths:[ root ] () in
       let json = Lint.Driver.to_json report ~new_findings:report.findings in
       match Monitor.Json.parse json with
       | Error e -> Alcotest.failf "Monitor.Json rejected the report: %s" e
@@ -274,7 +274,7 @@ let test_baseline_gates_new_findings () =
       let _ =
         write "lib/bgp/old.ml" "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n"
       in
-      let report = Lint.Driver.run ~paths:[ root ] in
+      let report = Lint.Driver.run ~paths:[ root ] () in
       checki "one pre-existing finding" 1 (List.length report.findings);
       let baseline_file = write "baseline.json" "" in
       let oc = open_out_bin baseline_file in
@@ -293,23 +293,340 @@ let test_baseline_gates_new_findings () =
       let _ =
         write "lib/tcp/seeded.ml" "let now () = Unix.gettimeofday ()\n"
       in
-      let report' = Lint.Driver.run ~paths:[ root ] in
+      let report' = Lint.Driver.run ~paths:[ root ] () in
       checki "two findings total" 2 (List.length report'.findings);
       let fresh = Lint.Baseline.diff entries report'.findings in
       checki "exactly the seeded violation is NEW" 1 (List.length fresh);
       checks "and it is the d2 one" "d2" (List.hd fresh).Lint.Finding.pass)
 
+(* --- call-graph resolver ---------------------------------------------------- *)
+
+let edges g ~file ~name =
+  List.map
+    (fun (f, n) -> f ^ ":" ^ n)
+    (Lint.Callgraph.callees g ~file ~name)
+
+let test_cg_cross_module_edge () =
+  let g =
+    Lint.Callgraph.build_sources
+      [
+        ("lib/foo/alpha.ml", "let helper x = x + 1\n");
+        ("lib/foo/beta.ml", "let caller x = Alpha.helper x\n");
+      ]
+  in
+  Alcotest.(check (list string))
+    "module-qualified call resolves to the repo file"
+    [ "lib/foo/alpha.ml:helper" ]
+    (edges g ~file:"lib/foo/beta.ml" ~name:"caller")
+
+let test_cg_locally_opened_module () =
+  let g =
+    Lint.Callgraph.build_sources
+      [
+        ("lib/foo/alpha.ml", "let helper x = x + 1\n");
+        ("lib/foo/beta.ml", "open Alpha\nlet caller x = helper x\n");
+      ]
+  in
+  Alcotest.(check (list string))
+    "bare name resolves through the file's open"
+    [ "lib/foo/alpha.ml:helper" ]
+    (edges g ~file:"lib/foo/beta.ml" ~name:"caller")
+
+let test_cg_shadowed_name () =
+  (* A let-bound local shadows both the opened module's function and a
+     same-file toplevel: neither may receive an edge. *)
+  let g =
+    Lint.Callgraph.build_sources
+      [
+        ("lib/foo/alpha.ml", "let helper x = x + 1\n");
+        ( "lib/foo/beta.ml",
+          "open Alpha\n\
+           let caller x = let helper y = y * 2 in helper x\n" );
+        ( "lib/foo/gamma.ml",
+          "let helper x = x + 1\n\
+           let caller x = let helper y = y * 2 in helper x\n" );
+      ]
+  in
+  Alcotest.(check (list string))
+    "local binding shadows the open" []
+    (edges g ~file:"lib/foo/beta.ml" ~name:"caller");
+  Alcotest.(check (list string))
+    "local binding shadows the same-file toplevel" []
+    (edges g ~file:"lib/foo/gamma.ml" ~name:"caller")
+
+let test_cg_unresolved_external () =
+  (* Stdlib and other non-repo modules never produce edges: the graph
+     is closed over the scanned file set. *)
+  let g =
+    Lint.Callgraph.build_sources
+      [
+        ( "lib/foo/beta.ml",
+          "let caller xs = List.map succ (Ext.transform xs)\n" );
+      ]
+  in
+  Alcotest.(check (list string))
+    "external calls resolve to nothing" []
+    (edges g ~file:"lib/foo/beta.ml" ~name:"caller")
+
+let test_cg_reachability_hops () =
+  let g =
+    Lint.Callgraph.build_sources
+      [
+        ( "lib/foo/chain.ml",
+          "let f3 x = x\n\
+           let f2 x = f3 x\n\
+           let f1 x = f2 x\n\
+           let root x = f1 x\n" );
+      ]
+  in
+  let names hops =
+    Lint.Callgraph.reachable g
+      ~roots:[ ("lib/foo/chain.ml", "root", "test root") ]
+      ?max_hops:hops ()
+    |> List.map (fun (r : Lint.Callgraph.reach) -> r.r_name)
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    "unbounded walk reaches the whole chain"
+    [ "f1"; "f2"; "f3"; "root" ] (names None);
+  Alcotest.(check (list string))
+    "2-hop walk stops at f2"
+    [ "f1"; "f2"; "root" ] (names (Some 2))
+
+(* --- h1: hot-path allocation budget ------------------------------------------ *)
+
+(* Fixture files reuse real manifest paths (Hot_roots.hot_paths names
+   lib/sim/engine.ml:exec etc.), so [lint_source] exercises the
+   interprocedural walk with a single in-memory file. *)
+
+let test_h1_positive_direct () =
+  check_passes "Printf inside a hot root" [ "h1" ]
+    (lint ~file:"lib/sim/engine.ml"
+       "let exec t e = ignore (Printf.sprintf \"%d\" e); t\n")
+
+let test_h1_positive_within_hops () =
+  (* helper is 1 hop from the root: budgeted like the root itself. *)
+  check_passes "allocation one hop below a hot root" [ "h1" ]
+    (lint ~file:"lib/sim/engine.ml"
+       "let helper x = [ x; x + 1 ]\nlet exec t e = ignore (helper e); t\n")
+
+let test_h1_beyond_hop_budget_quiet () =
+  (* f4 sits 4 hops from the root — outside max_hops = 3. *)
+  check_passes "allocation beyond the hop budget" []
+    (lint ~file:"lib/sim/engine.ml"
+       "let f4 x = [ x ]\n\
+        let f3 x = f4 x\n\
+        let f2 x = f3 x\n\
+        let f1 x = f2 x\n\
+        let exec t e = ignore (f1 e); t\n")
+
+let test_h1_cold_contexts_quiet () =
+  (* Allocation under raise/failwith arguments or an assert is the
+     error path, not the per-event path; same for Gate-guarded code. *)
+  check_passes "error-path and gated allocations" []
+    (lint ~file:"lib/sim/engine.ml"
+       "let exec t e =\n\
+       \  if e < 0 then\n\
+       \    raise (Invalid_argument (String.concat \"\" [ \"bad \"; \"event\" ]));\n\
+       \  assert (List.length [ e ] = 1);\n\
+       \  (if Telemetry.Gate.on () then ignore (e, t));\n\
+       \  t\n")
+
+let test_h1_non_function_def_quiet () =
+  (* A toplevel value referenced by a root runs once at module init;
+     the per-call budget does not apply. *)
+  check_passes "module-init allocation" []
+    (lint ~file:"lib/sim/engine.ml"
+       "let banner = Printf.sprintf \"engine %d\" 1\n\
+        let exec t _ = ignore banner; t\n")
+
+let test_h1_constructor_and_match_tuples_quiet () =
+  (* Multi-argument constructors flatten their arguments into the block
+     and [match (a, b) with] deforests the scrutinee: no tuple alloc. *)
+  check_passes "constructor args and match scrutinees" []
+    (lint ~file:"lib/sim/engine.ml"
+       "type r = Pair of int * int\n\
+        let exec t e = (match (e, t) with 0, 0 -> Pair (e, t) | a, b -> \
+        Pair (a, b))\n")
+
+let test_h1_out_of_scope_quiet () =
+  check_passes "same code off the manifest is unbudgeted" []
+    (lint ~file:"lib/workload/fixture.ml"
+       "let exec t e = ignore (Printf.sprintf \"%d\" e); t\n")
+
+let test_h1_suppressed () =
+  let findings, suppressed =
+    lint ~file:"lib/sim/engine.ml"
+      "let exec t e =\n\
+      \  (* lint: allow h1 -- one-shot banner, exec runs once in this test *)\n\
+      \  ignore (Printf.sprintf \"%d\" e);\n\
+      \  t\n"
+  in
+  checki "reasoned suppression silences h1" 0 (List.length findings);
+  checki "one suppression honoured" 1 suppressed
+
+let test_h1_message_is_line_stable () =
+  (* Baseline matching is (pass, file, message): the message must not
+     embed positions, or every unrelated edit above the site would
+     invalidate the baseline. *)
+  let findings, _ =
+    lint ~file:"lib/sim/engine.ml"
+      "let exec t e = ignore (Printf.sprintf \"%d\" e); t\n"
+  in
+  let f = List.hd findings in
+  checkb "message names the function" true
+    (let msg = f.Lint.Finding.message in
+     let contains sub =
+       let n = String.length sub and m = String.length msg in
+       let rec at i = i + n <= m && (String.sub msg i n = sub || at (i + 1)) in
+       at 0
+     in
+     contains "exec" && contains "engine dispatch");
+  checkb "message embeds no positions (digits)" false
+    (String.exists
+       (fun c -> c >= '0' && c <= '9')
+       f.Lint.Finding.message)
+
+(* --- d5: digest purity -------------------------------------------------------- *)
+
+let test_d5_positive_direct () =
+  check_passes "wall clock inside a digest root" [ "d2"; "d5" ]
+    (lint ~file:"lib/bgp/rib.ml"
+       "let digest t = int_of_float (Unix.gettimeofday ()) + t\n")
+
+let test_d5_positive_transitive () =
+  (* The walk is unbounded: entropy three calls deep still taints the
+     digest. d2 also fires on the site itself, file-locally. *)
+  check_passes "Random three calls below the digest" [ "d2"; "d5" ]
+    (lint ~file:"lib/bgp/rib.ml"
+       "let salt () = Random.bits ()\n\
+        let mix x = salt () + x\n\
+        let fold t = mix t\n\
+        let digest t = fold t\n")
+
+let test_d5_out_of_scope_quiet () =
+  (* Same shape, but the file hosts no digest-feeding root: only the
+     per-file d2 pass fires. *)
+  check_passes "entropy outside the digest graph" [ "d2" ]
+    (lint ~file:"lib/workload/fixture.ml"
+       "let salt () = Random.bits ()\nlet digest t = salt () + t\n")
+
+let test_d5_suppression_does_not_launder () =
+  (* A d2 suppression on the offending line is exactly the laundering
+     d5 exists to catch: the error must survive it. *)
+  let findings, suppressed =
+    lint ~file:"lib/bgp/rib.ml"
+      "let salt () =\n\
+      \  (* lint: allow d2 -- locally argued, but still digest-reachable *)\n\
+      \  Random.bits ()\n\
+       let digest t = salt () + t\n"
+  in
+  checki "the d2 suppression is honoured" 1 suppressed;
+  check_passes "d5 still reports the reachable entropy" [ "d5" ]
+    (findings, suppressed)
+
+(* --- p3: interprocedural panic budget ----------------------------------------- *)
+
+let test_p3_partial_stdlib_in_root_file () =
+  (* engine.ml is not under p2's directories, so p3 owns both the
+     partial stdlib call and any panic primitive here. *)
+  check_passes "List.hd reachable from engine dispatch" [ "p3" ]
+    (lint ~file:"lib/sim/engine.ml" "let exec t es = List.hd es + t\n")
+
+let test_p3_panic_outside_p2_dirs () =
+  check_passes "failwith in a shared helper outside p2's horizon" [ "p3" ]
+    (lint ~file:"lib/sim/engine.ml"
+       "let helper x = if x < 0 then failwith \"neg\" else x\n\
+        let exec t e = helper e + t\n")
+
+let test_p3_no_double_report_with_p2 () =
+  (* tcp.ml is p2 territory: the failwith is p2's finding alone, but a
+     partial stdlib function is still p3's. *)
+  check_passes "panic primitive reported once, by p2" [ "p2" ]
+    (lint ~file:"lib/tcp/tcp.ml"
+       "let conn_rx c s = if s < 0 then failwith \"bad\" else c\n");
+  check_passes "partial stdlib is p3's even inside p2 dirs" [ "p3" ]
+    (lint ~file:"lib/tcp/tcp.ml" "let conn_rx c ss = List.hd ss + c\n")
+
+let test_p3_out_of_scope_quiet () =
+  check_passes "partial call with no hot root in the graph" []
+    (lint ~file:"lib/workload/fixture.ml" "let pick ss = List.hd ss\n")
+
+let test_p3_suppressed () =
+  let findings, suppressed =
+    lint ~file:"lib/sim/engine.ml"
+      "let exec t es =\n\
+      \  (* lint: allow p3 -- es statically non-empty: built by run() *)\n\
+      \  List.hd es + t\n"
+  in
+  checki "reasoned suppression silences p3" 0 (List.length findings);
+  checki "one suppression honoured" 1 suppressed
+
+(* --- parallel driver ---------------------------------------------------------- *)
+
+let test_driver_jobs_equivalent () =
+  with_temp_tree (fun root write ->
+      let _ =
+        write "lib/bgp/dirty.ml"
+          "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n"
+      in
+      let _ = write "lib/tcp/seeded.ml" "let now () = Unix.gettimeofday ()\n" in
+      let _ = write "lib/bgp/clean.ml" "let x = 1\n" in
+      let r1 = Lint.Driver.run ~jobs:1 ~paths:[ root ] () in
+      let r4 = Lint.Driver.run ~jobs:4 ~paths:[ root ] () in
+      Alcotest.(check (list string))
+        "findings identical across --jobs"
+        (List.map Lint.Finding.to_string r1.findings)
+        (List.map Lint.Finding.to_string r4.findings);
+      checki "suppression count identical" r1.suppressed r4.suppressed;
+      checks "whole report renders identically"
+        (Lint.Driver.to_json r1 ~new_findings:r1.findings)
+        (Lint.Driver.to_json r4 ~new_findings:r4.findings))
+
+(* --- repo gate ---------------------------------------------------------------- *)
+
 let test_zero_finding_repo_baseline () =
-  (* The committed contract: the repo itself lints clean, so the
-     committed baseline stays empty and any regression is NEW. Under
-     [dune runtest] the cwd is [_build/default/test]; under
-     [dune exec test/test_lint.exe] it is the workspace root. *)
+  (* The committed contract since the call-graph passes landed: the
+     repo carries ZERO error-severity findings (d5, p3, suppress,
+     parse), and every warning is absorbed by the committed
+     lint-baseline.json — so anything NEW fails CI. Under [dune
+     runtest] the cwd is [_build/default/test]; under [dune exec
+     test/test_lint.exe] it is the workspace root. *)
   let root = if Sys.file_exists "lib" then "." else ".." in
   let paths = List.map (Filename.concat root) [ "lib"; "bin"; "bench" ] in
-  let report = Lint.Driver.run ~paths in
+  let report = Lint.Driver.run ~paths () in
   Alcotest.(check (list string))
-    "repo lints clean" []
-    (List.map Lint.Finding.to_string report.findings)
+    "no error-severity findings in the repo" []
+    (List.filter_map
+       (fun (f : Lint.Finding.t) ->
+         match f.severity with
+         | Lint.Finding.Error -> Some (Lint.Finding.to_string f)
+         | Lint.Finding.Warning -> None)
+       report.findings);
+  let entries =
+    match Lint.Baseline.load (Filename.concat root "lint-baseline.json") with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "committed baseline did not load: %s" e
+  in
+  (* The committed baseline stores repo-relative paths; strip the
+     test-cwd prefix so the multiset match lines up. *)
+  let prefix = root ^ "/" in
+  let relocated =
+    List.map
+      (fun (f : Lint.Finding.t) ->
+        if String.starts_with ~prefix f.file then
+          {
+            f with
+            Lint.Finding.file =
+              String.sub f.file (String.length prefix)
+                (String.length f.file - String.length prefix);
+          }
+        else f)
+      report.findings
+  in
+  Alcotest.(check (list string))
+    "every repo finding is absorbed by the committed baseline" []
+    (List.map Lint.Finding.to_string (Lint.Baseline.diff entries relocated))
 
 let test_single_blessed_d2_suppression () =
   (* The profiler wall clock (Prof.Clock) is the one place in lib/
@@ -415,12 +732,67 @@ let () =
           Alcotest.test_case "cold dir quiet" `Quick test_p2_cold_dir_quiet;
           Alcotest.test_case "suppressed" `Quick test_p2_suppressed;
         ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "cross-module edge" `Quick
+            test_cg_cross_module_edge;
+          Alcotest.test_case "locally-opened module" `Quick
+            test_cg_locally_opened_module;
+          Alcotest.test_case "shadowed name" `Quick test_cg_shadowed_name;
+          Alcotest.test_case "unresolved external" `Quick
+            test_cg_unresolved_external;
+          Alcotest.test_case "reachability hop budget" `Quick
+            test_cg_reachability_hops;
+        ] );
+      ( "h1",
+        [
+          Alcotest.test_case "positive: direct" `Quick test_h1_positive_direct;
+          Alcotest.test_case "positive: within hops" `Quick
+            test_h1_positive_within_hops;
+          Alcotest.test_case "beyond hop budget quiet" `Quick
+            test_h1_beyond_hop_budget_quiet;
+          Alcotest.test_case "cold contexts quiet" `Quick
+            test_h1_cold_contexts_quiet;
+          Alcotest.test_case "non-function def quiet" `Quick
+            test_h1_non_function_def_quiet;
+          Alcotest.test_case "constructor/match tuples quiet" `Quick
+            test_h1_constructor_and_match_tuples_quiet;
+          Alcotest.test_case "out of scope quiet" `Quick
+            test_h1_out_of_scope_quiet;
+          Alcotest.test_case "suppressed" `Quick test_h1_suppressed;
+          Alcotest.test_case "message is line-stable" `Quick
+            test_h1_message_is_line_stable;
+        ] );
+      ( "d5",
+        [
+          Alcotest.test_case "positive: direct" `Quick test_d5_positive_direct;
+          Alcotest.test_case "positive: transitive" `Quick
+            test_d5_positive_transitive;
+          Alcotest.test_case "out of scope quiet" `Quick
+            test_d5_out_of_scope_quiet;
+          Alcotest.test_case "d2 suppression does not launder" `Quick
+            test_d5_suppression_does_not_launder;
+        ] );
+      ( "p3",
+        [
+          Alcotest.test_case "partial stdlib in root file" `Quick
+            test_p3_partial_stdlib_in_root_file;
+          Alcotest.test_case "panic outside p2 dirs" `Quick
+            test_p3_panic_outside_p2_dirs;
+          Alcotest.test_case "no double report with p2" `Quick
+            test_p3_no_double_report_with_p2;
+          Alcotest.test_case "out of scope quiet" `Quick
+            test_p3_out_of_scope_quiet;
+          Alcotest.test_case "suppressed" `Quick test_p3_suppressed;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "json roundtrips through Monitor.Json" `Quick
             test_json_roundtrips_through_monitor;
           Alcotest.test_case "baseline gates a seeded violation" `Quick
             test_baseline_gates_new_findings;
+          Alcotest.test_case "jobs-equivalent reports" `Quick
+            test_driver_jobs_equivalent;
           Alcotest.test_case "repo lints clean" `Quick
             test_zero_finding_repo_baseline;
         ] );
