@@ -22,8 +22,10 @@
        snapshot's "parallel" section
 
    Experiment ids: fig5a fig5b fig6a fig6b fig6c fig6d table1 fig7a fig7b
-   table2 micro campaign (campaign is opt-in: it is excluded from the
-   default set so seed-vs-PR comparisons keep their experiment list).
+   table2 micro campaign fleet (campaign and fleet are opt-in: they are
+   excluded from the default set so seed-vs-PR comparisons keep their
+   experiment list; fleet sweeps the stock correlated campaign across
+   controller placements).
    Simulated measurements are deterministic (fixed seeds); only `micro`
    and the campaign wall times measure host wall-clock. *)
 
@@ -273,6 +275,75 @@ let campaign () =
     failwith
       "campaign: --jobs 1 and --jobs N diverged (summary or per-run digests)"
 
+(* --- Fleet centralization sweep --------------------------------------------- *)
+
+(* Opt-in like [campaign]: the stock correlated fleet campaign (one host
+   kill + one regional store outage) swept across controller placements —
+   per-host, regional, global — to measure what centralizing the control
+   plane costs in failover latency. Every variant must pass all ten
+   checkers; a violation fails the harness, since the sweep's numbers
+   are meaningless over a broken run. *)
+let fleet () =
+  let instances = if !quick then 20 else 100 in
+  let regions = if !quick then 2 else 4 in
+  let hosts = if !quick then 8 else 16 in
+  let faults =
+    match Chaos.Descriptor.faults_of_string Fleet.Campaign.default_campaign with
+    | Ok fs -> fs
+    | Error e -> failwith ("fleet: bad stock campaign: " ^ e)
+  in
+  Tensor.Report.section
+    (Printf.sprintf
+       "Fleet centralization sweep (%d instances, %d regions, %s)" instances
+       regions Fleet.Campaign.default_campaign);
+  let variants = [ ("per-host", 50); ("regional", 500); ("global", 5_000) ] in
+  let rows =
+    List.map
+      (fun (vname, ctrl_delay_us) ->
+        let spec =
+          {
+            Fleet.Campaign.default_spec with
+            Fleet.Campaign.hosts;
+            regions;
+            instances;
+            faults;
+            ctrl_delay_us;
+          }
+        in
+        let t0 = Prof.Clock.now_s () in
+        let o = Fleet.Campaign.run spec in
+        let wall = Prof.Clock.now_s () -. t0 in
+        if not (Fleet.Campaign.ok o) then
+          failwith
+            (Printf.sprintf "fleet: %s variant failed:\n%s" vname
+               (Fleet.Campaign.summary o));
+        let r = o.Fleet.Campaign.slo in
+        [
+          vname;
+          Printf.sprintf "%d" ctrl_delay_us;
+          Printf.sprintf "%.2f" o.Fleet.Campaign.convergence_s;
+          Printf.sprintf "%.3f"
+            (Fleet.Slo.percentile r.Fleet.Slo.failover_s 0.95);
+          Printf.sprintf "%.3f"
+            (Fleet.Slo.percentile r.Fleet.Slo.failover_s 1.0);
+          Printf.sprintf "%d" o.Fleet.Campaign.events;
+          Printf.sprintf "%.2f" wall;
+        ])
+      variants
+  in
+  Tensor.Report.table
+    ~header:
+      [
+        "controller";
+        "uplink us";
+        "converge s";
+        "failover p95 s";
+        "failover max s";
+        "events";
+        "wall s";
+      ]
+    rows
+
 (* --- Bechamel micro-benchmarks of hot paths -------------------------------- *)
 
 let micro () =
@@ -393,7 +464,7 @@ let all_ids =
 (* Opt-in experiments: runnable by id but excluded from the default
    set, so seed-vs-PR snapshot comparisons keep a stable experiment
    list (and the default bench run stays single-domain). *)
-let optin_ids = [ ("campaign", campaign) ]
+let optin_ids = [ ("campaign", campaign); ("fleet", fleet) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

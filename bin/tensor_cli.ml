@@ -709,6 +709,222 @@ let profile_cmd =
           digests are identical with it on or off.")
     Term.(const run $ experiment $ out $ top $ quick_flag)
 
+(* --- fleet command ----------------------------------------------------------- *)
+
+let fleet_spec ~hosts ~regions ~instances ~seed ~campaign ~window ~ctrl_delay =
+  match Chaos.Descriptor.faults_of_string campaign with
+  | Error e ->
+      Printf.eprintf "bad campaign: %s\n" e;
+      exit 2
+  | Ok faults -> (
+      match Fleet.Campaign.check_faults faults with
+      | Error e ->
+          Printf.eprintf "bad campaign: %s\n" e;
+          exit 2
+      | Ok () ->
+          {
+            Fleet.Campaign.default_spec with
+            Fleet.Campaign.hosts;
+            regions;
+            instances;
+            seed;
+            faults;
+            window_ms =
+              (if window > 0 then window
+               else Fleet.Campaign.default_spec.Fleet.Campaign.window_ms);
+            ctrl_delay_us = ctrl_delay;
+          })
+
+let write_slo_report path (o : Fleet.Campaign.outcome) =
+  let oc = open_out path in
+  output_string oc (Fleet.Slo.to_json o.Fleet.Campaign.slo);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "SLO report written to %s\n" path
+
+let fleet_dump_events path =
+  (* Valid for --jobs 1 only: the bus is domain-local, and with one job
+     the campaign ran on this domain, so its buffers are still here. *)
+  let buf = Buffer.create 262_144 in
+  Telemetry.Bus.to_jsonl buf;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "telemetry written to %s\n" path
+
+let fleet_replicated spec ~jobs ~json ~slo_out ~events_out =
+  (* [--jobs N] runs N replicas of the same campaign across N domains
+     and demands byte-identical replay digests — the determinism the
+     nightly job asserts. Each replica is self-contained (domain-local
+     telemetry), so a digest split is a real nondeterminism bug. *)
+  let runs = max 1 jobs in
+  let results, _ =
+    Par.Pool.run ~jobs runs (fun _ -> Fleet.Campaign.run spec)
+  in
+  let o = results.(0) in
+  let split =
+    Array.exists
+      (fun (r : Fleet.Campaign.outcome) ->
+        not (String.equal r.Fleet.Campaign.digest o.Fleet.Campaign.digest))
+      results
+  in
+  if json then print_endline (Fleet.Slo.to_json o.Fleet.Campaign.slo)
+  else print_string (Fleet.Campaign.summary o);
+  if runs > 1 then
+    if split then
+      Array.iteri
+        (fun i (r : Fleet.Campaign.outcome) ->
+          Printf.printf "DIGEST MISMATCH: replica %d digest=%s\n" i
+            r.Fleet.Campaign.digest)
+        results
+    else
+      Printf.printf "%d replicas on %d domains: digests identical\n" runs jobs;
+  Option.iter (fun path -> write_slo_report path o) slo_out;
+  Option.iter
+    (fun path ->
+      if jobs <= 1 then fleet_dump_events path
+      else Printf.eprintf "--events-out requires --jobs 1; skipped\n")
+    events_out;
+  if split || not (Fleet.Campaign.ok o) then exit 1
+
+let fleet_sweep spec ~jobs ~json =
+  (* Controller-centralization sweep: the same campaign under per-host,
+     regional and global controller placement (uplink delay), reporting
+     convergence and the failover-time distribution. *)
+  let variants =
+    [| ("per-host", 50); ("regional", 500); ("global", 5_000) |]
+  in
+  let results, _ =
+    Par.Pool.run ~jobs (Array.length variants) (fun i ->
+        Fleet.Campaign.run
+          { spec with Fleet.Campaign.ctrl_delay_us = snd variants.(i) })
+  in
+  if json then begin
+    print_string "[";
+    Array.iteri
+      (fun i (o : Fleet.Campaign.outcome) ->
+        if i > 0 then print_string ",";
+        Printf.printf
+          "{\"controller\":%S,\"ctrl_delay_us\":%d,\"convergence_s\":%.3f,\
+           \"digest\":%S,\"pass\":%b,\"slo\":%s}"
+          (fst variants.(i))
+          (snd variants.(i))
+          o.Fleet.Campaign.convergence_s o.Fleet.Campaign.digest
+          (Fleet.Campaign.ok o)
+          (Fleet.Slo.to_json o.Fleet.Campaign.slo))
+      results;
+    print_endline "]"
+  end
+  else
+    Array.iteri
+      (fun i (o : Fleet.Campaign.outcome) ->
+        let fo = o.Fleet.Campaign.slo.Fleet.Slo.failover_s in
+        Printf.printf
+          "%-9s ctrl=%5dus convergence=%6.2fs failover p95=%.3fs max=%.3fs \
+           %s digest=%s\n"
+          (fst variants.(i))
+          (snd variants.(i))
+          o.Fleet.Campaign.convergence_s
+          (Fleet.Slo.percentile fo 0.95)
+          (Fleet.Slo.percentile fo 1.0)
+          (if Fleet.Campaign.ok o then "PASS" else "FAIL")
+          o.Fleet.Campaign.digest)
+      results;
+  if Array.exists (fun o -> not (Fleet.Campaign.ok o)) results then exit 1
+
+let fleet_cmd =
+  let hosts =
+    Arg.(value & opt int 8 & info [ "hosts" ] ~doc:"Host machines in the fleet.")
+  in
+  let regions =
+    Arg.(value & opt int 2 & info [ "regions" ] ~doc:"Regions (each with its own store).")
+  in
+  let instances =
+    Arg.(
+      value & opt int 20
+      & info [ "instances"; "n" ]
+          ~doc:"TENSOR instances (rounded up to replica pairs).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~doc:"Engine seed.")
+  in
+  let campaign =
+    Arg.(
+      value
+      & opt string Fleet.Campaign.default_campaign
+      & info [ "campaign" ] ~docv:"TOKENS"
+          ~doc:
+            "Comma-separated fault tokens (chaos grammar): \
+             $(b,host_kill\\@T), $(b,region_store_outage\\@T+D), \
+             $(b,rolling_upgrade\\@T:K), $(b,kill.*\\@T), $(b,planned\\@T). \
+             $(b,-) is the empty schedule.")
+  in
+  let window =
+    Arg.(
+      value & opt int 0
+      & info [ "window" ] ~docv:"MS"
+          ~doc:"Minimum fault window (auto-sized to fit the schedule).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Without $(b,--sweep): run $(docv) replicas of the campaign on \
+             $(docv) domains and assert byte-identical digests. With \
+             $(b,--sweep): parallelize the sweep variants.")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Controller-centralization sweep: per-host / regional / global \
+             controller placement, reporting convergence and failover \
+             distribution per variant.")
+  in
+  let ctrl_delay =
+    Arg.(
+      value & opt int 500
+      & info [ "ctrl-delay" ] ~docv:"US"
+          ~doc:"Controller uplink one-way delay in microseconds.")
+  in
+  let slo_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-out" ] ~docv:"PATH" ~doc:"Write the SLO report JSON here.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the SLO report as JSON.")
+  in
+  let events_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events-out" ] ~docv:"PATH"
+          ~doc:"Write the run's telemetry JSONL here (requires --jobs 1).")
+  in
+  let run hosts regions instances seed campaign window jobs sweep ctrl_delay
+      slo_out json events_out =
+    let spec =
+      fleet_spec ~hosts ~regions ~instances ~seed ~campaign ~window ~ctrl_delay
+    in
+    if sweep then fleet_sweep spec ~jobs ~json
+    else fleet_replicated spec ~jobs ~json ~slo_out ~events_out
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet-scale fault campaigns: hundreds of TENSOR instances across \
+          regions under correlated host kills, regional store outages and \
+          bounded-concurrency rolling upgrades, verified by all ten runtime \
+          checkers (including $(b,fleet_slo)) with a fleet-wide SLO report. \
+          Replays are byte-identical across $(b,--jobs) settings.")
+    Term.(
+      const run $ hosts $ regions $ instances $ seed $ campaign $ window
+      $ jobs $ sweep $ ctrl_delay $ slo_out $ json $ events_out)
+
 (* --- list command ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -723,5 +939,5 @@ let () =
        (Cmd.group
           (Cmd.info "tensor-cli" ~version:"1.0.0" ~doc)
           [ experiment_cmd; failover_cmd; trace_cmd; metrics_cmd; cdf_cmd;
-            check_cmd; health_cmd; causal_cmd; fuzz_cmd; profile_cmd;
-            list_cmd ]))
+            check_cmd; health_cmd; causal_cmd; fuzz_cmd; fleet_cmd;
+            profile_cmd; list_cmd ]))

@@ -75,16 +75,24 @@ let add_prefix b (p : Netsim.Addr.prefix) =
     add_u8 b ((base lsr (24 - (8 * i))) land 0xFF)
   done
 
-let encode_as_path ~as4 b segments =
-  List.iter
-    (fun seg ->
-      let kind, asns =
-        match seg with Attrs.Set a -> (1, a) | Attrs.Seq a -> (2, a)
-      in
-      add_u8 b kind;
-      add_u8 b (List.length asns);
-      List.iter (fun asn -> if as4 then add_u32 b asn else add_u16 b asn) asns)
-    segments
+let rec add_asns ~as4 b = function
+  | [] -> ()
+  | asn :: rest ->
+      if as4 then add_u32 b asn else add_u16 b asn;
+      add_asns ~as4 b rest
+
+let add_as_segment ~as4 b kind asns =
+  add_u8 b kind;
+  add_u8 b (List.length asns);
+  add_asns ~as4 b asns
+
+let rec encode_as_path ~as4 b = function
+  | [] -> ()
+  | seg :: rest ->
+      (match seg with
+      | Attrs.Set a -> add_as_segment ~as4 b 1 a
+      | Attrs.Seq a -> add_as_segment ~as4 b 2 a);
+      encode_as_path ~as4 b rest
 
 let encode_attr b ~flags ~typ value =
   let len = String.length value in
@@ -104,10 +112,20 @@ let encode_attr_auto b ~flags ~typ value =
   end
   else encode_attr b ~flags ~typ value
 
-let sub_buffer f =
-  let b = Buffer.create 64 in
-  f b;
-  Buffer.contents b
+(* A u32-valued attribute has fixed length 4: write it directly rather
+   than through a sub buffer and its closure (h1 budget). *)
+let encode_attr_u32 b ~flags ~typ v =
+  add_u8 b flags;
+  add_u8 b typ;
+  add_u8 b 4;
+  add_u32 b v
+
+let rec add_communities b = function
+  | [] -> ()
+  | (asn, v) :: rest ->
+      add_u16 b asn;
+      add_u16 b v;
+      add_communities b rest
 
 let encode_attrs ~as4 (a : Attrs.t) =
   let b = Buffer.create 128 in
@@ -115,29 +133,26 @@ let encode_attrs ~as4 (a : Attrs.t) =
   encode_attr b ~flags:0x40 ~typ:1
     (String.make 1 (Char.chr (Attrs.origin_rank a.origin)));
   (* AS_PATH *)
-  encode_attr_auto b ~flags:0x40 ~typ:2
-    (sub_buffer (fun sb -> encode_as_path ~as4 sb a.as_path));
+  let pb = Buffer.create 64 in
+  encode_as_path ~as4 pb a.as_path;
+  encode_attr_auto b ~flags:0x40 ~typ:2 (Buffer.contents pb);
   (* NEXT_HOP *)
-  encode_attr b ~flags:0x40 ~typ:3
-    (sub_buffer (fun sb -> add_u32 sb (Netsim.Addr.to_int a.next_hop)));
+  encode_attr_u32 b ~flags:0x40 ~typ:3 (Netsim.Addr.to_int a.next_hop);
   (* MED *)
   (match a.med with
-  | Some med -> encode_attr b ~flags:0x80 ~typ:4 (sub_buffer (fun sb -> add_u32 sb med))
+  | Some med -> encode_attr_u32 b ~flags:0x80 ~typ:4 med
   | None -> ());
   (* LOCAL_PREF *)
   (match a.local_pref with
-  | Some lp -> encode_attr b ~flags:0x40 ~typ:5 (sub_buffer (fun sb -> add_u32 sb lp))
+  | Some lp -> encode_attr_u32 b ~flags:0x40 ~typ:5 lp
   | None -> ());
   if a.atomic_aggregate then encode_attr b ~flags:0x40 ~typ:6 "";
   (* COMMUNITY *)
-  if a.communities <> [] then
-    encode_attr_auto b ~flags:0xC0 ~typ:8
-      (sub_buffer (fun sb ->
-           List.iter
-             (fun (asn, v) ->
-               add_u16 sb asn;
-               add_u16 sb v)
-             a.communities));
+  if a.communities <> [] then begin
+    let cb = Buffer.create 64 in
+    add_communities cb a.communities;
+    encode_attr_auto b ~flags:0xC0 ~typ:8 (Buffer.contents cb)
+  end;
   Buffer.contents b
 
 let encode_capability b = function
@@ -162,17 +177,32 @@ let encode_capability b = function
       add_u8 b (String.length value);
       Buffer.add_string b value
 
+let rec encode_capabilities b = function
+  | [] -> ()
+  | c :: rest ->
+      encode_capability b c;
+      encode_capabilities b rest
+
+let rec add_prefixes b = function
+  | [] -> ()
+  | p :: rest ->
+      add_prefix b p;
+      add_prefixes b rest
+
 let encode_body ~as4 = function
-  | Open o ->
-      sub_buffer (fun b ->
+  | Keepalive -> ""
+  | msg ->
+      let b = Buffer.create 64 in
+      (match msg with
+      | Keepalive -> ()
+      | Open o ->
           add_u8 b o.version;
           add_u16 b (if o.asn > 0xFFFF then as_trans else o.asn);
           add_u16 b o.hold_time;
           add_u32 b (Netsim.Addr.to_int o.router_id);
-          let caps =
-            sub_buffer (fun cb ->
-                List.iter (fun c -> encode_capability cb c) o.capabilities)
-          in
+          let cb = Buffer.create 64 in
+          encode_capabilities cb o.capabilities;
+          let caps = Buffer.contents cb in
           if String.length caps = 0 then add_u8 b 0
           else begin
             (* One optional parameter of type 2 (capabilities). *)
@@ -180,12 +210,11 @@ let encode_body ~as4 = function
             add_u8 b 2;
             add_u8 b (String.length caps);
             Buffer.add_string b caps
-          end)
-  | Update u ->
-      sub_buffer (fun b ->
-          let withdrawn =
-            sub_buffer (fun wb -> List.iter (add_prefix wb) u.withdrawn)
-          in
+          end
+      | Update u ->
+          let wb = Buffer.create 64 in
+          add_prefixes wb u.withdrawn;
+          let withdrawn = Buffer.contents wb in
           add_u16 b (String.length withdrawn);
           Buffer.add_string b withdrawn;
           let attrs =
@@ -193,18 +222,16 @@ let encode_body ~as4 = function
           in
           add_u16 b (String.length attrs);
           Buffer.add_string b attrs;
-          List.iter (add_prefix b) u.nlri)
-  | Notification n ->
-      sub_buffer (fun b ->
+          add_prefixes b u.nlri
+      | Notification n ->
           add_u8 b n.code;
           add_u8 b n.subcode;
-          Buffer.add_string b n.data)
-  | Keepalive -> ""
-  | Route_refresh { afi; safi } ->
-      sub_buffer (fun b ->
+          Buffer.add_string b n.data
+      | Route_refresh { afi; safi } ->
           add_u16 b afi;
           add_u8 b 0;
-          add_u8 b safi)
+          add_u8 b safi);
+      Buffer.contents b
 
 let type_code = function
   | Open _ -> 1

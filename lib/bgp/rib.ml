@@ -79,11 +79,14 @@ let better a b =
   in
   cmp < 0
 
+(* Top-level for the same reason as [med_of]: the fold runs once per
+   path of every recompute (h1 budget). *)
+let pick_better acc p = if better p acc then p else acc
+
 let select_best paths =
   match paths with
   | [] -> None
-  | first :: rest ->
-      Some (List.fold_left (fun acc p -> if better p acc then p else acc) first rest)
+  | first :: rest -> Some (List.fold_left pick_better first rest)
 
 let same_best a b =
   match (a, b) with
@@ -156,10 +159,12 @@ let path_count t = t.npaths
 (* Every whole-table traversal goes through [sorted_entries]: ascending
    prefix order, so adj-out update batches, digests, and telemetry are
    independent of the table's insertion history (lint pass d1). *)
+let collect_entry prefix e acc = (prefix, e) :: acc
+let cmp_entry (a, _) (b, _) = Netsim.Addr.compare_prefix a b
+
 let sorted_entries t =
   (* lint: allow d1 — the RIB's single collect-then-sort point; all other traversals use it *)
-  PrefixTbl.fold (fun prefix e acc -> (prefix, e) :: acc) t.table []
-  |> List.sort (fun (a, _) (b, _) -> Netsim.Addr.compare_prefix a b)
+  List.sort cmp_entry (PrefixTbl.fold collect_entry t.table [])
 
 let fold_best t ~init ~f =
   List.fold_left
@@ -178,18 +183,32 @@ let best_prefixes ?source_key t =
    order-insensitive fingerprint for comparing two tables' coverage
    (attributes deliberately excluded — AS paths legitimately differ
    between the advertising and the learning side). *)
+let fnv_prime = 0x100000001b3L
+let fnv_mix h byte = Int64.mul (Int64.logxor h (Int64.of_int byte)) fnv_prime
+
+let rec fnv_string h s i =
+  if i >= String.length s then h
+  else fnv_string (fnv_mix h (Char.code (String.unsafe_get s i))) s (i + 1)
+
+let rec fnv_lines h = function
+  | [] -> h
+  | p :: rest -> fnv_lines (fnv_mix (fnv_string h p 0) (Char.code '\n')) rest
+
+let hex_digits = "0123456789abcdef"
+
+(* [%016Lx] without the Printf machinery (h1 budget). *)
+let hex16 v =
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    let nibble =
+      Int64.to_int (Int64.shift_right_logical v ((15 - i) * 4)) land 0xF
+    in
+    Bytes.unsafe_set out i (String.unsafe_get hex_digits nibble)
+  done;
+  Bytes.unsafe_to_string out
+
 let digest ?source_key t =
-  let h = ref 0xcbf29ce484222325L in
-  let mix c =
-    h := Int64.logxor !h (Int64.of_int (Char.code c));
-    h := Int64.mul !h 0x100000001b3L
-  in
-  List.iter
-    (fun p ->
-      String.iter mix p;
-      mix '\n')
-    (best_prefixes ?source_key t);
-  Printf.sprintf "%016Lx" !h
+  hex16 (fnv_lines 0xcbf29ce484222325L (best_prefixes ?source_key t))
 
 let transform_source t ~key ~f =
   (* Apply [f] to each (prefix, entry) holding a path from [key], in

@@ -12,6 +12,15 @@ type fault =
   | Store_crash of { at_ms : int; dur_ms : int }
   | Store_partition of { at_ms : int; dur_ms : int }
   | Store_slow of { at_ms : int; dur_ms : int; factor_pct : int }
+  (* Fleet campaign tokens (ISSUE 10). Tokens only at the single
+     instance scale: the runner maps them onto their closest
+     single-instance equivalent so any descriptor stays runnable, while
+     [Fleet.Campaign] gives them their correlated fleet meaning. The
+     generator never emits them, so old corpus descriptors parse (and
+     replay) unchanged. *)
+  | Host_kill of { at_ms : int }
+  | Region_store_outage of { at_ms : int; dur_ms : int }
+  | Rolling_upgrade of { at_ms : int; bound : int }
 
 type t = {
   seed : int;
@@ -37,7 +46,10 @@ let fault_at = function
   | Peer_cease { at_ms; _ }
   | Store_crash { at_ms; _ }
   | Store_partition { at_ms; _ }
-  | Store_slow { at_ms; _ } ->
+  | Store_slow { at_ms; _ }
+  | Host_kill { at_ms }
+  | Region_store_outage { at_ms; _ }
+  | Rolling_upgrade { at_ms; _ } ->
       at_ms
 
 let kill_kind_name = function
@@ -58,6 +70,9 @@ let fault_kind_name = function
   | Store_crash _ -> "store_crash"
   | Store_partition _ -> "store_partition"
   | Store_slow _ -> "store_slow"
+  | Host_kill _ -> "host_kill"
+  | Region_store_outage _ -> "region_store_outage"
+  | Rolling_upgrade _ -> "rolling_upgrade"
 
 let equal (a : t) (b : t) = a = b
 
@@ -106,6 +121,14 @@ let validate t =
         else if factor_pct < 101 || factor_pct > 10_000 then
           err "store_slow factor %d%% outside [101, 10000]" factor_pct
         else Ok ()
+    | Host_kill _ -> Ok ()
+    | Region_store_outage { dur_ms; _ } ->
+        if dur_ms <= 0 then err "region_store_outage duration must be positive"
+        else Ok ()
+    | Rolling_upgrade { bound; _ } ->
+        if bound < 1 || bound > 64 then
+          err "rolling_upgrade concurrency bound %d outside [1, 64]" bound
+        else Ok ()
   in
   (* The store is the recovery substrate: a migration scheduled while the
      store is down (or gone for good — a permanent [store_crash] lasts
@@ -118,8 +141,9 @@ let validate t =
     let outages =
       List.filter_map
         (function
-          | Store_crash { at_ms; dur_ms } | Store_partition { at_ms; dur_ms }
-            ->
+          | Store_crash { at_ms; dur_ms }
+          | Store_partition { at_ms; dur_ms }
+          | Region_store_outage { at_ms; dur_ms } ->
               Some (at_ms, outage_end at_ms dur_ms)
           | _ -> None)
         t.faults
@@ -130,13 +154,32 @@ let validate t =
         | Error _ -> acc
         | Ok () -> (
             match f with
-            | (Kill { at_ms; _ } | Planned { at_ms })
+            | ( Kill { at_ms; _ }
+              | Planned { at_ms }
+              | Host_kill { at_ms }
+              | Rolling_upgrade { at_ms; _ } )
               when List.exists (fun (s, e) -> at_ms >= s && at_ms <= e) outages
               ->
                 err "%s at %d ms falls inside a store outage window"
                   (fault_kind_name f) at_ms
             | _ -> Ok ()))
       (Ok ()) t.faults
+  in
+  (* A rolling-upgrade wave owns the fleet until its last drain
+     completes, and completion time is schedule-dependent — so any two
+     waves in one descriptor are considered overlapping and rejected,
+     same spirit as the store-outage exclusivity above. *)
+  let wave_conflict () =
+    let waves =
+      List.filter_map
+        (function Rolling_upgrade { at_ms; _ } -> Some at_ms | _ -> None)
+        t.faults
+    in
+    match waves with
+    | a :: b :: _ ->
+        err "rolling_upgrade at %d ms overlaps the wave at %d ms" (max a b)
+          (min a b)
+    | _ -> Ok ()
   in
   if t.seed < 0 then err "negative seed"
   else if t.peers < 1 || t.peers > 8 then err "peers %d outside [1, 8]" t.peers
@@ -156,7 +199,12 @@ let validate t =
         (fun acc f -> match acc with Error _ -> acc | Ok () -> check_fault f)
         (Ok ()) t.faults
     in
-    match per_fault with Error _ -> per_fault | Ok () -> outage_conflict ()
+    match per_fault with
+    | Error _ -> per_fault
+    | Ok () -> (
+        match outage_conflict () with
+        | Error _ as e -> e
+        | Ok () -> wave_conflict ())
 
 (* --- Serialization -------------------------------------------------------- *)
 
@@ -182,6 +230,11 @@ let fault_to_string = function
       Printf.sprintf "store_partition@%d+%d" at_ms dur_ms
   | Store_slow { at_ms; dur_ms; factor_pct } ->
       Printf.sprintf "store_slow@%d+%d:%d" at_ms dur_ms factor_pct
+  | Host_kill { at_ms } -> Printf.sprintf "host_kill@%d" at_ms
+  | Region_store_outage { at_ms; dur_ms } ->
+      Printf.sprintf "region_store_outage@%d+%d" at_ms dur_ms
+  | Rolling_upgrade { at_ms; bound } ->
+      Printf.sprintf "rolling_upgrade@%d:%d" at_ms bound
 
 let to_string t =
   let faults =
@@ -304,6 +357,23 @@ let fault_of_string tok =
                   let* dur_ms = parse_int (tok ^ ": duration") d in
                   let* factor_pct = parse_int (tok ^ ": factor") f in
                   Ok (Store_slow { at_ms; dur_ms; factor_pct })))
+      | "host_kill" ->
+          let* at_ms = at () in
+          Ok (Host_kill { at_ms })
+      | "region_store_outage" -> (
+          match split1 ~on:'+' tail with
+          | None -> Error (Printf.sprintf "fault %S: expected T+DUR" tok)
+          | Some (t, d) ->
+              let* at_ms = parse_int (tok ^ ": time") t in
+              let* dur_ms = parse_int (tok ^ ": duration") d in
+              Ok (Region_store_outage { at_ms; dur_ms }))
+      | "rolling_upgrade" -> (
+          match split1 ~on:':' tail with
+          | None -> Error (Printf.sprintf "fault %S: expected T:BOUND" tok)
+          | Some (t, k) ->
+              let* at_ms = parse_int (tok ^ ": time") t in
+              let* bound = parse_int (tok ^ ": bound") k in
+              Ok (Rolling_upgrade { at_ms; bound }))
       | other -> Error (Printf.sprintf "unknown fault kind %S" other))
 
 let of_string line =
@@ -368,6 +438,61 @@ let of_string line =
       let* () = validate t in
       Ok t
   | _ -> Error (Printf.sprintf "expected a %S line" magic)
+
+(* A bare fault-token list (the [faults=] payload alone), validated
+   under the same rules as a full descriptor — the fleet CLI's
+   [--campaign] argument. *)
+let faults_of_string ?window_ms s =
+  let ( let* ) = Result.bind in
+  let* faults =
+    match String.trim s with
+    | "" | "-" -> Ok []
+    | s ->
+        String.split_on_char ',' s
+        |> List.fold_left
+             (fun acc tok ->
+               let* acc = acc in
+               let* f = fault_of_string (String.trim tok) in
+               Ok (f :: acc))
+             (Ok [])
+        |> Result.map List.rev
+  in
+  let window_ms =
+    match window_ms with
+    | Some w -> w
+    | None ->
+        (* Wide enough for every token: outage windows count their end. *)
+        List.fold_left
+          (fun acc f ->
+            let e =
+              match f with
+              | Store_crash { at_ms; dur_ms }
+              | Store_partition { at_ms; dur_ms }
+              | Region_store_outage { at_ms; dur_ms }
+              | Flap { at_ms; dur_ms; _ }
+              | Loss { at_ms; dur_ms; _ } ->
+                  at_ms + dur_ms
+              | f -> fault_at f
+            in
+            max acc e)
+          1000 faults
+  in
+  let probe =
+    {
+      seed = 0;
+      peers = 1;
+      hosts = 2;
+      peer_prefixes = 1;
+      svc_prefixes = 1;
+      churn = 0;
+      delay_us = 200;
+      window_ms;
+      settle_ms = 0;
+      faults;
+    }
+  in
+  let* () = validate probe in
+  Ok faults
 
 (* --- Generation ----------------------------------------------------------- *)
 

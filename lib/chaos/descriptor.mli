@@ -49,6 +49,21 @@ type fault =
       (** Store operation costs scaled to [factor_pct]% (in
           [\[101, 10000\]]) for [dur_ms] — held-ACK latency stress
           without unreachability. Token: [store_slow@T+DUR:FACTOR]. *)
+  | Host_kill of { at_ms : int }
+      (** Correlated whole-host kill. At fleet scale every co-located
+          container (and its BFD sessions) dies at once; the
+          single-instance runner maps it to a host failure of the
+          service's primary. Token: [host_kill@T]. *)
+  | Region_store_outage of { at_ms : int; dur_ms : int }
+      (** A region's store becomes unreachable for [dur_ms]: every
+          instance in the region sheds and re-arms together. The
+          single-instance runner maps it to a store partition.
+          Token: [region_store_outage@T+DUR]. *)
+  | Rolling_upgrade of { at_ms : int; bound : int }
+      (** Fleet-wide rolling upgrade starting at [at_ms] with at most
+          [bound] concurrent drain→upgrade→resume moves (bound in
+          [\[1, 64\]]). The single-instance runner maps it to a planned
+          switchover. Token: [rolling_upgrade@T:BOUND]. *)
 
 type t = {
   seed : int;  (** Engine seed for the deployment. *)
@@ -69,6 +84,9 @@ val fault_at : fault -> int
 val fault_kind_name : fault -> string
 (** Stable class name: [kill.app], [flap], [rst], ... *)
 
+val fault_to_string : fault -> string
+(** The fault's serialized token, e.g. [host_kill@5000]. *)
+
 val generate : seed:int -> t
 (** The seeded generator: parameters and fault schedule are drawn from a
     {!Sim.Rng} stream derived from [seed] (which also becomes the engine
@@ -87,11 +105,23 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 
+val faults_of_string : ?window_ms:int -> string -> (fault list, string) result
+(** Parses a bare comma-separated fault-token list (the [faults=]
+    payload alone — what [tensor-cli fleet --campaign] takes) and
+    validates it under the same structural rules as a full descriptor.
+    [window_ms] bounds fault times; when omitted it is sized to admit
+    every parsed token. [""] and ["-"] are the empty schedule. *)
+
 val equal : t -> t -> bool
 
 val validate : t -> (unit, string) result
 (** Structural sanity: positive counts, fault vrf indices in range,
     times within the window, and no kill/planned fault inside a store
     outage window (the store is the recovery substrate — such a
-    migration can never complete). [of_string] applies it; [generate]
-    always satisfies it. *)
+    migration can never complete). The fleet tokens obey the same
+    rules: [host_kill] and [rolling_upgrade] are rejected inside any
+    store outage window (including [region_store_outage]), and two
+    [rolling_upgrade] waves in one schedule are always overlapping —
+    a wave owns the fleet until its schedule-dependent completion — so
+    they are rejected too. [of_string] applies it; [generate] always
+    satisfies it. *)

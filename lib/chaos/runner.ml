@@ -27,7 +27,7 @@ let has_store_fault (d : Descriptor.t) =
   List.exists
     (function
       | Descriptor.Store_crash _ | Descriptor.Store_partition _
-      | Descriptor.Store_slow _ -> true
+      | Descriptor.Store_slow _ | Descriptor.Region_store_outage _ -> true
       | _ -> false)
     d.Descriptor.faults
 
@@ -242,6 +242,18 @@ let schedule_fault ctx partitioned (f : Descriptor.fault) =
         ignore
           (Engine.schedule_after eng (Time.ms dur_ms) (fun () ->
                Store.Server.set_cost_factor dep.Deploy.store_server 1.))
+    (* Fleet tokens at single-instance scale: each maps to its closest
+       one-service equivalent, so any fleet campaign line also runs (and
+       shrinks) under the ordinary chaos runner. Their correlated
+       semantics live in [Fleet.Campaign]. *)
+    | Descriptor.Host_kill _ -> Deploy.inject_host_failure dep ctx.svc
+    | Descriptor.Region_store_outage { dur_ms; _ } ->
+        let n = Store.Server.node dep.Deploy.store_server in
+        Netsim.Node.set_up n false;
+        ignore
+          (Engine.schedule_after eng (Time.ms dur_ms) (fun () ->
+               Netsim.Node.set_up n true))
+    | Descriptor.Rolling_upgrade _ -> Deploy.planned_migration dep ctx.svc
   in
   ignore (Engine.schedule_after eng (Time.ms (Descriptor.fault_at f)) apply)
 

@@ -19,7 +19,8 @@ let clamp_vrfs peers faults =
           Descriptor.Peer_cease { r with vrf = cl r.vrf }
       | Descriptor.Kill _ | Descriptor.Planned _ | Descriptor.Heal _
       | Descriptor.Store_crash _ | Descriptor.Store_partition _
-      | Descriptor.Store_slow _ -> f)
+      | Descriptor.Store_slow _ | Descriptor.Host_kill _
+      | Descriptor.Region_store_outage _ | Descriptor.Rolling_upgrade _ -> f)
     faults
 
 (* Topology/workload reductions, tried in order once the fault list is

@@ -1,0 +1,44 @@
+(** Fleet-wide SLO aggregation over the telemetry bus.
+
+    A live {!Telemetry.Bus} subscriber (like the invariant checkers)
+    that folds fleet events into: per-region availability (instance-up
+    seconds over the observation horizon), the failover-time
+    distribution ([Failure_detected] → [Migration_done] per instance),
+    degraded-instance accounting ([Fleet_degraded]/[Fleet_rearmed]),
+    rolling-upgrade progress, and deferred-migration counts. Purely
+    observational: installing it changes no replay digest. *)
+
+type t
+
+val install : unit -> t
+(** Subscribes to the firehose; only entries emitted afterwards (and
+    while {!Telemetry.Gate} is on) are aggregated. *)
+
+type region_report = {
+  rr_name : string;
+  rr_instances : int;
+  rr_availability : float;  (** Mean instance uptime over the horizon. *)
+  rr_degraded_now : int;
+  rr_degraded_peak : int;
+  rr_degraded_total : int;
+}
+
+type report = {
+  horizon_s : float;
+  region_rows : region_report list;  (** Sorted by region name. *)
+  failover_s : float list;  (** Ascending. *)
+  upgrades_started : int;
+  upgrades_done : int;
+  upgrade_inflight_peak : int;
+  deferred : int;
+}
+
+val finish : t -> report
+(** Unsubscribes, closes open uptime intervals at the last observed
+    instant, and renders the aggregate. Call once per run. *)
+
+val percentile : float list -> float -> float
+(** [percentile sorted p] with [p] in [0, 1]; 0. on the empty list. *)
+
+val to_text : report -> string
+val to_json : report -> string

@@ -57,6 +57,24 @@ let hot_paths =
       rt_fns = [ "transmit" ];
       rt_label = "packet delivery";
     };
+    (* Fleet-scale per-event entry points: the SLO aggregator sees every
+       bus entry of a campaign, and the store probers tick per region
+       every 500 ms across hundreds of instances. *)
+    {
+      rt_file = "lib/fleet/slo.ml";
+      rt_fns = [ "on_entry" ];
+      rt_label = "fleet slo aggregation";
+    };
+    {
+      rt_file = "lib/fleet/topology.ml";
+      rt_fns = [ "arm_store_probers" ];
+      rt_label = "fleet store probe";
+    };
+    {
+      rt_file = "lib/monitor/checker.ml";
+      rt_fns = [ "fleet_mark_up"; "fleet_mark_down" ];
+      rt_label = "fleet slo checker";
+    };
   ]
 
 (* Functions whose output feeds a replay/equivalence digest: anything
@@ -78,6 +96,19 @@ let digest_feeding =
       rt_file = "lib/chaos/runner.ml";
       rt_fns = [ "run" ];
       rt_label = "chaos run digest";
+    };
+    (* Fleet campaigns replay byte-identically across --jobs settings:
+       everything the run executes — wave pump included — feeds the
+       campaign digest. *)
+    {
+      rt_file = "lib/fleet/campaign.ml";
+      rt_fns = [ "run" ];
+      rt_label = "fleet campaign digest";
+    };
+    {
+      rt_file = "lib/fleet/waves.ml";
+      rt_fns = [ "pump" ];
+      rt_label = "fleet upgrade wave";
     };
   ]
 

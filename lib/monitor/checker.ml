@@ -36,6 +36,7 @@ let names =
     "route_flap_absence";
     "queue_drain";
     "degraded_mode_exclusion";
+    "fleet_slo";
   ]
 
 type snapshot = { sn_group : string; sn_node : string; sn_size : int; sn_digest : string; sn_seq : int }
@@ -72,6 +73,18 @@ type t = {
   (* rib_convergence: snapshots grouped by the event's [vrf] field (the
      harness uses it as a free-form comparison-group key). *)
   mutable snapshots : snapshot list;
+  (* fleet_slo: replica accounting per fleet service. An instance is a
+     replica; its current container identity arrives on [Fleet_placed]
+     and moves on [Migration_done] / [Upgrade_done]; [Container_state]
+     of the current container flips it up/down. The invariant is that
+     an armed service never reaches zero running replicas. *)
+  fl_service_of : (string, string) Hashtbl.t; (* instance -> service *)
+  fl_region_of : (string, string) Hashtbl.t; (* instance -> region *)
+  fl_container_of : (string, string) Hashtbl.t; (* container -> instance *)
+  fl_up : (string, unit) Hashtbl.t; (* instances currently running *)
+  fl_running : (string, int) Hashtbl.t; (* service -> running replicas *)
+  fl_degraded : (string, unit) Hashtbl.t; (* degraded, not yet re-armed *)
+  mutable fl_inflight : int; (* upgrades currently draining *)
 }
 
 let violate t checker ~seq ~span ~at detail =
@@ -88,6 +101,38 @@ let bump tbl key =
 
 let note_primary t ~service ~container =
   Hashtbl.replace t.primaries service container
+
+(* fleet_slo replica accounting. Transitions are idempotent (an
+   instance already up stays up) so replayed/duplicate state events
+   never skew the count. *)
+let fleet_mark_up t instance =
+  if Hashtbl.mem t.fl_service_of instance && not (Hashtbl.mem t.fl_up instance)
+  then begin
+    Hashtbl.replace t.fl_up instance ();
+    match Hashtbl.find_opt t.fl_service_of instance with
+    | Some svc -> bump t.fl_running svc
+    | None -> ()
+  end
+
+let fleet_mark_down t instance viol =
+  if Hashtbl.mem t.fl_up instance then begin
+    Hashtbl.remove t.fl_up instance;
+    match Hashtbl.find_opt t.fl_service_of instance with
+    | Some svc ->
+        let n =
+          Option.value (Hashtbl.find_opt t.fl_running svc) ~default:0 - 1
+        in
+        Hashtbl.replace t.fl_running svc (max 0 n);
+        if n <= 0 then
+          let region =
+            Option.value (Hashtbl.find_opt t.fl_region_of instance) ~default:"?"
+          in
+          viol "fleet_slo"
+            (Printf.sprintf
+               "region %s lost all replicas of service %s (last one down: %s)"
+               region svc instance)
+    | None -> ()
+  end
 
 let on_entry t (e : Telemetry.Bus.entry) =
   t.events_seen <- t.events_seen + 1;
@@ -205,7 +250,14 @@ let on_entry t (e : Telemetry.Bus.entry) =
       if host <> "" then Hashtbl.replace t.container_host id host;
       (match state with
       | "stopped" | "failed" -> Hashtbl.replace t.fenced id ()
-      | _ -> ())
+      | _ -> ());
+      (match Hashtbl.find_opt t.fl_container_of id with
+      | Some inst -> (
+          match state with
+          | "running" -> fleet_mark_up t inst
+          | "stopped" | "failed" -> fleet_mark_down t inst viol
+          | _ -> ())
+      | None -> ())
   | Host_suspect { host } | Host_failed { host } ->
       Hashtbl.replace t.dead_hosts host ()
   | Replica_promoted { service; container } ->
@@ -227,6 +279,36 @@ let on_entry t (e : Telemetry.Bus.entry) =
       | _ -> ());
       note_primary t ~service ~container
   | Queue_dropped _ -> t.queue_drop_events <- t.queue_drop_events + 1
+  | Fleet_placed { service; instance; region; container; _ } ->
+      Hashtbl.replace t.fl_service_of instance service;
+      Hashtbl.replace t.fl_region_of instance region;
+      Hashtbl.replace t.fl_container_of container instance;
+      fleet_mark_up t instance
+  | Migration_done { id; container; _ } ->
+      (* A failure migration re-homed the instance: its replica is back
+         up in the replacement container. *)
+      if Hashtbl.mem t.fl_service_of id then begin
+        Hashtbl.replace t.fl_container_of container id;
+        fleet_mark_up t id
+      end
+  | Upgrade_started { instance; wave; bound; _ } ->
+      (* The checker keeps its own in-flight count rather than trusting
+         the planner's [inflight] field — the count is the oracle. *)
+      t.fl_inflight <- t.fl_inflight + 1;
+      if t.fl_inflight > bound then
+        viol "fleet_slo"
+          (Printf.sprintf
+             "wave %d: %d concurrent upgrade drains exceed the bound %d \
+              (draining %s)"
+             wave t.fl_inflight bound instance)
+  | Upgrade_done { instance; container; _ } ->
+      t.fl_inflight <- max 0 (t.fl_inflight - 1);
+      if Hashtbl.mem t.fl_service_of instance then begin
+        Hashtbl.replace t.fl_container_of container instance;
+        fleet_mark_up t instance
+      end
+  | Fleet_degraded { instance; _ } -> Hashtbl.replace t.fl_degraded instance ()
+  | Fleet_rearmed { instance; _ } -> Hashtbl.remove t.fl_degraded instance
   | _ -> ()
 
 let install ?(cfg = default_config) () =
@@ -252,6 +334,13 @@ let install ?(cfg = default_config) () =
       container_host = Hashtbl.create 8;
       dead_hosts = Hashtbl.create 8;
       snapshots = [];
+      fl_service_of = Hashtbl.create 64;
+      fl_region_of = Hashtbl.create 64;
+      fl_container_of = Hashtbl.create 64;
+      fl_up = Hashtbl.create 64;
+      fl_running = Hashtbl.create 64;
+      fl_degraded = Hashtbl.create 16;
+      fl_inflight = 0;
     }
   in
   t.sub <- Some (Telemetry.Bus.subscribe (fun e -> on_entry t e));
@@ -312,6 +401,23 @@ let check_rib_convergence t =
                        (List.rev sns)))))
     groups
 
+(* Every degraded instance must have re-armed by end of run: a heal the
+   fleet never noticed (or a probe that died with its old container) is
+   exactly the silent-degradation failure mode Fig. 7 polices. *)
+let check_fleet_rearm t =
+  Sim.Det.iter_sorted ~compare:String.compare
+    (fun instance () ->
+      let region =
+        Option.value (Hashtbl.find_opt t.fl_region_of instance) ~default:"?"
+      in
+      violate t "fleet_slo" ~seq:t.last_seq ~span:Telemetry.Span.none
+        ~at:t.last_at
+        (Printf.sprintf
+           "instance %s (region %s) still degraded at end of run — never \
+            re-armed after heal"
+           instance region))
+    t.fl_degraded
+
 let finalize t =
   (match t.sub with
   | Some s ->
@@ -320,6 +426,7 @@ let finalize t =
   | None -> ());
   check_queue_drain t;
   check_rib_convergence t;
+  check_fleet_rearm t;
   let by_checker = violations t in
   List.map
     (fun name ->

@@ -68,7 +68,11 @@ type config = {
 val default_config : config
 
 val names : string list
-(** The nine checker names, in report order. *)
+(** The ten checker names, in report order. The tenth, [fleet_slo],
+    watches fleet campaigns: no region may ever lose all replicas of a
+    service, rolling-upgrade drains may never exceed the wave's
+    concurrency bound, and every instance that shed into degraded mode
+    must have re-armed by end of run. *)
 
 type t
 

@@ -52,6 +52,10 @@ let leak_held_acks =
 let late_degrade =
   make "late_degrade" "arm the degrade watchdog at twice the configured deadline"
 
+let exceed_wave_bound =
+  make "exceed_wave_bound"
+    "launch one rolling-upgrade drain past the wave's concurrency bound"
+
 let names () = List.map (fun f -> f.name) !registry
 let active () = List.filter_map (fun f -> if !(f.on) then Some f.name else None) !registry
 let doc name =

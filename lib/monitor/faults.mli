@@ -50,6 +50,11 @@ val late_degrade : bool ref
     session negotiated — exactly the hold-timer exposure the checker
     exists to catch. *)
 
+val exceed_wave_bound : bool ref
+(** [fleet_slo]: the fleet upgrade-wave planner launches one extra
+    drain beyond the wave's concurrency bound — a correct planner never
+    does, so the checker's own in-flight count must catch it. *)
+
 val names : unit -> string list
 (** All flag names, in declaration order. *)
 

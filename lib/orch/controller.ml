@@ -51,11 +51,19 @@ type managed = {
   mutable cont : Container.t;
   mutable phase : [ `Healthy | `Suspect | `Migrating ];
   mutable hb_timer : Engine.timer option;
+  (* Bumped on every transition into [`Migrating]. Asynchronous
+     continuations (the store-unreachable wait chain, the migrator's
+     [done_]) capture the epoch at arm time and become no-ops when it
+     has moved on — a planned migration that supersedes a deferred
+     failure migration kills the parked chain instead of letting it
+     double-schedule the instance after the store heals. *)
+  mutable mig_epoch : int;
 }
 
 type host_entry = {
   host : Host.t;
   mutable hphase : [ `Healthy | `Confirming | `Failed ];
+  mutable hregion : string option;
 }
 
 (* Liveness of the replicated store, maintained by {!register_store}.
@@ -80,6 +88,16 @@ type t = {
   mutable hosts : host_entry list;
   mutable agents : Agent.t list;
   managed_tbl : (string, managed) Hashtbl.t;
+  (* Host name -> ids of managed containers currently living there.
+     Maintained on [manage] and on every migration completion, so a
+     host-failure sweep touches only that host's residents instead of
+     rescanning the whole fleet ([declare_host_failed] used to fold the
+     full table — O(instances) per failed host). *)
+  host_index : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* Failure migrations in flight or deferred (planned migrations are
+     not counted): the fleet upgrade planner pauses its waves while
+     this is non-zero. *)
+  mutable n_fail_migrating : int;
   mutable migrator :
     reason:failure_kind ->
     id:string ->
@@ -106,6 +124,39 @@ let set_migrator t f = t.migrator <- f
 let host_entry_of t name =
   List.find_opt (fun e -> String.equal (Host.name e.host) name) t.hosts
 
+(* --- Placement index ------------------------------------------------------ *)
+
+let index_add t ~host id =
+  let set =
+    match Hashtbl.find_opt t.host_index host with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace t.host_index host s;
+        s
+  in
+  Hashtbl.replace set id ()
+
+let index_remove t ~host id =
+  match Hashtbl.find_opt t.host_index host with
+  | Some s -> Hashtbl.remove s id
+  | None -> ()
+
+let index_move t m replacement =
+  let old_host = Container.host_name m.cont in
+  let new_host = Container.host_name replacement in
+  if not (String.equal old_host new_host) then begin
+    index_remove t ~host:old_host m.mid;
+    index_add t ~host:new_host m.mid
+  end
+
+let managed_on t host =
+  match Hashtbl.find_opt t.host_index host with
+  | Some s -> Hashtbl.length s
+  | None -> 0
+
+let failure_migrations_active t = t.n_fail_migrating
+
 (* --- Migration driver ---------------------------------------------------- *)
 
 let store_reachable t =
@@ -113,6 +164,7 @@ let store_reachable t =
 
 let proceed_migration t m reason =
   begin
+    let epoch = m.mig_epoch in
     let initiate_delay =
       match reason with
       | Host_failure | Host_network_failure -> t.cfg.initiate_host
@@ -128,30 +180,43 @@ let proceed_migration t m reason =
     ignore
       (Engine.schedule_after t.eng ~label:"orch.migrate" initiate_delay
          (fun () ->
-           Telemetry.Bus.emit ~legacy:t.tr t.eng
-             (Telemetry.Event.Migration_initiated { id = m.mid });
-           t.migrator ~reason ~id:m.mid ~failed:m.cont
-             ~done_:(fun replacement ->
-               Telemetry.Registry.incr m_migrations;
-               Telemetry.Bus.emit ~legacy:t.tr t.eng
-                 (Telemetry.Event.Migration_done
-                    {
-                      id = m.mid;
-                      host = Container.host_name replacement;
-                      container = Container.id replacement;
-                    });
-               m.cont <- replacement;
-               m.phase <- `Healthy)))
+           if m.mig_epoch = epoch then begin
+             Telemetry.Bus.emit ~legacy:t.tr t.eng
+               (Telemetry.Event.Migration_initiated { id = m.mid });
+             t.migrator ~reason ~id:m.mid ~failed:m.cont
+               ~done_:(fun replacement ->
+                 if m.mig_epoch = epoch then begin
+                   Telemetry.Registry.incr m_migrations;
+                   Telemetry.Bus.emit ~legacy:t.tr t.eng
+                     (Telemetry.Event.Migration_done
+                        {
+                          id = m.mid;
+                          host = Container.host_name replacement;
+                          container = Container.id replacement;
+                        });
+                   index_move t m replacement;
+                   m.cont <- replacement;
+                   m.phase <- `Healthy;
+                   t.n_fail_migrating <- t.n_fail_migrating - 1
+                 end)
+           end))
   end
 
 let start_migration t m reason =
   if m.phase <> `Migrating then begin
     m.phase <- `Migrating;
+    m.mig_epoch <- m.mig_epoch + 1;
+    t.n_fail_migrating <- t.n_fail_migrating + 1;
+    let epoch = m.mig_epoch in
     if store_reachable t then proceed_migration t m reason
     else begin
       (* Store-unreachable, not instance-dead: defer until the store
          answers. The phase flip above parks the heartbeat ticks, so a
-         store outage cannot cascade into spurious failovers. *)
+         store outage cannot cascade into spurious failovers. Each
+         rearm re-checks the epoch: if a planned migration (or any
+         newer transition) took the instance over while we were parked,
+         this chain is stale and must die — proceeding would migrate a
+         healthy instance a second time. *)
       Telemetry.Bus.emit ~legacy:t.tr t.eng
         (Telemetry.Event.Migration_deferred
            { id = m.mid; reason = "store-unreachable" });
@@ -159,8 +224,9 @@ let start_migration t m reason =
         ignore
           (Engine.schedule_after t.eng ~label:"orch.migrate" t.cfg.grpc_interval
              (fun () ->
-               if store_reachable t then proceed_migration t m reason
-               else wait ()))
+               if m.mig_epoch = epoch then
+                 if store_reachable t then proceed_migration t m reason
+                 else wait ()))
       in
       wait ()
     end
@@ -198,12 +264,21 @@ let declare_host_failed t (he : host_entry) =
   Rpc.call t.ep ~timeout:t.cfg.host_ctl_timeout ~dst:(Host.addr he.host)
     ~service:"host_ctl" Host.Host_fence (fun _ -> ());
   (* Migrate every managed container living there, in name order so the
-     replayed migration sequence is deterministic. *)
-  Det.iter_sorted ~compare:String.compare
-    (fun _ m ->
-      if String.equal (Container.host_name m.cont) (Host.name he.host) then
-        start_migration t m Host_failure)
-    t.managed_tbl
+     replayed migration sequence is deterministic. The host index keeps
+     this sweep proportional to the residents of the failed host, not
+     to the fleet. *)
+  match Hashtbl.find_opt t.host_index (Host.name he.host) with
+  | None -> ()
+  | Some residents ->
+      Det.iter_sorted ~compare:String.compare
+        (fun id () ->
+          match Hashtbl.find_opt t.managed_tbl id with
+          | Some m
+            when String.equal (Container.host_name m.cont) (Host.name he.host)
+            ->
+              start_migration t m Host_failure
+          | Some _ | None -> ())
+        residents
 
 let suspect_host t (he : host_entry) =
   if he.hphase = `Healthy then begin
@@ -293,25 +368,35 @@ let start_heartbeats t m =
 
 let begin_planned t ~id =
   match Hashtbl.find_opt t.managed_tbl id with
-  | Some m -> m.phase <- `Migrating
+  | Some m ->
+      (* Superseding an in-flight or deferred failure migration: the
+         epoch bump orphans its wait chain and callbacks (they check
+         the epoch before acting), so balance its in-flight count
+         here. *)
+      if m.phase = `Migrating then
+        t.n_fail_migrating <- t.n_fail_migrating - 1;
+      m.phase <- `Migrating;
+      m.mig_epoch <- m.mig_epoch + 1
   | None -> ()
 
 let end_planned t ~id cont =
   match Hashtbl.find_opt t.managed_tbl id with
   | Some m ->
+      index_move t m cont;
       m.cont <- cont;
       m.phase <- `Healthy
   | None -> ()
 
 let manage t ~id cont =
-  let m = { mid = id; cont; phase = `Healthy; hb_timer = None } in
+  let m = { mid = id; cont; phase = `Healthy; hb_timer = None; mig_epoch = 0 } in
   Hashtbl.replace t.managed_tbl id m;
+  index_add t ~host:(Container.host_name cont) id;
   start_heartbeats t m
 
 (* --- Host heartbeats (feeds the lease and E3 detection) ------------------- *)
 
-let register_host t host =
-  let he = { host; hphase = `Healthy } in
+let register_host ?region t host =
+  let he = { host; hphase = `Healthy; hregion = region } in
   t.hosts <- he :: t.hosts;
   ignore
     (Engine.every t.eng ~label:"orch.host_mon" ~jitter:0.1 t.cfg.grpc_interval
@@ -322,6 +407,51 @@ let register_host t host =
                if (not ok) && he.hphase = `Healthy then suspect_host t he)))
 
 let register_agent t agent = t.agents <- agent :: t.agents
+
+let set_host_region t ~host ~region =
+  match host_entry_of t host with
+  | Some he -> he.hregion <- Some region
+  | None -> ()
+
+let host_region t ~host =
+  match host_entry_of t host with Some he -> he.hregion | None -> None
+
+(* Region-aware anti-affinity placement: healthy hosts only (probe
+   phase healthy, up, unfenced, not quarantined), restricted to
+   [region] when given, never one of [avoid] (the failed host and the
+   hosts carrying sibling replicas). Least-loaded wins, host name as
+   the tie-break, so the choice is a pure function of controller state
+   and replays deterministically. Returns [None] when no host
+   qualifies — the caller defers rather than thrashing. *)
+let pick_host t ?region ?(avoid = []) () =
+  let eligible he =
+    he.hphase = `Healthy
+    && Host.is_up he.host
+    && (not (Host.is_fenced he.host))
+    && (not (List.mem (Host.name he.host) t.quarantine))
+    && (not (List.mem (Host.name he.host) avoid))
+    &&
+    match region with
+    | None -> true
+    | Some r -> (
+        match he.hregion with Some r' -> String.equal r r' | None -> false)
+  in
+  let best =
+    List.fold_left
+      (fun acc he ->
+        if not (eligible he) then acc
+        else
+          let name = Host.name he.host in
+          let load = managed_on t name in
+          match acc with
+          | Some (bload, bname, _)
+            when bload < load || (bload = load && String.compare bname name < 0)
+            ->
+              acc
+          | _ -> Some (load, name, he.host))
+      None t.hosts
+  in
+  match best with Some (_, _, h) -> Some h | None -> None
 
 (* The store is probed like a host, but on the ["kv_health"] service the
    store process answers only while alive — so a crash, a partition and
@@ -383,6 +513,8 @@ let create net ~fabric ?(config = default_config) cname =
       hosts = [];
       agents = [];
       managed_tbl = Hashtbl.create 32;
+      host_index = Hashtbl.create 32;
+      n_fail_migrating = 0;
       migrator = (fun ~reason:_ ~id:_ ~failed:_ ~done_:_ -> ());
       quarantine = [];
       store_probe = None;

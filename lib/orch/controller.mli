@@ -66,8 +66,30 @@ val node : t -> Netsim.Node.t
 val addr : t -> Netsim.Addr.t
 val trace : t -> Sim.Trace.t
 
-val register_host : t -> Host.t -> unit
-(** Starts heartbeating the host (which also feeds its fencing lease). *)
+val register_host : ?region:string -> t -> Host.t -> unit
+(** Starts heartbeating the host (which also feeds its fencing lease).
+    [?region] tags the host for region-aware placement ({!pick_host});
+    it can also be assigned later with {!set_host_region}. *)
+
+val set_host_region : t -> host:string -> region:string -> unit
+(** (Re)assigns a registered host to a region. Unknown hosts are
+    ignored. *)
+
+val host_region : t -> host:string -> string option
+
+val pick_host :
+  t -> ?region:string -> ?avoid:string list -> unit -> Host.t option
+(** Region-aware anti-affinity placement: the least-loaded healthy host
+    (up, unfenced, not quarantined, probe phase healthy), restricted to
+    [region] when given and never one of [avoid] (failed host, hosts
+    carrying sibling replicas). Host name breaks load ties, so the
+    choice is deterministic. [None] when no host qualifies — callers
+    must defer (emitting [Migration_deferred]) rather than thrash. *)
+
+val failure_migrations_active : t -> int
+(** Failure-triggered migrations currently in flight or deferred
+    (planned migrations are not counted). The fleet upgrade-wave
+    planner pauses while this is non-zero. *)
 
 val register_agent : t -> Agent.t -> unit
 (** The agent used for IP SLA cross-checks. *)

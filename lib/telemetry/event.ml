@@ -1,6 +1,9 @@
-type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch | Store
+type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch | Store | Fleet
 
-let categories = [ Tcp; Bgp; Bfd; Netfilter; Replicator; Orch; Store ]
+(* [Fleet] is appended so existing categories keep their ring indices;
+   an empty ring contributes nothing to [Bus.to_jsonl], which keeps
+   pre-fleet replay digests byte-identical. *)
+let categories = [ Tcp; Bgp; Bfd; Netfilter; Replicator; Orch; Store; Fleet ]
 
 let category_name = function
   | Tcp -> "tcp"
@@ -10,6 +13,7 @@ let category_name = function
   | Replicator -> "replicator"
   | Orch -> "orch"
   | Store -> "store"
+  | Fleet -> "fleet"
 
 let category_of_name = function
   | "tcp" -> Some Tcp
@@ -19,6 +23,7 @@ let category_of_name = function
   | "replicator" -> Some Replicator
   | "orch" -> Some Orch
   | "store" -> Some Store
+  | "fleet" -> Some Fleet
   | _ -> None
 
 type t =
@@ -81,6 +86,22 @@ type t =
   | Store_promoted of { node : string }
   | Store_failover of { client : string; attempts : int }
   | Rpc_unknown_service of { node : string; service : string; count : int }
+  | Fleet_placed of {
+      service : string;
+      instance : string;
+      region : string;
+      host : string;
+      container : string;
+    }
+  | Upgrade_started of {
+      instance : string;
+      wave : int;
+      inflight : int;
+      bound : int;
+    }
+  | Upgrade_done of { instance : string; wave : int; container : string }
+  | Fleet_degraded of { instance : string; region : string }
+  | Fleet_rearmed of { instance : string; region : string; degraded_s : float }
   | Generic of { cat : category; name : string; detail : string }
 
 let category = function
@@ -104,6 +125,9 @@ let category = function
   | Store_crashed _ | Store_restarted _ | Store_promoted _ | Store_failover _
   | Rpc_unknown_service _ ->
       Store
+  | Fleet_placed _ | Upgrade_started _ | Upgrade_done _ | Fleet_degraded _
+  | Fleet_rearmed _ ->
+      Fleet
   | Generic { cat; _ } -> cat
 
 let name = function
@@ -147,6 +171,11 @@ let name = function
   | Store_promoted _ -> "store_promoted"
   | Store_failover _ -> "store_failover"
   | Rpc_unknown_service _ -> "rpc_unknown_service"
+  | Fleet_placed _ -> "fleet_placed"
+  | Upgrade_started _ -> "upgrade_started"
+  | Upgrade_done _ -> "upgrade_done"
+  | Fleet_degraded _ -> "fleet_degraded"
+  | Fleet_rearmed _ -> "fleet_rearmed"
   | Generic { name; _ } -> name
 
 type field = Int of int | Float of float | Str of string
@@ -243,6 +272,29 @@ let fields = function
       [ ("client", Str client); ("attempts", Int attempts) ]
   | Rpc_unknown_service { node; service; count } ->
       [ ("node", Str node); ("service", Str service); ("count", Int count) ]
+  | Fleet_placed { service; instance; region; host; container } ->
+      [
+        ("service", Str service); ("instance", Str instance);
+        ("region", Str region); ("host", Str host);
+        ("container", Str container);
+      ]
+  | Upgrade_started { instance; wave; inflight; bound } ->
+      [
+        ("instance", Str instance); ("wave", Int wave);
+        ("inflight", Int inflight); ("bound", Int bound);
+      ]
+  | Upgrade_done { instance; wave; container } ->
+      [
+        ("instance", Str instance); ("wave", Int wave);
+        ("container", Str container);
+      ]
+  | Fleet_degraded { instance; region } ->
+      [ ("instance", Str instance); ("region", Str region) ]
+  | Fleet_rearmed { instance; region; degraded_s } ->
+      [
+        ("instance", Str instance); ("region", Str region);
+        ("degraded_s", Float degraded_s);
+      ]
   | Generic { detail; _ } -> [ ("detail", Str detail) ]
 
 (* The first group must stay byte-identical to the Trace.emitf strings

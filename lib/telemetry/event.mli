@@ -11,10 +11,12 @@
     keeps existing trace queries (e.g. Table 1's ["detect"] /
     ["tcp-synced"] lookups) working unchanged. *)
 
-type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch | Store
+type category = Tcp | Bgp | Bfd | Netfilter | Replicator | Orch | Store | Fleet
 
 val categories : category list
-(** All categories, in a fixed order. *)
+(** All categories, in a fixed order. [Fleet] is appended last so the
+    older categories keep their ring indices and pre-fleet replay
+    digests stay byte-identical. *)
 
 val category_name : category -> string
 (** Lower-case name, e.g. ["tcp"]. *)
@@ -92,6 +94,30 @@ type t =
   | Store_promoted of { node : string }
   | Store_failover of { client : string; attempts : int }
   | Rpc_unknown_service of { node : string; service : string; count : int }
+  (* fleet *)
+  | Fleet_placed of {
+      service : string;
+      instance : string;
+      region : string;
+      host : string;
+      container : string;
+    }
+    (** An instance (replica of a fleet service) was placed: at initial
+        deployment and never again — post-migration container identity
+        travels on [Migration_done] / [Upgrade_done]. *)
+  | Upgrade_started of {
+      instance : string;
+      wave : int;
+      inflight : int;
+      bound : int;
+    }
+    (** A rolling-upgrade drain began for [instance]; [inflight] counts
+        this one, and must never exceed [bound]. *)
+  | Upgrade_done of { instance : string; wave : int; container : string }
+  | Fleet_degraded of { instance : string; region : string }
+    (** The instance shed NSR protection because its region store went
+        unreachable (fleet-level view of PR 6's degraded mode). *)
+  | Fleet_rearmed of { instance : string; region : string; degraded_s : float }
   (* escape hatch *)
   | Generic of { cat : category; name : string; detail : string }
 

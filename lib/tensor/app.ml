@@ -1047,6 +1047,20 @@ let freeze_for_migration t k =
         t.per_vrf
   end
 
+let halt t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    (* The fence (TKE kill) takes the process with it: the stack freezes
+       and replication stops, but nothing is reported — a dead process
+       cannot speak. Without this, the fenced instance's keepalive timer
+       keeps attempting store writes through its dead node; the blocked
+       control lane then ages past the degrade deadline and a zombie
+       declares degraded pass-through under the same conn id its live
+       successor is using. *)
+    (match t.stack with Some stack -> Tcp.freeze_stack stack | None -> ());
+    List.iter (fun pv -> Replicator.stop pv.repl) t.per_vrf
+  end
+
 let crash_bgp t =
   if not t.crashed then begin
     t.crashed <- true;

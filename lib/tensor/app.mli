@@ -140,5 +140,12 @@ val crash_bgp : t -> unit
     stop silently (no NOTIFICATION — a crash sends nothing), and the
     in-container monitor reports to the controller. *)
 
+val halt : t -> unit
+(** The fence's view of {!crash_bgp}: the process is killed with the
+    container, so the stack freezes and replication stops, but nothing
+    is reported — a dead process cannot speak. Idempotent, and a no-op
+    after {!crash_bgp} or {!freeze_for_migration}. Held ACKs flush as
+    [Ack_dropped] so the end-of-run queue balance still closes. *)
+
 val routes : t -> vrf:string -> int
 (** Loc-RIB size of a VRF (0 before boot). *)

@@ -14,6 +14,8 @@ type t = {
   trace : Trace.t;
   warm_boot : Time.span;
   cold_boot : Time.span;
+  mutable picker :
+    (service_id:string -> avoid:string list -> Orch.Host.t option) option;
 }
 
 type peer_as = {
@@ -47,6 +49,7 @@ let services_key : (string, service) Hashtbl.t Domain.DLS.key =
 let services () = Domain.DLS.get services_key
 
 let migration_trace t = t.trace
+let set_service_picker t pick = t.picker <- Some pick
 
 (* --- Migrator ---------------------------------------------------------------- *)
 
@@ -94,15 +97,26 @@ let usable_standby t svc =
       | _ -> None)
   | _ -> None
 
+(* Where the next instance goes: the deployment's picker hook when one
+   is installed (fleet region-aware placement), the round-robin backup
+   index otherwise. [None] means no healthy host qualifies right now. *)
+let choose_host t svc ~avoid =
+  match t.picker with
+  | Some pick -> pick ~service_id:svc.sid ~avoid
+  | None -> Some t.hosts.(pick_backup_host t svc)
+
 let provision_standby t svc =
-  let host_idx = pick_backup_host t svc in
-  let host = t.hosts.(host_idx) in
-  let cont =
-    Orch.Host.create_container host ~boot_span:svc.warm_boot
-      (Printf.sprintf "%s-standby%d" svc.sid svc.generation)
-  in
-  Orch.Container.boot cont;
-  svc.standby <- Some cont
+  match
+    choose_host t svc ~avoid:[ Orch.Container.host_name svc.primary ]
+  with
+  | None -> () (* no healthy host: skip preheating, migrate defers later *)
+  | Some host ->
+      let cont =
+        Orch.Host.create_container host ~boot_span:svc.warm_boot
+          (Printf.sprintf "%s-standby%d" svc.sid svc.generation)
+      in
+      Orch.Container.boot cont;
+      svc.standby <- Some cont
 
 let migrate t svc ~(reason : Orch.Controller.failure_kind) ~done_ =
   svc.generation <- svc.generation + 1;
@@ -116,19 +130,17 @@ let migrate t svc ~(reason : Orch.Controller.failure_kind) ~done_ =
   (* Fence the old instance (TKE kill): for app failures the container is
      alive but its process is dead; make sure it cannot speak again.
      Seeded fault: skip the fence and promote over a live primary. *)
-  if not !Monitor.Faults.no_fence then Orch.Container.stop svc.primary;
-  let standby = usable_standby t svc in
-  let cont =
-    match standby with
-    | Some cont ->
-        svc.standby <- None;
-        cont
-    | None ->
-        let host_idx = pick_backup_host t svc in
-        let host = t.hosts.(host_idx) in
-        Orch.Host.create_container host ~boot_span
-          (Printf.sprintf "%s-g%d" svc.sid svc.generation)
-  in
+  if not !Monitor.Faults.no_fence then begin
+    Orch.Container.stop svc.primary;
+    (* The kill takes the old process too: halt its app so no zombie
+       timer keeps attempting store writes through the dead node (a
+       blocked control lane would otherwise age past the degrade
+       deadline and declare degraded pass-through under the conn id the
+       promoted instance is using). *)
+    App.halt svc.app
+  end;
+  let gen = svc.generation in
+  let continue_with cont =
   let app = App.install cont ~mode:App.Recover svc.scfg in
   App.on_bfd_up app (fun ~vrf session ->
       match
@@ -168,12 +180,39 @@ let migrate t svc ~(reason : Orch.Controller.failure_kind) ~done_ =
   | Some host -> reroute_vips t svc host
   | None -> ());
   Orch.Container.boot cont
+  in
+  match usable_standby t svc with
+  | Some cont ->
+      svc.standby <- None;
+      continue_with cont
+  | None ->
+      (* Graceful degradation: when no healthy host can take the
+         instance, defer and retry instead of thrashing — no container
+         is created until a host qualifies. A newer migration
+         (generation bump) abandons a still-pending retry loop. *)
+      let failed_host = Orch.Container.host_name svc.primary in
+      let rec acquire () =
+        if svc.generation = gen then
+          match choose_host t svc ~avoid:[ failed_host ] with
+          | Some host ->
+              continue_with
+                (Orch.Host.create_container host ~boot_span
+                   (Printf.sprintf "%s-g%d" svc.sid svc.generation))
+          | None ->
+              Telemetry.Bus.emit ~legacy:t.trace t.eng
+                (Telemetry.Event.Migration_deferred
+                   { id = svc.sid; reason = "no-healthy-host" });
+              ignore
+                (Engine.schedule_after t.eng ~label:"deploy.defer_placement"
+                   (Time.sec 1) acquire)
+      in
+      acquire ()
 
 (* --- Build --------------------------------------------------------------------- *)
 
 let build ?(seed = 42) ?(hosts = 3) ?(warm_boot = Time.sec 1)
     ?(cold_boot = Time.of_ms_f 4400.) ?store_cost
-    ?(store_delay = Time.us 100) ?(store_replica = false) () =
+    ?(store_delay = Time.us 100) ?(store_replica = false) ?ctrl_config () =
   let eng = Engine.create ~seed () in
   let net = Network.create eng in
   let fabric = Network.add_node net ~forwarding:true "fabric" in
@@ -183,7 +222,9 @@ let build ?(seed = 42) ?(hosts = 3) ?(warm_boot = Time.sec 1)
           (Printf.sprintf "host%d" i))
   in
   let agent = Orch.Agent.create net ~fabric "agent" in
-  let ctrl = Orch.Controller.create net ~fabric "controller" in
+  let ctrl =
+    Orch.Controller.create net ~fabric ?config:ctrl_config "controller"
+  in
   Array.iter (fun h -> Orch.Controller.register_host ctrl h) host_arr;
   Orch.Controller.register_agent ctrl agent;
   (* The store lives on its own server joined to the fabric (Redis on a
@@ -225,6 +266,7 @@ let build ?(seed = 42) ?(hosts = 3) ?(warm_boot = Time.sec 1)
       trace = Trace.create ();
       warm_boot;
       cold_boot;
+      picker = None;
     }
   in
   Orch.Controller.set_migrator ctrl (fun ~reason ~id ~failed:_ ~done_ ->
@@ -271,9 +313,11 @@ let peer_expects pa ~vrf ~vip ~local_asn =
 
 let deploy_service t ?(primary_host = 0) ?(backup_host = 1)
     ?(backup_mode = `Cold) ?(replicate = true) ?(ack_hold = true)
-    ?(store_resilient = false) ?(degrade_frac = 0.) ~id ~local_asn vrfs =
+    ?(store_resilient = false) ?(degrade_frac = 0.) ?store_addr ~id
+    ~local_asn vrfs =
+  let store_addr = Option.value store_addr ~default:t.store_addr in
   let cfg =
-    App.config ~service_id:id ~store_addr:t.store_addr
+    App.config ~service_id:id ~store_addr
       ?store_replica:
         (if store_resilient then
            Option.map Store.Server.addr t.store_replica_server
@@ -323,6 +367,7 @@ let deploy_service t ?(primary_host = 0) ?(backup_host = 1)
 
 let service_app svc = svc.app
 let service_container svc = svc.primary
+let service_id svc = svc.sid
 
 let wait_established t svc ?(timeout = Time.sec 30) () =
   let deadline = Time.add (Engine.now t.eng) timeout in
@@ -345,7 +390,7 @@ let wait_established t svc ?(timeout = Time.sec 30) () =
 
 let service_routes svc ~vrf = App.routes svc.app ~vrf
 
-let planned_migration t svc =
+let planned_migration t ?done_ svc =
   if Telemetry.Gate.on () then begin
     Telemetry.Span.set_ambient None;
     let sp = Telemetry.Span.start t.eng "planned_migration" in
@@ -357,7 +402,8 @@ let planned_migration t svc =
   App.freeze_for_migration svc.app (fun () ->
       migrate t svc ~reason:Orch.Controller.App_failure
         ~done_:(fun replacement ->
-          Orch.Controller.end_planned t.ctrl ~id:svc.sid replacement))
+          Orch.Controller.end_planned t.ctrl ~id:svc.sid replacement;
+          match done_ with Some f -> f replacement | None -> ()))
 
 (* --- Failure injection ----------------------------------------------------------------- *)
 

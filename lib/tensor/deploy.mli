@@ -31,6 +31,9 @@ type t = {
   cold_boot : Sim.Time.span;
       (** Cold start for host-level failures: image distribution +
           scheduling on a non-preheated host (4.4 s). *)
+  mutable picker :
+    (service_id:string -> avoid:string list -> Orch.Host.t option) option;
+      (** Placement hook; install via {!set_service_picker}. *)
 }
 
 val build :
@@ -41,6 +44,7 @@ val build :
   ?store_cost:Store.cost_model ->
   ?store_delay:Sim.Time.span ->
   ?store_replica:bool ->
+  ?ctrl_config:Orch.Controller.config ->
   unit ->
   t
 (** Defaults: 3 hosts, warm boot 1 s, cold boot 4.4 s, the calibrated
@@ -48,7 +52,22 @@ val build :
     moves the store further (the §5 remote-replication discussion);
     [store_replica] (default false) attaches a synchronous replica on a
     second store server — the paper's "Redis set up on multiple local
-    servers". The trace records every migration milestone. *)
+    servers". [ctrl_config] overrides the controller's timers (fleet
+    sweeps vary probe cadence with controller placement). The trace
+    records every migration milestone. *)
+
+val set_service_picker :
+  t -> (service_id:string -> avoid:string list -> Orch.Host.t option) -> unit
+(** Installs a placement hook consulted whenever a migration (failure or
+    planned) or standby provisioning needs a host for the next instance;
+    [avoid] always contains the outgoing instance's host. Returning
+    [None] makes the migrator defer gracefully: it emits
+    [Migration_deferred] with reason ["no-healthy-host"] and re-asks
+    every second — no container is created, nothing thrashes — until the
+    hook yields a host or a newer migration supersedes the attempt. The
+    fleet layer installs {!Orch.Controller.pick_host} here with
+    region-affinity and replica anti-affinity baked in. Without a hook,
+    placement falls back to the service's round-robin backup index. *)
 
 (** {1 External peering ASes} *)
 
@@ -89,6 +108,7 @@ val deploy_service :
   ?ack_hold:bool ->
   ?store_resilient:bool ->
   ?degrade_frac:float ->
+  ?store_addr:Netsim.Addr.t ->
   id:string ->
   local_asn:int ->
   App.vrf_spec list ->
@@ -109,23 +129,32 @@ val deploy_service :
     trade-off: [`Cold] creates and boots the backup container at
     migration time; [`Preheat] keeps an idle standby container booted on
     the backup host, so migration skips the boot and only downloads state
-    from the store. A consumed standby is replaced automatically. *)
+    from the store. A consumed standby is replaced automatically.
+
+    [store_addr] points this service at a different store than the
+    deployment's default — fleet topologies give every region its own
+    store server so a regional outage only sheds that region. *)
 
 val service_app : service -> App.t
 (** The app of the current primary instance. *)
 
 val service_container : service -> Orch.Container.t
+val service_id : service -> string
 
 val wait_established : t -> service -> ?timeout:Sim.Time.span -> unit -> bool
 (** Runs the engine until every VRF session of the service is
     Established (true) or the timeout elapses (false). *)
 
-val planned_migration : t -> service -> unit
+val planned_migration :
+  t -> ?done_:(Orch.Container.t -> unit) -> service -> unit
 (** Proactive maintenance (§4.4): freeze the healthy primary, flush its
     replication pipeline, then run the ordinary NSR migration. The remote
     AS observes nothing — no graceful-restart window, no frozen routing
     policies, no downtime — which is the operational property that lets
-    the paper's deployment upgrade software at any hour. *)
+    the paper's deployment upgrade software at any hour. [done_] fires
+    with the replacement container once the controller has resumed
+    monitoring on it (the fleet upgrade-wave planner chains drains on
+    it). *)
 
 (** {1 Failure injection (Table 1 scenarios)} *)
 

@@ -162,6 +162,93 @@ let test_validate_rejects_kill_inside_outage () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "kill before the outage rejected: %s" e
 
+(* --- Fleet tokens ------------------------------------------------------------ *)
+
+let test_fleet_tokens_roundtrip () =
+  let base =
+    "chaos1 seed=1 peers=2 hosts=3 ppfx=5 spfx=5 churn=0 delay=500 window=30000 settle=20000 faults="
+  in
+  let roundtrip tok expected =
+    match Chaos.Descriptor.of_string (base ^ tok) with
+    | Error e -> Alcotest.failf "%s rejected: %s" tok e
+    | Ok d -> (
+        checkb (tok ^ " serializes back") true
+          (Chaos.Descriptor.of_string (Chaos.Descriptor.to_string d) = Ok d);
+        match d.Chaos.Descriptor.faults with
+        | [ f ] -> checkb (tok ^ " parses to expected fault") true (f = expected)
+        | _ -> Alcotest.failf "%s: expected one fault" tok)
+  in
+  roundtrip "host_kill@5000" (Chaos.Descriptor.Host_kill { at_ms = 5000 });
+  roundtrip "region_store_outage@5000+8000"
+    (Chaos.Descriptor.Region_store_outage { at_ms = 5000; dur_ms = 8000 });
+  roundtrip "rolling_upgrade@5000:4"
+    (Chaos.Descriptor.Rolling_upgrade { at_ms = 5000; bound = 4 });
+  List.iter
+    (fun tok ->
+      match Chaos.Descriptor.of_string (base ^ tok) with
+      | Ok _ -> Alcotest.failf "accepted bad fleet token: %s" tok
+      | Error _ -> ())
+    [
+      "region_store_outage@5000" (* an outage needs a heal time *);
+      "region_store_outage@5000+0";
+      "rolling_upgrade@5000" (* a wave needs its concurrency bound *);
+      "rolling_upgrade@5000:0";
+      "rolling_upgrade@5000:65" (* bound capped at 64 *);
+    ]
+
+let test_fleet_wave_conflicts_rejected () =
+  let base =
+    "chaos1 seed=1 peers=2 hosts=3 ppfx=5 spfx=5 churn=0 delay=500 window=30000 settle=20000 faults="
+  in
+  let reject why tok =
+    match Chaos.Descriptor.of_string (base ^ tok) with
+    | Ok _ -> Alcotest.failf "accepted %s: %s" why tok
+    | Error _ -> ()
+  in
+  (* A wave owns the fleet until its schedule-dependent completion: two
+     waves in one schedule always overlap. *)
+  reject "overlapping waves" "rolling_upgrade@2000:2,rolling_upgrade@20000:2";
+  (* The store is the recovery substrate: no correlated kill or wave may
+     start while a store outage window is open. *)
+  reject "host_kill inside region outage"
+    "region_store_outage@2000+8000,host_kill@4000";
+  reject "wave inside region outage"
+    "region_store_outage@2000+8000,rolling_upgrade@4000:2";
+  reject "host_kill inside plain store outage"
+    "store_partition@2000+6000,host_kill@4000";
+  (* Outside the window the same combinations are fine. *)
+  List.iter
+    (fun tok ->
+      match Chaos.Descriptor.of_string (base ^ tok) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "rejected valid schedule %s: %s" tok e)
+    [
+      "host_kill@1000,region_store_outage@12000+5000";
+      "host_kill@1000,rolling_upgrade@9000:2";
+    ]
+
+let test_bare_fault_list_parser () =
+  (match Chaos.Descriptor.faults_of_string "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty string is the empty schedule");
+  (match Chaos.Descriptor.faults_of_string "-" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "\"-\" is the empty schedule");
+  (match
+     Chaos.Descriptor.faults_of_string "host_kill@5000,rolling_upgrade@9000:2"
+   with
+  | Ok [ Chaos.Descriptor.Host_kill _; Chaos.Descriptor.Rolling_upgrade _ ] ->
+      ()
+  | Ok _ -> Alcotest.fail "wrong faults parsed"
+  | Error e -> Alcotest.failf "valid list rejected: %s" e);
+  (* The bare list obeys the same structural rules as a descriptor. *)
+  match
+    Chaos.Descriptor.faults_of_string
+      "region_store_outage@2000+8000,host_kill@4000"
+  with
+  | Ok _ -> Alcotest.fail "bare list skipped outage-conflict validation"
+  | Error _ -> ()
+
 let test_pre_store_descriptors_still_parse () =
   (* Descriptor lines written before the store-fault tokens existed must
      keep parsing unchanged — the committed corpus depends on it. *)
@@ -312,10 +399,14 @@ let pinned_digests =
   [
     ( "seed28-e4ee3cac.chaos",
       "986b817f3385ed5b35cb5a48a2ca01d9" );
+    (* Re-pinned when the migration fence gained App.halt (the fenced
+       process dies with its container, so its zombie timers no longer
+       emit): same green outcome, fewer stray events. *)
     ( "seed352025351311880476-a489e3e4.chaos",
-      "cce19579ceb519046c58eb784dfe8082" );
+      "73f083f53d524798f5d67bd555933b47" );
+    (* Re-pinned with App.halt for the same reason. *)
     ( "seed508528403378398481-3411f630.chaos",
-      "4231d6d13fdf065bcb3d58d8ef0bd6e3" );
+      "c404bc43b972443696541eedbdc4cdfd" );
   ]
 
 let test_corpus_digests_pinned () =
@@ -397,6 +488,12 @@ let () =
             test_store_fault_tokens;
           Alcotest.test_case "kill inside store outage rejected" `Quick
             test_validate_rejects_kill_inside_outage;
+          Alcotest.test_case "fleet tokens roundtrip" `Quick
+            test_fleet_tokens_roundtrip;
+          Alcotest.test_case "fleet wave conflicts rejected" `Quick
+            test_fleet_wave_conflicts_rejected;
+          Alcotest.test_case "bare fault-list parser" `Quick
+            test_bare_fault_list_parser;
           Alcotest.test_case "pre-store descriptors still parse" `Quick
             test_pre_store_descriptors_still_parse;
         ] );

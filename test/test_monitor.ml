@@ -192,7 +192,7 @@ let test_health_json_parses () =
   checks "scenario" "planned"
     (Option.get (Monitor.Json.to_str (get "scenario")));
   let checkers = Option.get (Monitor.Json.to_list (get "checkers")) in
-  checki "nine checkers" 9 (List.length checkers);
+  checki "ten checkers" 10 (List.length checkers);
   List.iter
     (fun c ->
       checkb "status is pass" true

@@ -248,6 +248,96 @@ let test_migrator_replacement_monitored () =
   Engine.run_for c.eng (Time.sec 10);
   checki "second migration" 2 !detections
 
+(* --- Store-gated migration deferral (fleet graceful degradation) --------- *)
+
+let cluster_with_store () =
+  (* Bus emission (Migration_deferred et al.) is behind the global
+     telemetry gate. *)
+  Telemetry.Gate.set true;
+  let c = cluster () in
+  let snode = Network.add_node c.net "store" in
+  let _, fabric_side, _ = Network.connect c.net c.fabric snode in
+  Node.add_route snode (Addr.prefix_of_string "0.0.0.0/0") fabric_side;
+  let store = Store.Server.create snode in
+  Controller.register_store c.ctrl ~addr:(Store.Server.addr store);
+  (* Let the probe establish the store as reachable. *)
+  Engine.run_for c.eng (Time.sec 1);
+  (c, snode)
+
+let count_deferred ~id hits =
+  Telemetry.Bus.subscribe (fun e ->
+      match e.Telemetry.Bus.event with
+      | Telemetry.Event.Migration_deferred d when d.id = id -> incr hits
+      | _ -> ())
+
+let test_store_outage_defers_single_migration () =
+  (* Regression: a failure detected while the store is unreachable must
+     defer (Migration_deferred) and, once the store heals, fire the
+     migrator EXACTLY once — the deferral retry loop and the probe
+     verdicts that keep arriving for the same dead container must not
+     each schedule their own migration. *)
+  let c, snode = cluster_with_store () in
+  let cont = boot_managed c "c1" in
+  let migrations = ref 0 in
+  Controller.set_migrator c.ctrl (fun ~reason:_ ~id:_ ~failed:_ ~done_ ->
+      incr migrations;
+      let r = Host.create_container c.h2 (Printf.sprintf "c1-r%d" !migrations) in
+      Container.boot r;
+      ignore
+        (Engine.schedule_after c.eng (Time.sec 2) (fun () -> done_ r)));
+  let deferred = ref 0 in
+  let sub = count_deferred ~id:"c1" deferred in
+  (* Store node down: the kv_health probe times out, sok flips. *)
+  Node.set_up snode false;
+  Engine.run_for c.eng (Time.sec 2);
+  Container.fail cont;
+  (* Many probe intervals pass with the container dead and the store
+     unreachable: plenty of chances for a double-schedule. *)
+  Engine.run_for c.eng (Time.sec 8);
+  checki "deferred exactly once" 1 !deferred;
+  checki "migrator held back while store down" 0 !migrations;
+  checki "one failure migration in flight" 1
+    (Controller.failure_migrations_active c.ctrl);
+  Node.set_up snode true;
+  Engine.run_for c.eng (Time.sec 10);
+  checki "single migration after heal" 1 !migrations;
+  checki "in-flight count drained" 0
+    (Controller.failure_migrations_active c.ctrl);
+  (match Controller.managed_container c.ctrl ~id:"c1" with
+  | Some r -> checkb "replacement installed" true (Container.id r = "c1-r1")
+  | None -> Alcotest.fail "lost management");
+  Telemetry.Bus.unsubscribe sub
+
+let test_planned_migration_supersedes_deferred () =
+  (* A planned migration taking over the instance while a failure
+     migration sits parked on the store outage must orphan the deferred
+     chain: when the store heals, the stale epoch must NOT migrate the
+     (now healthy, already moved) instance a second time. *)
+  let c, snode = cluster_with_store () in
+  let cont = boot_managed c "c1" in
+  let migrations = ref 0 in
+  Controller.set_migrator c.ctrl (fun ~reason:_ ~id:_ ~failed:_ ~done_:_ ->
+      incr migrations);
+  Node.set_up snode false;
+  Engine.run_for c.eng (Time.sec 2);
+  Container.fail cont;
+  Engine.run_for c.eng (Time.sec 3);
+  checki "parked on the outage" 1 (Controller.failure_migrations_active c.ctrl);
+  (* Operator-driven move lands while the failure path is parked. *)
+  Controller.begin_planned c.ctrl ~id:"c1";
+  let replacement = Host.create_container c.h2 "c1-planned" in
+  Container.boot replacement;
+  Engine.run_for c.eng (Time.sec 2);
+  Controller.end_planned c.ctrl ~id:"c1" replacement;
+  checki "supersede balanced the in-flight count" 0
+    (Controller.failure_migrations_active c.ctrl);
+  Node.set_up snode true;
+  Engine.run_for c.eng (Time.sec 10);
+  checki "stale deferred chain never fired" 0 !migrations;
+  match Controller.managed_container c.ctrl ~id:"c1" with
+  | Some r -> checkb "planned replacement kept" true (Container.id r = "c1-planned")
+  | None -> Alcotest.fail "lost management"
+
 let test_agent_relay_registry () =
   let c = cluster () in
   Agent.start_relay c.agent ~id:"c1" ~src:(Addr.of_string "1.1.1.1")
@@ -294,6 +384,10 @@ let () =
         [
           Alcotest.test_case "replacement monitored" `Quick
             test_migrator_replacement_monitored;
+          Alcotest.test_case "store outage defers, single schedule" `Quick
+            test_store_outage_defers_single_migration;
+          Alcotest.test_case "planned supersedes deferred failure" `Quick
+            test_planned_migration_supersedes_deferred;
           Alcotest.test_case "agent relay registry" `Quick
             test_agent_relay_registry;
         ] );
